@@ -1,0 +1,46 @@
+# Chimera reproduction — build, test and evaluation targets.
+
+GO ?= go
+
+.PHONY: all build test short cover bench results quick-results fuzz examples vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper exhibit at the recorded EXPERIMENTS.md scale.
+results:
+	$(GO) run ./cmd/chimerasim -v all | tee results_full.txt
+
+quick-results:
+	$(GO) run ./cmd/chimerasim -quick all
+
+# Fuzz the kernel-IR parser for 30 seconds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/kernelir/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/idempotence
+	$(GO) run ./examples/realtime FWT 10000
+	$(GO) run ./examples/multiprogram LUD MUM
+	$(GO) run ./examples/tracing SAD
+
+clean:
+	$(GO) clean ./...

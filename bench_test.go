@@ -1,0 +1,214 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§4), regenerating the exhibit and logging it, plus
+// microbenchmarks of the decision core itself (Algorithm 1's cost is
+// claimed negligible in §3.3 — BenchmarkSelect measures it).
+//
+// The exhibit benchmarks run at the quick scale so `go test -bench=.`
+// finishes in minutes; `go run ./cmd/chimerasim all` regenerates
+// everything at the recorded EXPERIMENTS.md scale.
+package chimera_test
+
+import (
+	"strings"
+	"testing"
+
+	"chimera"
+)
+
+// benchScale is the fidelity used by the exhibit benchmarks.
+func benchScale() chimera.Scale {
+	return chimera.QuickScale()
+}
+
+// runExhibit regenerates one exhibit per iteration and logs it once.
+func runExhibit(b *testing.B, name string) {
+	b.Helper()
+	var out string
+	for i := 0; i < b.N; i++ {
+		tables, err := chimera.RunExperiment(name, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := chimera.RenderTables(&sb, tables); err != nil {
+			b.Fatal(err)
+		}
+		out = sb.String()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable1(b *testing.B)   { runExhibit(b, "table1") }
+func BenchmarkTable2(b *testing.B)   { runExhibit(b, "table2") }
+func BenchmarkFig2(b *testing.B)     { runExhibit(b, "fig2") }
+func BenchmarkFig3(b *testing.B)     { runExhibit(b, "fig3") }
+func BenchmarkFig6(b *testing.B)     { runExhibit(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { runExhibit(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { runExhibit(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { runExhibit(b, "fig9") }
+func BenchmarkFig10(b *testing.B)    { runExhibit(b, "fig10") }
+func BenchmarkFig11(b *testing.B)    { runExhibit(b, "fig11") }
+func BenchmarkAllPairs(b *testing.B) { runExhibit(b, "allpairs") }
+
+// Ablation benches (DESIGN.md §5): the combined table, plus the three
+// focused variants for -bench filtering.
+func BenchmarkAblations(b *testing.B) { runExhibit(b, "ablation") }
+
+func benchAblationVariant(b *testing.B, policy chimera.Policy, warm bool) {
+	b.Helper()
+	var violations float64
+	for i := 0; i < b.N; i++ {
+		runner, err := chimera.NewScenarioRunner(
+			benchScale().PeriodicWindow, chimera.Microseconds(15), benchScale().Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner.Warm = warm
+		total, n := 0.0, 0
+		for _, bench := range chimera.Catalog().BenchmarkNames() {
+			res, err := runner.RunPeriodic(bench, policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.ViolationRate
+			n++
+		}
+		violations = total / float64(n)
+	}
+	b.ReportMetric(violations*100, "violations%")
+}
+
+func BenchmarkAblationNoConservative(b *testing.B) {
+	benchAblationVariant(b, chimera.ChimeraPolicy{OptimisticCold: true}, false)
+}
+
+func BenchmarkAblationPerSMOnly(b *testing.B) {
+	benchAblationVariant(b, chimera.ChimeraPolicy{PerSMUniform: true}, true)
+}
+
+func BenchmarkAblationCycleEstimator(b *testing.B) {
+	benchAblationVariant(b, chimera.ChimeraPolicy{CycleBased: true}, true)
+}
+
+// BenchmarkSelect measures Algorithm 1 itself on a full-width request
+// (30 SMs × 8 blocks, the worst case of the Table 1 configuration) —
+// the §3.3 claim is that selection cost is negligible against the
+// preemption latency.
+func BenchmarkSelect(b *testing.B) {
+	cfg := chimera.DefaultConfig()
+	params := chimera.Catalog().MustKernel("SAD.0").Params
+	est := chimera.KernelEstimate{
+		AvgInstsPerTB:    float64(params.InstsPerTB),
+		HasInsts:         true,
+		AvgCPI:           params.BaseCPI,
+		HasCPI:           true,
+		SMIPC:            params.SMIPC(),
+		HasIPC:           true,
+		SMSwitchCycles:   params.SwitchCycles(cfg),
+		TBSwitchCycles:   params.TBSwitchCycles(cfg),
+		StrictIdempotent: params.StrictIdempotent,
+	}
+	in := chimera.Input{Est: est}
+	for s := 0; s < cfg.NumSMs; s++ {
+		sm := chimera.SMSnapshot{SM: chimera.SMID(s)}
+		for t := 0; t < cfg.MaxTBsPerSM; t++ {
+			executed := int64((s*cfg.MaxTBsPerSM + t) * 997 % int(params.InstsPerTB))
+			sm.TBs = append(sm.TBs, chimera.TBSnapshot{
+				Index:     s*cfg.MaxTBsPerSM + t,
+				Executed:  executed,
+				RunCycles: chimera.Cycles(float64(executed) * params.BaseCPI),
+			})
+		}
+		in.SMs = append(in.SMs, sm)
+	}
+	req := chimera.Request{
+		ConstraintCycles: float64(chimera.Microseconds(15)),
+		NumPreempts:      cfg.NumSMs / 2,
+		Opts:             chimera.EstimateOptions{Relaxed: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := chimera.Select(req, in)
+		if len(sel.Plans) == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the compiler-side idempotence analysis over
+// the whole 27-kernel catalog.
+func BenchmarkAnalyze(b *testing.B) {
+	specs := chimera.Catalog().Kernels()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := chimera.AnalyzeKernel(s.Program); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulation measures raw simulator throughput: one millisecond
+// of a saturated 30-SM device per iteration.
+func BenchmarkSimulation(b *testing.B) {
+	cat := chimera.Catalog()
+	spec := cat.MustKernel("BP.0")
+	for i := 0; i < b.N; i++ {
+		sim := chimera.NewSimulation(chimera.SimOptions{Seed: uint64(i), WarmStats: true})
+		sim.AddProcess(chimera.ProcessSpec{
+			Name:     "bench",
+			Launches: []chimera.LaunchSpec{{Params: spec.Params, Grid: spec.Params.GridSize}},
+			Loop:     true,
+		})
+		sim.Run(chimera.Microseconds(1000))
+	}
+}
+
+// Extension exhibits.
+func BenchmarkContention(b *testing.B)  { runExhibit(b, "contention") }
+func BenchmarkScaling(b *testing.B)     { runExhibit(b, "scaling") }
+func BenchmarkEstAccuracy(b *testing.B) { runExhibit(b, "estacc") }
+
+// BenchmarkWarpLevel measures the warp-level SM model over the whole
+// catalog (sampled), the grounding layer for the block-level CPIs.
+func BenchmarkWarpLevel(b *testing.B) {
+	cfg := chimera.DefaultSMConfig()
+	cfg.MaxInstsPerWarp = 2048
+	specs := chimera.Catalog().Kernels()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := chimera.RunWarpLevel(s.Program, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFunctionalFlush measures the functional flush-equivalence
+// check on a catalog kernel (one undisturbed run plus one flushed run).
+func BenchmarkFunctionalFlush(b *testing.B) {
+	prog := chimera.Catalog().MustKernel("NW.0").Program
+	res, err := chimera.AnalyzeKernel(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clean, err := chimera.ExecuteKernel(prog, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flushed, err := chimera.ExecuteKernel(prog, res.FirstBreach/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !flushed.Equal(clean) {
+			b.Fatal("flush inside the idempotent window diverged")
+		}
+	}
+}
+
+func BenchmarkCalibrated(b *testing.B) { runExhibit(b, "calibrated") }
+func BenchmarkGPUSize(b *testing.B)    { runExhibit(b, "gpusize") }
+func BenchmarkSeeds(b *testing.B)      { runExhibit(b, "seeds") }

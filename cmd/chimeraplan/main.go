@@ -1,0 +1,116 @@
+// Command chimeraplan runs Chimera's preemption selection (Algorithm 1)
+// over a scheduler snapshot supplied as JSON — the decision core as a
+// standalone tool.
+//
+// Usage:
+//
+//	chimeraplan < snapshot.json
+//	chimeraplan -i snapshot.json -text
+//	chimeraplan -example          # print a sample snapshot and exit
+//
+// The snapshot names the victim kernel (either a Table 2 catalog label
+// or explicit context/occupancy/statistics), the latency constraint,
+// the number of SMs wanted, and each SM's resident thread blocks. The
+// output assigns a technique to every block of every selected SM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chimera"
+	"chimera/internal/planio"
+	"chimera/internal/tablefmt"
+)
+
+const exampleSnapshot = `{
+  "constraint_us": 15,
+  "num_preempts": 2,
+  "kernel": {"catalog_label": "BS.0"},
+  "sms": [
+    {"id": 0, "tbs": [
+      {"index": 0, "executed": 2000, "run_cycles": 8000},
+      {"index": 1, "executed": 20000, "run_cycles": 80000},
+      {"index": 2, "executed": 41000, "run_cycles": 164000},
+      {"index": 3, "executed": 30000, "run_cycles": 120000}
+    ]},
+    {"id": 1, "tbs": [
+      {"index": 4, "executed": 35000, "run_cycles": 140000},
+      {"index": 5, "executed": 38000, "run_cycles": 152000},
+      {"index": 6, "executed": 40000, "run_cycles": 160000},
+      {"index": 7, "executed": 39000, "run_cycles": 156000}
+    ]},
+    {"id": 2, "tbs": [
+      {"index": 8, "executed": 22000, "run_cycles": 88000},
+      {"index": 9, "executed": 25000, "run_cycles": 100000},
+      {"index": 10, "executed": 21000, "run_cycles": 84000},
+      {"index": 11, "executed": 26000, "run_cycles": 104000}
+    ]}
+  ]
+}`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "chimeraplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against explicit streams (testable main body).
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("chimeraplan", flag.ContinueOnError)
+	input := fs.String("i", "", "snapshot file (default: stdin)")
+	text := fs.Bool("text", false, "print a text table instead of JSON")
+	example := fs.Bool("example", false, "print a sample snapshot and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *example {
+		fmt.Fprintln(stdout, exampleSnapshot)
+		return nil
+	}
+
+	src := stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	cfg := chimera.DefaultConfig()
+	req, in, err := planio.Decode(src, cfg)
+	if err != nil {
+		return err
+	}
+	sel := chimera.Select(req, in)
+
+	if !*text {
+		return planio.Encode(stdout, sel)
+	}
+	t := tablefmt.New("Chimera preemption plan", "SM", "Latency", "Overhead", "Blocks")
+	for _, p := range sel.Plans {
+		blocks := ""
+		for i, tb := range p.TBs {
+			if i > 0 {
+				blocks += " "
+			}
+			blocks += fmt.Sprintf("%d:%v", tb.Index, tb.Technique)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", p.SM),
+			tablefmt.Us(p.LatencyCycles/1400),
+			tablefmt.F(p.OverheadInsts, 0),
+			blocks,
+		)
+	}
+	if sel.Forced > 0 {
+		t.Note = fmt.Sprintf("%d SM(s) selected best-effort: no plan met the constraint", sel.Forced)
+	}
+	return t.Render(stdout)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExampleRoundTrip(t *testing.T) {
+	// The -example snapshot must itself be a valid input.
+	var example strings.Builder
+	if err := run([]string{"-example"}, strings.NewReader(""), &example); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(example.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	var plans []map[string]interface{}
+	if err := json.Unmarshal([]byte(out.String()), &plans); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(plans) != 2 {
+		t.Errorf("selected %d SMs, want 2", len(plans))
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var example strings.Builder
+	if err := run([]string{"-example"}, strings.NewReader(""), &example); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-text"}, strings.NewReader(example.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Chimera preemption plan", "Flush", "SM"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("text output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("{not json"), &strings.Builder{}); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if err := run([]string{"-i", "/nonexistent/file"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

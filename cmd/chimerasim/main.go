@@ -1,0 +1,125 @@
+// Command chimerasim regenerates the tables and figures of the Chimera
+// paper (ASPLOS 2015) from the simulator.
+//
+// Usage:
+//
+//	chimerasim [flags] <experiment>...
+//	chimerasim [flags] all
+//	chimerasim list
+//
+// Experiments: table1 table2 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11
+// allpairs ablation.
+//
+// Flags:
+//
+//	-quick          use the fast, low-fidelity scale
+//	-seed N         RNG seed (default 1)
+//	-periodic-us N  simulated µs per periodic-task run
+//	-pair-us N      simulated µs per pairwise run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chimera"
+	"chimera/internal/viz"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the fast, low-fidelity scale")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	chart := flag.Bool("chart", false, "render results as terminal bar charts where possible")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	periodicUs := flag.Float64("periodic-us", 0, "simulated µs per periodic-task run (0 = preset)")
+	pairUs := flag.Float64("pair-us", 0, "simulated µs per pairwise run (0 = preset)")
+	verbose := flag.Bool("v", false, "print per-experiment timing")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	scale := chimera.DefaultScale()
+	if *quick {
+		scale = chimera.QuickScale()
+	}
+	scale.Seed = *seed
+	if *periodicUs > 0 {
+		scale.PeriodicWindow = chimera.Microseconds(*periodicUs)
+	}
+	if *pairUs > 0 {
+		scale.PairWindow = chimera.Microseconds(*pairUs)
+		scale.AllPairsWindow = chimera.Microseconds(*pairUs)
+	}
+
+	var names []string
+	for _, a := range args {
+		switch a {
+		case "list":
+			fmt.Println(strings.Join(chimera.ExperimentNames(), "\n"))
+			return
+		case "all":
+			names = chimera.ExperimentNames()
+		default:
+			names = append(names, a)
+		}
+	}
+
+	var collected []*chimera.ResultTable
+	for _, name := range names {
+		start := time.Now()
+		tables, err := chimera.RunExperiment(name, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chimerasim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		switch {
+		case *jsonOut:
+			collected = append(collected, tables...)
+		case *chart:
+			for _, t := range tables {
+				if out, ok := viz.TableChart(t, 40); ok {
+					fmt.Println(out)
+					continue
+				}
+				if err := t.Render(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "chimerasim: %s: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+		default:
+			if err := chimera.RenderTables(os.Stdout, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "chimerasim: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *jsonOut {
+		if err := chimera.RenderTablesJSON(os.Stdout, collected); err != nil {
+			fmt.Fprintf(os.Stderr, "chimerasim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `chimerasim regenerates the Chimera paper's tables and figures.
+
+usage: chimerasim [flags] <experiment>...|all|list
+
+experiments: %s
+
+flags:
+`, strings.Join(chimera.ExperimentNames(), " "))
+	flag.PrintDefaults()
+}

@@ -1,0 +1,141 @@
+// Command idemscan is the compiler side of Chimera as a tool: it runs
+// the idempotence analysis (§2.3) and the notification-store
+// instrumentation pass (§3.4) over the Table 2 kernel catalog, and
+// optionally prints program listings and warp-level timing estimates.
+//
+// Usage:
+//
+//	idemscan                      # analysis summary for all 27 kernels
+//	idemscan BS.0 NW.0            # only the named kernels
+//	idemscan -disasm NW.0         # with instrumented program listing
+//	idemscan -warp                # add warp-level CPI from the SM model
+//	idemscan -f mykernel.kir      # analyze a kernel written in the
+//	                              # textual IR (see docs/kir-format.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chimera"
+	"chimera/internal/kernelir"
+	"chimera/internal/smsim"
+	"chimera/internal/tablefmt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "idemscan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// entry is one kernel to scan: a catalog entry or a parsed source file.
+type entry struct {
+	label string
+	prog  *kernelir.Program
+	res   kernelir.Result
+}
+
+// run executes the tool against an explicit output stream (testable
+// main body).
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("idemscan", flag.ContinueOnError)
+	disasm := fs.Bool("disasm", false, "print the instrumented program listing")
+	warp := fs.Bool("warp", false, "run each kernel through the warp-level SM model and report CPI")
+	sample := fs.Int64("sample", 4096, "instructions per warp to sample in warp-level runs")
+	var files fileList
+	fs.Var(&files, "f", "kernel source file in the textual IR (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cat := chimera.Catalog()
+	labels := fs.Args()
+	if len(labels) == 0 && len(files) == 0 {
+		labels = cat.Labels()
+	}
+
+	var entries []entry
+	for _, label := range labels {
+		spec, err := cat.Kernel(label)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry{label: label, prog: spec.Program, res: spec.Analysis})
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		prog, err := kernelir.Parse(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		res, err := kernelir.Analyze(prog)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		entries = append(entries, entry{label: prog.Name, prog: prog, res: res})
+	}
+
+	cols := []string{"Kernel", "Insts/warp", "Idempotent", "Breach@", "BreachOp", "Notifies"}
+	if *warp {
+		cols = append(cols, "WarpCPI", "Stall%")
+	}
+	t := tablefmt.New("Idempotence scan", cols...)
+
+	for _, e := range entries {
+		label, res := e.label, e.res
+		inst := kernelir.Instrument(e.prog)
+		idem, breach, op := "yes", "-", "-"
+		if !res.StrictIdempotent {
+			idem = "no"
+			breach = tablefmt.Pct(res.BreachFraction())
+			op = res.BreachOp
+		}
+		row := []string{
+			label,
+			fmt.Sprintf("%d", res.Insts),
+			idem,
+			breach,
+			op,
+			fmt.Sprintf("%d", inst.NotifyCount),
+		}
+		if *warp {
+			cfg := smsim.DefaultConfig()
+			cfg.MaxInstsPerWarp = *sample
+			wres, err := smsim.Run(e.prog, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			stall := 0.0
+			if wres.Cycles > 0 {
+				stall = float64(wres.IssueStallCycles) / float64(wres.Cycles)
+			}
+			row = append(row, tablefmt.F(wres.CPI(), 2), tablefmt.Pct(stall))
+		}
+		t.AddRow(row...)
+
+		if *disasm {
+			fmt.Fprintln(stdout, kernelir.DisassembleString(inst.Program))
+		}
+	}
+	return t.Render(stdout)
+}
+
+// fileList collects repeated -f flags.
+type fileList []string
+
+// String implements flag.Value.
+func (f *fileList) String() string { return fmt.Sprint([]string(*f)) }
+
+// Set implements flag.Value by appending the path.
+func (f *fileList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}

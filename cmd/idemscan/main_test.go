@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScanCatalog(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"BS.0", "MUM.0", "ST.0", "Idempotence scan"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("catalog scan missing %q", want)
+		}
+	}
+	if strings.Count(got, "\n") < 28 {
+		t.Errorf("catalog scan too short:\n%s", got)
+	}
+}
+
+func TestScanNamedKernelWithWarp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-warp", "-sample", "512", "NW.0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "NW.0") || !strings.Contains(got, "WarpCPI") {
+		t.Errorf("warp scan output wrong:\n%s", got)
+	}
+	if strings.Contains(got, "BS.0") {
+		t.Error("unnamed kernels leaked into a filtered scan")
+	}
+}
+
+func TestScanSourceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.kir")
+	src := ".kernel mykernel\nld global:y[t]\nalu x2\nst global:y[t]\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-f", path, "-disasm"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"mykernel", "no", "st y[t]", "notify"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("source scan missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	if err := run([]string{"NOPE.0"}, &strings.Builder{}); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if err := run([]string{"-f", "/nonexistent.kir"}, &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.kir")
+	if err := os.WriteFile(bad, []byte("frobnicate\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", bad}, &strings.Builder{}); err == nil {
+		t.Error("unparseable file accepted")
+	}
+}

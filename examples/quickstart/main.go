@@ -1,0 +1,102 @@
+// Quickstart: drive Chimera's decision core directly, then watch the
+// same decisions play out inside the full multitasking simulator.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chimera"
+)
+
+func main() {
+	// --- Part 1: Algorithm 1 on a hand-built snapshot -----------------
+	//
+	// One SM of the Table 1 device runs four thread blocks of
+	// BlackScholes (strictly idempotent, ~42.6k warp instructions per
+	// block) at different progress points. Ask Chimera to free the SM
+	// within 15µs.
+	cfg := chimera.DefaultConfig()
+	spec := chimera.Catalog().MustKernel("BS.0")
+	params := spec.Params
+
+	est := chimera.KernelEstimate{
+		AvgInstsPerTB:    float64(params.InstsPerTB),
+		HasInsts:         true,
+		AvgCPI:           params.BaseCPI,
+		HasCPI:           true,
+		SMIPC:            params.SMIPC(),
+		HasIPC:           true,
+		SMSwitchCycles:   params.SwitchCycles(cfg),
+		TBSwitchCycles:   params.TBSwitchCycles(cfg),
+		StrictIdempotent: params.StrictIdempotent,
+	}
+	sm := chimera.SMSnapshot{SM: 0}
+	for i, progress := range []float64{0.05, 0.40, 0.70, 0.97} {
+		executed := int64(progress * float64(params.InstsPerTB))
+		sm.TBs = append(sm.TBs, chimera.TBSnapshot{
+			Index:     i,
+			Executed:  executed,
+			RunCycles: chimera.Cycles(float64(executed) * params.BaseCPI),
+		})
+	}
+
+	constraint := float64(chimera.Microseconds(15))
+	plan := chimera.PlanSM(sm, est, constraint, chimera.EstimateOptions{Relaxed: true})
+	fmt.Println("Per-block decisions for one BS.0 SM under a 15µs constraint:")
+	for i, tb := range plan.TBs {
+		fmt.Printf("  block %d at %4.0f%% progress -> %-6v (est. overhead %8.0f insts, latency %6.1fµs)\n",
+			tb.Index, 100*float64(sm.TBs[i].Executed)/float64(params.InstsPerTB),
+			tb.Technique, tb.Cost.OverheadInsts, tb.Cost.LatencyCycles/1400)
+	}
+	fmt.Printf("  => SM hand-over in %.1fµs, total overhead %.0f warp insts\n\n",
+		plan.LatencyCycles/1400, plan.OverheadInsts)
+
+	// --- Part 2: the same policy inside the full simulator ------------
+	//
+	// BlackScholes shares the GPU with HotSpot under Chimera; HotSpot's
+	// arrival forces a preemption of half the machine.
+	sim := chimera.NewSimulation(chimera.SimOptions{
+		Policy:     chimera.ChimeraPolicy{},
+		Constraint: chimera.Microseconds(15),
+		Seed:       42,
+		WarmStats:  true,
+	})
+	cat := chimera.Catalog()
+	addBenchmark(sim, cat, "BS")
+	addBenchmark(sim, cat, "HS")
+	sim.Run(chimera.Microseconds(4000))
+
+	fmt.Println("Simulated 4ms of BS + HS under Chimera:")
+	fmt.Printf("  BS useful insts: %d\n", sim.ProcessUseful("BS"))
+	fmt.Printf("  HS useful insts: %d\n", sim.ProcessUseful("HS"))
+	reqs := sim.Requests()
+	fmt.Printf("  preemption requests: %d\n", len(reqs))
+	for i, r := range reqs {
+		if i == 3 {
+			fmt.Printf("  ... (%d more)\n", len(reqs)-3)
+			break
+		}
+		mix := r.Mix()
+		fmt.Printf("  request @%v: victim=%s SMs=%d latency=%v mix{switch:%d drain:%d flush:%d}\n",
+			r.At, r.Victim, r.NumSMs, r.LatencyCycles, mix[chimera.Switch], mix[chimera.Drain], mix[chimera.Flush])
+	}
+}
+
+func addBenchmark(sim *chimera.Simulation, cat *chimera.WorkloadCatalog, name string) {
+	b, err := cat.Benchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var launches []chimera.LaunchSpec
+	for _, l := range b.Launches {
+		spec, err := cat.Kernel(l.Label)
+		if err != nil {
+			log.Fatal(err)
+		}
+		launches = append(launches, chimera.LaunchSpec{Params: spec.Params, Grid: l.Grid})
+	}
+	sim.AddProcess(chimera.ProcessSpec{Name: name, Launches: launches, Loop: true})
+}

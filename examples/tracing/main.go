@@ -1,0 +1,92 @@
+// Tracing: watch Chimera's decisions happen. A trace recorder is
+// attached to the simulator while a benchmark is preempted by the
+// periodic real-time task; the example prints the event timeline around
+// the first preemption request and a technique summary for the run.
+//
+// Run with: go run ./examples/tracing [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"chimera"
+)
+
+func main() {
+	bench := "SAD"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	ring := chimera.NewTraceRing(100000)
+	sim := chimera.NewSimulation(chimera.SimOptions{
+		Policy:     chimera.ChimeraPolicy{},
+		Constraint: chimera.Microseconds(15),
+		Seed:       7,
+		WarmStats:  true,
+		Tracer:     ring,
+	})
+
+	cat := chimera.Catalog()
+	b, err := cat.Benchmark(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var launches []chimera.LaunchSpec
+	for _, l := range b.Launches {
+		spec := cat.MustKernel(l.Label)
+		launches = append(launches, chimera.LaunchSpec{Params: spec.Params, Grid: l.Grid})
+	}
+	sim.AddProcess(chimera.ProcessSpec{Name: bench, Launches: launches, Loop: true})
+	sim.AddPeriodicTask(chimera.PeriodicSpec{
+		Period: chimera.Microseconds(1000),
+		Exec:   chimera.Microseconds(200),
+		SMs:    15,
+	})
+	sim.Run(chimera.Microseconds(5000))
+
+	events := ring.Events()
+	fmt.Printf("Recorded %d events over 5ms of %s under Chimera.\n\n", len(events), bench)
+
+	// Show the timeline around the first preemption request.
+	for i, e := range events {
+		if e.Kind != chimera.TraceRequest {
+			continue
+		}
+		fmt.Println("Timeline around the first preemption request:")
+		lo, hi := i-2, i+18
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(events) {
+			hi = len(events)
+		}
+		for _, ev := range events[lo:hi] {
+			fmt.Println(" ", ev)
+		}
+		fmt.Println("  ...")
+		break
+	}
+
+	fmt.Println("\nEvent summary:")
+	counts := ring.Counts()
+	summary := []struct {
+		kind  chimera.TraceEvent
+		label string
+	}{
+		{chimera.TraceEvent{Kind: chimera.TraceKernelLaunch}, "kernel launches"},
+		{chimera.TraceEvent{Kind: chimera.TraceKernelFinish}, "kernel completions"},
+		{chimera.TraceEvent{Kind: chimera.TraceRequest}, "preemption requests"},
+		{chimera.TraceEvent{Kind: chimera.TraceFlushTB}, "blocks flushed"},
+		{chimera.TraceEvent{Kind: chimera.TraceDrainTB}, "blocks drained"},
+		{chimera.TraceEvent{Kind: chimera.TraceSaveTB}, "blocks context-saved"},
+		{chimera.TraceEvent{Kind: chimera.TraceRestoreTB}, "blocks restored"},
+		{chimera.TraceEvent{Kind: chimera.TraceHandover}, "SM handovers"},
+		{chimera.TraceEvent{Kind: chimera.TraceDeadlineMiss}, "deadline misses"},
+	}
+	for _, row := range summary {
+		fmt.Printf("  %-22s %d\n", row.label, counts[row.kind.Kind])
+	}
+}

@@ -1,0 +1,75 @@
+package chimera
+
+import (
+	"io"
+
+	"chimera/internal/experiments"
+	"chimera/internal/tablefmt"
+	"chimera/internal/workloads"
+)
+
+// Experiment harness --------------------------------------------------------
+
+// Scale sets the simulated durations of the evaluation runs.
+type Scale = experiments.Scale
+
+// DefaultScale is the scale the recorded EXPERIMENTS.md results use;
+// QuickScale is a fast smoke-test preset.
+func DefaultScale() Scale { return experiments.DefaultScale() }
+
+// QuickScale returns the fast preset for tests and demos.
+func QuickScale() Scale { return experiments.QuickScale() }
+
+// ResultTable is a printable experiment result.
+type ResultTable = tablefmt.Table
+
+// ExperimentNames lists the regenerable exhibits (table1, table2, fig2,
+// fig3, fig6-fig11, allpairs, ablation) in the paper's order.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(name string, s Scale) ([]*ResultTable, error) {
+	return experiments.Run(name, s)
+}
+
+// RunAllExperiments regenerates every exhibit in order.
+func RunAllExperiments(s Scale) ([]*ResultTable, error) {
+	return experiments.RunAll(s)
+}
+
+// RenderTables writes tables one after another to w.
+func RenderTables(w io.Writer, tables []*ResultTable) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTablesJSON writes tables as a JSON array for plotting pipelines.
+func RenderTablesJSON(w io.Writer, tables []*ResultTable) error {
+	return tablefmt.WriteJSON(w, tables)
+}
+
+// Scenario runners -----------------------------------------------------------
+
+// ScenarioRunner executes the §4.1 periodic-task and §4.4 pair scenarios
+// with memoized stand-alone baselines.
+type ScenarioRunner = workloads.Runner
+
+// PeriodicResult and PairResult are the per-scenario outcomes.
+type (
+	PeriodicResult = workloads.PeriodicResult
+	PairResult     = workloads.PairResult
+)
+
+// NewScenarioRunner builds a runner with the given simulation window,
+// preemption latency constraint and seed.
+func NewScenarioRunner(window, constraint Cycles, seed uint64) (*ScenarioRunner, error) {
+	return workloads.NewRunner(window, constraint, seed)
+}
+
+// StandardPolicies returns the §4 contenders: Switch, Drain, Flush,
+// Chimera.
+func StandardPolicies() []Policy { return workloads.StandardPolicies() }

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"testing"
+
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+// contentionRun executes the §4.1 scenario under the switch baseline
+// with the given contention beta and returns the benchmark's useful
+// instructions.
+func contentionRun(t *testing.T, beta float64, seed uint64) int64 {
+	t.Helper()
+	a := tinyKernel("A", 200000, 6, 0.1, 4, 960, 1)
+	sim := New(Options{
+		Policy:         FixedPolicy{Technique: preempt.Switch},
+		Constraint:     units.FromMicroseconds(30),
+		Seed:           seed,
+		WarmStats:      true,
+		ContentionBeta: beta,
+	})
+	sim.AddProcess(ProcessSpec{Name: "PA", Launches: []LaunchSpec{a}, Loop: true})
+	sim.AddPeriodicTask(PeriodicSpec{Period: units.FromMicroseconds(1000), Exec: units.FromMicroseconds(200), SMs: 15})
+	sim.Run(units.FromMicroseconds(30_000))
+	return sim.ProcessUseful("PA")
+}
+
+func TestContentionSlowsVictims(t *testing.T) {
+	base := contentionRun(t, 0, 21)
+	contended := contentionRun(t, 2, 21)
+	if contended >= base {
+		t.Errorf("contention beta=2 useful %d not below beta=0 %d", contended, base)
+	}
+	// The effect should be a perturbation, not a collapse: the transfer
+	// windows cover only a small fraction of each period.
+	if contended < base*80/100 {
+		t.Errorf("contention cost implausibly large: %d vs %d", contended, base)
+	}
+}
+
+func TestContentionNoTransfersNoEffect(t *testing.T) {
+	// A solo run never transfers context, so the model must be inert
+	// regardless of beta.
+	run := func(beta float64) int64 {
+		a := tinyKernel("A", 50000, 4, 0.2, 4, 480, 1)
+		sim := New(Options{Policy: ChimeraPolicy{}, Seed: 22, WarmStats: true, ContentionBeta: beta})
+		sim.AddProcess(ProcessSpec{Name: "PA", Launches: []LaunchSpec{a}})
+		sim.Run(units.FromMicroseconds(200_000))
+		return sim.ProcessUseful("PA")
+	}
+	if a, b := run(0), run(3); a != b {
+		t.Errorf("contention changed a transfer-free run: %d vs %d", a, b)
+	}
+}
+
+func TestContentionConservation(t *testing.T) {
+	// Slowdown must never lose or duplicate work: finite kernels still
+	// complete exactly.
+	a := tinyKernel("A", 20000, 4, 0.2, 4, 240, 1)
+	b := tinyKernel("B", 5000, 3, 0.2, 6, 360, 1)
+	sim := New(Options{
+		Policy:         FixedPolicy{Technique: preempt.Switch},
+		Constraint:     units.FromMicroseconds(30),
+		Seed:           23,
+		WarmStats:      true,
+		ContentionBeta: 1.5,
+	})
+	sim.AddProcess(ProcessSpec{Name: "PA", Launches: []LaunchSpec{a}})
+	sim.AddProcess(ProcessSpec{Name: "PB", Launches: []LaunchSpec{b}})
+	sim.Run(units.FromMicroseconds(2_000_000))
+
+	if got := sim.ProcessUseful("PA"); got != 240*20000 {
+		t.Errorf("A useful = %d, want %d", got, 240*20000)
+	}
+	if got := sim.ProcessUseful("PB"); got != 360*5000 {
+		t.Errorf("B useful = %d, want %d", got, 360*5000)
+	}
+	if w := sim.ProcessWasted("PA") + sim.ProcessWasted("PB"); w != 0 {
+		t.Errorf("switch under contention wasted %d", w)
+	}
+}
+
+func TestContentionFactor(t *testing.T) {
+	sim := New(Options{ContentionBeta: 1})
+	if f := sim.contentionFactor(); f != 1 {
+		t.Errorf("idle factor = %v", f)
+	}
+	sim.activeTransfers = 15
+	if f := sim.contentionFactor(); f != 1.5 {
+		t.Errorf("factor at 15 streams = %v, want 1.5", f)
+	}
+	sim.opts.ContentionBeta = 0
+	if f := sim.contentionFactor(); f != 1 {
+		t.Errorf("disabled factor = %v", f)
+	}
+}

@@ -1,0 +1,717 @@
+// Package engine is the discrete-event GPU multitasking simulator — the
+// substrate standing in for GPGPU-Sim (§4). It executes kernels at
+// thread-block granularity on a configurable number of SMs, implements
+// the two-level scheduler of Figure 5 (a kernel scheduler computing
+// SM-to-kernel mappings and issuing preemption requests, and a thread
+// block scheduler dispatching and preempting blocks), and carries out
+// preemption plans produced by a Policy (Chimera or the single-technique
+// baselines).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"chimera/internal/core"
+	"chimera/internal/eventq"
+	"chimera/internal/gpu"
+	"chimera/internal/rng"
+	"chimera/internal/sched"
+	"chimera/internal/trace"
+	"chimera/internal/units"
+)
+
+type eventQueue = eventq.Queue
+
+// LaunchSpec is one kernel launch within a process's command stream.
+type LaunchSpec struct {
+	Params gpu.KernelParams
+	Grid   int
+}
+
+// ProcessSpec describes one GPGPU application: kernels launched back to
+// back (each waits for the previous, as host code does). With Loop set
+// the sequence restarts when exhausted — the paper restarts finished
+// benchmarks so the last one never runs alone (§4.4).
+type ProcessSpec struct {
+	Name     string
+	Launches []LaunchSpec
+	Loop     bool
+	// Weight scales the process's SM share under the partitioning
+	// policy (weighted max-min; 0 means 1 — the paper's even split).
+	Weight int
+	// Priority raises the process above others; its demand is satisfied
+	// fully before lower priorities see SMs. The periodic real-time task
+	// always outranks every process.
+	Priority int
+}
+
+// Options configures a simulation.
+type Options struct {
+	Config gpu.Config
+	// Policy executes preemption requests; nil means no preemptive
+	// multitasking is available (combine with Serial for the FCFS
+	// baseline).
+	Policy Policy
+	// Constraint is the preemption latency bound attached to every
+	// request.
+	Constraint units.Cycles
+	// Headroom tightens the bound the policy *plans* against without
+	// changing the deadline requests are *judged* against: plans target
+	// Constraint−Headroom so small estimation errors still land inside
+	// the constraint — the mitigation §4.1 suggests for Chimera's
+	// residual drain-misestimation misses.
+	Headroom units.Cycles
+	// Seed drives all stochastic choices (per-block CPI samples).
+	Seed uint64
+	// Serial switches to the non-preemptive FCFS baseline: kernels run
+	// one at a time, whole-GPU, in launch order (§4.4).
+	Serial bool
+	// WarmStats seeds each kernel's measured statistics with one
+	// synthetic completed thread block at the kernel's mean timing. The
+	// paper's runs restart benchmarks until a billion instructions, so
+	// its measurements are of steady state; without warm statistics a
+	// long-block kernel whose blocks are preempted before ever
+	// completing would keep the estimator on its conservative maximum
+	// forever — a cold-start artifact, not a phenomenon the paper
+	// evaluates. Leave false to study the cold-start behaviour itself.
+	WarmStats bool
+	// Tracer, when set, receives the simulation's observable events
+	// (launches, requests, per-block preemptions, handovers, deadline
+	// outcomes).
+	Tracer trace.Recorder
+	// ContentionBeta enables the memory-bandwidth contention extension
+	// (contention.go): context save/restore traffic slows running
+	// blocks by 1 + beta×streams/NumSMs. Zero reproduces the paper's
+	// own methodology, which ignores the effect and is "rather
+	// optimistic" for context switching (§4).
+	ContentionBeta float64
+}
+
+// Simulation is one configured simulation run.
+type Simulation struct {
+	cfg  gpu.Config
+	opts Options
+	q    eventq.Queue
+
+	sms  []*smUnit
+	free []*smUnit
+
+	processes []*process
+	active    []*kernelInstance
+	serialQ   []*kernelInstance
+
+	statsByLabel map[string]*gpu.KernelStats
+	requests     []*RequestRecord
+	periodic     *periodicTask
+
+	nextKID gpu.KernelID
+	arrival int
+	rnd     *rng.Source
+
+	rebalancing    bool
+	rebalanceAgain bool
+	started        bool
+
+	// activeTransfers counts in-flight context save/restore streams for
+	// the contention model.
+	activeTransfers int
+}
+
+// process drives one application's launch stream and accumulates its
+// throughput accounting.
+type process struct {
+	sim  *Simulation
+	name string
+	spec ProcessSpec
+
+	idx      int
+	current  *kernelInstance
+	launches int
+
+	issued int64
+	wasted int64
+}
+
+func (p *process) addIssued(n int64) { p.issued += n }
+func (p *process) addWasted(n int64) { p.wasted += n }
+
+// useful is the process's credited forward progress in warp instructions.
+func (p *process) useful() int64 { return p.issued - p.wasted }
+
+// advance launches the process's next kernel, if any.
+func (p *process) advance(now units.Cycles) {
+	if p.current != nil && !p.current.done {
+		return
+	}
+	p.current = nil
+	if p.idx >= len(p.spec.Launches) {
+		if !p.spec.Loop {
+			return
+		}
+		p.idx = 0
+	}
+	l := p.spec.Launches[p.idx]
+	p.idx++
+	p.launches++
+	p.current = p.sim.launchKernel(p, l, p.spec.Priority, now)
+}
+
+// New creates a simulation. Options.Config zero-value falls back to the
+// Table 1 default.
+func New(opts Options) *Simulation {
+	if opts.Config.NumSMs == 0 {
+		opts.Config = gpu.DefaultConfig()
+	}
+	if err := opts.Config.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Simulation{
+		cfg:          opts.Config,
+		opts:         opts,
+		statsByLabel: make(map[string]*gpu.KernelStats),
+		rnd:          rng.New(opts.Seed ^ 0xc0ffee),
+	}
+	for i := 0; i < s.cfg.NumSMs; i++ {
+		sm := &smUnit{id: gpu.SMID(i), sim: s}
+		s.sms = append(s.sms, sm)
+		s.free = append(s.free, sm)
+	}
+	return s
+}
+
+// AddProcess registers an application. Must be called before Run.
+func (s *Simulation) AddProcess(spec ProcessSpec) {
+	if s.started {
+		panic("engine: AddProcess after Run")
+	}
+	if len(spec.Launches) == 0 {
+		panic("engine: process with no launches")
+	}
+	s.processes = append(s.processes, &process{sim: s, name: spec.Name, spec: spec})
+}
+
+// emit records a trace event when tracing is enabled.
+func (s *Simulation) emit(e trace.Event) {
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Record(e)
+	}
+}
+
+// statsFor returns the shared per-kernel statistics record.
+func (s *Simulation) statsFor(label string) *gpu.KernelStats {
+	st, ok := s.statsByLabel[label]
+	if !ok {
+		st = &gpu.KernelStats{}
+		s.statsByLabel[label] = st
+	}
+	return st
+}
+
+// launchKernel creates and activates a kernel instance.
+func (s *Simulation) launchKernel(p *process, l LaunchSpec, priority int, now units.Cycles) *kernelInstance {
+	if l.Grid <= 0 {
+		panic(fmt.Sprintf("engine: %s: launch with grid %d", l.Params.Label, l.Grid))
+	}
+	k := &kernelInstance{
+		id:          s.nextKID,
+		params:      l.Params,
+		process:     p,
+		grid:        l.Grid,
+		launchedAt:  now,
+		priority:    priority,
+		arrival:     s.arrival,
+		outstanding: l.Grid,
+		sms:         make(map[gpu.SMID]*smUnit),
+		stats:       s.statsFor(l.Params.Label),
+		rng:         s.rnd.Split(),
+	}
+	s.nextKID++
+	s.arrival++
+	if s.opts.WarmStats && k.stats.CompletedTBs == 0 {
+		k.stats.RecordCompletion(l.Params.InstsPerTB, l.Params.TBExecCycles())
+	}
+	s.active = append(s.active, k)
+	if s.opts.Serial {
+		s.serialQ = append(s.serialQ, k)
+	}
+	s.emit(trace.Event{At: now, Kind: trace.KernelLaunch, Kernel: k.params.Label, SM: -1, TB: -1,
+		Detail: fmt.Sprintf("grid=%d", l.Grid)})
+	s.rebalance(now)
+	return k
+}
+
+// flushLegal reports whether a block may be flushed right now under the
+// active policy's idempotence condition.
+func (s *Simulation) flushLegal(tb *threadBlock, now units.Cycles) bool {
+	if s.opts.Policy != nil && !s.opts.Policy.Relaxed() {
+		return tb.kernel.params.StrictIdempotent
+	}
+	return !tb.breachedAt(now)
+}
+
+// tbComplete handles a thread block finishing.
+func (s *Simulation) tbComplete(tb *threadBlock, now units.Cycles) {
+	k := tb.kernel
+	sm := tb.sm
+	tb.sync(now)
+	tb.phase = tbDone
+	tb.doneEv = nil
+	s.q.Cancel(tb.breachEv)
+	tb.breachEv = nil
+	k.stats.RecordCompletion(tb.insts, tb.runCycles)
+	sm.removeResident(tb, now)
+	tb.sm = nil
+	k.outstanding--
+	wasDraining := tb.draining
+
+	if wasDraining {
+		sm.drainedComplete(now)
+	}
+	if k.outstanding == 0 {
+		s.kernelFinished(k, now)
+		return
+	}
+	if !wasDraining && sm.handover == nil && sm.kernel == k {
+		sm.fill(now)
+	}
+}
+
+// kernelFinished retires a completed kernel, frees its SMs and lets its
+// process launch the next one.
+func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
+	k.done = true
+	k.finishedAt = now
+	if len(k.pendingQ) != 0 {
+		panic(fmt.Sprintf("engine: %s done with %d queued blocks", k.params.Label, len(k.pendingQ)))
+	}
+	for _, sm := range k.sms {
+		if sm.handover != nil || len(sm.resident) != 0 {
+			panic(fmt.Sprintf("engine: %s done with busy SM%d", k.params.Label, sm.id))
+		}
+		sm.kernel = nil
+		sm.restoreTail = 0
+		s.free = append(s.free, sm)
+	}
+	k.sms = make(map[gpu.SMID]*smUnit)
+	s.emit(trace.Event{At: now, Kind: trace.KernelFinish, Kernel: k.params.Label, SM: -1, TB: -1})
+	s.removeActive(k)
+	if k.process != nil {
+		k.process.advance(now)
+	}
+	s.rebalance(now)
+}
+
+// killKernel aborts a kernel (missed real-time deadline): running blocks
+// stop, its SMs free, in-flight handovers destined to it cancel.
+func (s *Simulation) killKernel(k *kernelInstance, now units.Cycles) {
+	k.done = true
+	k.finishedAt = now
+	for _, sm := range k.sms {
+		for _, tb := range append([]*threadBlock(nil), sm.resident...) {
+			tb.sync(now)
+			tb.cancelEvents(&s.q)
+			tb.phase = tbDone
+			sm.removeResident(tb, now)
+			tb.sm = nil
+		}
+		sm.kernel = nil
+		sm.restoreTail = 0
+		s.free = append(s.free, sm)
+	}
+	k.sms = make(map[gpu.SMID]*smUnit)
+	k.pendingQ = nil
+	s.emit(trace.Event{At: now, Kind: trace.KernelKill, Kernel: k.params.Label, SM: -1, TB: -1})
+	// Abort preemptions still working on this kernel's behalf.
+	for _, sm := range s.sms {
+		if sm.handover != nil && sm.handover.req.requester == k {
+			sm.cancelHandover(now)
+		}
+	}
+	s.removeActive(k)
+	s.rebalance(now)
+}
+
+func (s *Simulation) removeActive(k *kernelInstance) {
+	for i, a := range s.active {
+		if a == k {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseSM returns an SM whose kernel has nothing left to run on it.
+func (s *Simulation) releaseSM(sm *smUnit, now units.Cycles) {
+	if sm.kernel != nil {
+		delete(sm.kernel.sms, sm.id)
+		sm.kernel = nil
+	}
+	sm.restoreTail = 0
+	s.free = append(s.free, sm)
+	s.rebalance(now)
+}
+
+// assignSM hands an SM to a kernel and starts dispatching.
+func (s *Simulation) assignSM(sm *smUnit, k *kernelInstance, now units.Cycles) {
+	sm.kernel = k
+	sm.restoreTail = 0
+	k.sms[sm.id] = sm
+	sm.fill(now)
+}
+
+// freeSM puts an SM into the free pool and rebalances.
+func (s *Simulation) freeSM(sm *smUnit, now units.Cycles) {
+	sm.kernel = nil
+	sm.restoreTail = 0
+	s.free = append(s.free, sm)
+	s.rebalance(now)
+}
+
+// popFree removes and returns one free SM (nil when none).
+func (s *Simulation) popFree() *smUnit {
+	n := len(s.free)
+	if n == 0 {
+		return nil
+	}
+	sm := s.free[n-1]
+	s.free = s.free[:n-1]
+	return sm
+}
+
+// rebalance recomputes the SM-to-kernel mapping and issues any needed
+// preemption requests. Re-entrant calls (triggered by synchronous
+// handovers inside the rebalance itself) coalesce into another pass.
+func (s *Simulation) rebalance(now units.Cycles) {
+	if s.rebalancing {
+		s.rebalanceAgain = true
+		return
+	}
+	s.rebalancing = true
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			s.dumpState(now)
+			panic("engine: rebalance did not converge")
+		}
+		s.rebalanceAgain = false
+		s.rebalanceOnce(now)
+		if !s.rebalanceAgain {
+			break
+		}
+	}
+	s.rebalancing = false
+}
+
+func (s *Simulation) rebalanceOnce(now units.Cycles) {
+	if s.opts.Serial {
+		s.rebalanceSerial(now)
+		return
+	}
+	if len(s.active) == 0 {
+		return
+	}
+	// SM partitioning policy (orthogonal to preemption, §3.1).
+	demands := make([]sched.Demand, len(s.active))
+	for i, k := range s.active {
+		weight := 0
+		if k.process != nil {
+			weight = k.process.spec.Weight
+		}
+		demands[i] = sched.Demand{Key: i, Want: k.wantSMs(), Priority: k.priority, Arrival: k.arrival, Weight: weight}
+	}
+	targets := sched.Partition(s.cfg.NumSMs, demands)
+
+	// Current effective holdings: stably owned SMs plus incoming
+	// handovers; SMs being handed away no longer count for the victim.
+	cur := make([]int, len(s.active))
+	stable := make([]int, len(s.active))
+	idxOf := make(map[*kernelInstance]int, len(s.active))
+	for i, k := range s.active {
+		idxOf[k] = i
+	}
+	for _, sm := range s.sms {
+		if sm.kernel == nil {
+			continue
+		}
+		ki, ok := idxOf[sm.kernel]
+		if sm.handover == nil {
+			if ok {
+				cur[ki]++
+				stable[ki]++
+			}
+			continue
+		}
+		if to := sm.handover.req.requester; to != nil {
+			if ti, ok := idxOf[to]; ok {
+				cur[ti]++
+			}
+		}
+	}
+
+	order := make([]int, len(s.active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := s.active[order[a]], s.active[order[b]]
+		if ka.priority != kb.priority {
+			return ka.priority > kb.priority
+		}
+		return ka.arrival < kb.arrival
+	})
+
+	// Phase 1: hand out free SMs.
+	for _, i := range order {
+		for cur[i] < targets[i] {
+			sm := s.popFree()
+			if sm == nil {
+				break
+			}
+			cur[i]++
+			stable[i]++
+			s.assignSM(sm, s.active[i], now)
+		}
+	}
+
+	// Phase 2: preempt surpluses for remaining deficits.
+	for _, i := range order {
+		need := targets[i] - cur[i]
+		if need <= 0 {
+			continue
+		}
+		for _, v := range order {
+			if need == 0 {
+				break
+			}
+			if v == i {
+				continue
+			}
+			surplus := cur[v] - targets[v]
+			if surplus > stable[v] {
+				surplus = stable[v]
+			}
+			if surplus <= 0 {
+				continue
+			}
+			n := need
+			if n > surplus {
+				n = surplus
+			}
+			issued := s.issuePreemption(s.active[i], s.active[v], n, now)
+			cur[v] -= issued
+			stable[v] -= issued
+			cur[i] += issued
+			need -= issued
+		}
+	}
+}
+
+// rebalanceSerial implements the non-preemptive FCFS baseline: the
+// oldest unfinished kernel owns the machine alone.
+func (s *Simulation) rebalanceSerial(now units.Cycles) {
+	for len(s.serialQ) > 0 && s.serialQ[0].done {
+		s.serialQ = s.serialQ[1:]
+	}
+	if len(s.serialQ) == 0 {
+		return
+	}
+	head := s.serialQ[0]
+	for len(head.sms) < head.wantSMs() {
+		sm := s.popFree()
+		if sm == nil {
+			return
+		}
+		s.assignSM(sm, head, now)
+	}
+}
+
+// issuePreemption asks the policy for plans taking n SMs from victim on
+// behalf of requester, then executes them. It returns the number of SMs
+// actually put into handover.
+func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, now units.Cycles) int {
+	if s.opts.Policy == nil {
+		return 0
+	}
+	var in core.Input
+	for _, id := range sortedSMIDs(victim.sms) {
+		sm := victim.sms[id]
+		if sm.handover != nil {
+			continue
+		}
+		in.SMs = append(in.SMs, sm.snapshot(now))
+	}
+	if len(in.SMs) == 0 {
+		return 0
+	}
+	in.Est = victim.estimate(s.cfg)
+	planningBound := s.opts.Constraint
+	if s.opts.Headroom < planningBound {
+		planningBound -= s.opts.Headroom
+	}
+	req := core.Request{
+		ConstraintCycles: float64(planningBound),
+		NumPreempts:      n,
+	}
+	sel := s.opts.Policy.Select(req, in)
+	if len(sel.Plans) == 0 {
+		return 0
+	}
+	rec := &RequestRecord{
+		At:         now,
+		Constraint: s.opts.Constraint,
+		Victim:     victim.params.Label,
+		Requester:  requester.params.Label,
+		NumSMs:     len(sel.Plans),
+		Forced:     sel.Forced,
+		requester:  requester,
+	}
+	for _, p := range sel.Plans {
+		if p.LatencyCycles > rec.EstLatencyCycles {
+			rec.EstLatencyCycles = p.LatencyCycles
+		}
+	}
+	s.requests = append(s.requests, rec)
+	s.emit(trace.Event{At: now, Kind: trace.Request, Kernel: victim.params.Label, SM: -1, TB: -1,
+		Detail: fmt.Sprintf("by=%s sms=%d forced=%d", requester.params.Label, rec.NumSMs, rec.Forced)})
+	for _, plan := range sel.Plans {
+		s.sms[int(plan.SM)].executePlan(plan, rec, now)
+	}
+	return len(sel.Plans)
+}
+
+func sortedSMIDs(m map[gpu.SMID]*smUnit) []gpu.SMID {
+	ids := make([]gpu.SMID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// Run starts every process at cycle 0 and executes events until the
+// window closes. It may be called once.
+func (s *Simulation) Run(window units.Cycles) {
+	if s.started {
+		panic("engine: Run called twice")
+	}
+	s.started = true
+	for _, p := range s.processes {
+		p.advance(0)
+	}
+	if s.periodic != nil {
+		s.periodic.arm()
+	}
+	s.q.RunUntil(window)
+	// Commit in-flight progress so throughput accounting covers the
+	// whole window.
+	for _, sm := range s.sms {
+		for _, tb := range sm.resident {
+			tb.sync(window)
+		}
+	}
+	if s.periodic != nil {
+		s.periodic.finalize(window)
+	}
+}
+
+// Now returns the current simulation time.
+func (s *Simulation) Now() units.Cycles { return s.q.Now() }
+
+// Requests returns every preemption request issued, in order.
+func (s *Simulation) Requests() []*RequestRecord { return s.requests }
+
+// usefulAt returns a process's credited instructions including the
+// in-flight progress of its running thread blocks up to cycle now —
+// committed counters alone lag by up to one block execution, which
+// would distort per-period throughput metering for long-block kernels.
+func (s *Simulation) usefulAt(p *process, now units.Cycles) int64 {
+	total := p.useful()
+	for _, sm := range s.sms {
+		if sm.kernel == nil || sm.kernel.process != p {
+			continue
+		}
+		for _, tb := range sm.resident {
+			total += tb.executedAt(now) - tb.executed
+		}
+	}
+	return total
+}
+
+// ProcessUseful returns a process's credited instructions (issued minus
+// flush-wasted).
+func (s *Simulation) ProcessUseful(name string) int64 {
+	for _, p := range s.processes {
+		if p.name == name {
+			return p.useful()
+		}
+	}
+	return 0
+}
+
+// ProcessIssued returns a process's raw issued instructions.
+func (s *Simulation) ProcessIssued(name string) int64 {
+	for _, p := range s.processes {
+		if p.name == name {
+			return p.issued
+		}
+	}
+	return 0
+}
+
+// ProcessWasted returns a process's flush-discarded instructions.
+func (s *Simulation) ProcessWasted(name string) int64 {
+	for _, p := range s.processes {
+		if p.name == name {
+			return p.wasted
+		}
+	}
+	return 0
+}
+
+// KernelStatsFor exposes the accumulated statistics of one kernel label.
+func (s *Simulation) KernelStatsFor(label string) *gpu.KernelStats {
+	return s.statsFor(label)
+}
+
+// Config returns the device configuration in use.
+func (s *Simulation) Config() gpu.Config { return s.cfg }
+
+// dumpState prints scheduler state for convergence diagnostics.
+func (s *Simulation) dumpState(now units.Cycles) {
+	fmt.Printf("=== rebalance stuck at %v ===\n", now)
+	for _, k := range s.active {
+		fmt.Printf("kernel %s id=%d prio=%d grid=%d fresh=%d pending=%d outstanding=%d sms=%d want=%d\n",
+			k.params.Label, k.id, k.priority, k.grid, k.nextFresh, len(k.pendingQ), k.outstanding, len(k.sms), k.wantSMs())
+	}
+	fmt.Printf("free=%d\n", len(s.free))
+	for _, sm := range s.sms {
+		owner := "-"
+		if sm.kernel != nil {
+			owner = sm.kernel.params.Label
+		}
+		ho := ""
+		if sm.handover != nil {
+			ho = " HANDOVER"
+			if sm.handover.req.requester != nil {
+				ho += "->" + sm.handover.req.requester.params.Label
+			}
+		}
+		fmt.Printf("  SM%d owner=%s resident=%d%s\n", sm.id, owner, len(sm.resident), ho)
+	}
+}
+
+// SMBusyFraction returns the mean fraction of the run's SM-time during
+// which SMs had at least one resident thread block — the spatial
+// utilization diagnostic (LUD's size-bound launches leave most of the
+// machine idle under FCFS, which is what the §4.4 STP gains reclaim).
+// Call after Run; window is the run's duration.
+func (s *Simulation) SMBusyFraction(window units.Cycles) float64 {
+	if window == 0 {
+		return 0
+	}
+	var busy units.Cycles
+	for _, sm := range s.sms {
+		busy += sm.busyAt(window)
+	}
+	return float64(busy) / (float64(window) * float64(s.cfg.NumSMs))
+}

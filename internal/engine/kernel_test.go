@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"chimera/internal/gpu"
+	"chimera/internal/rng"
+	"chimera/internal/units"
+)
+
+func testInstance(params gpu.KernelParams, grid int) *kernelInstance {
+	return &kernelInstance{
+		params:      params,
+		grid:        grid,
+		outstanding: grid,
+		sms:         make(map[gpu.SMID]*smUnit),
+		stats:       &gpu.KernelStats{},
+		rng:         rng.New(1),
+	}
+}
+
+func testParams() gpu.KernelParams {
+	return gpu.KernelParams{
+		Label: "T", Benchmark: "T", Name: "T",
+		InstsPerTB: 1000, BaseCPI: 4, CPISigma: 0.3,
+		TBsPerSM: 4, ContextBytesPerTB: 8 * units.KB,
+		GridSize: 10, StrictIdempotent: false, BreachFraction: 0.8,
+	}
+}
+
+func TestNextTBSequence(t *testing.T) {
+	k := testInstance(testParams(), 3)
+	var got []int
+	for {
+		tb := k.nextTB()
+		if tb == nil {
+			break
+		}
+		got = append(got, tb.index)
+		if tb.insts != 1000 || tb.breachInst != 800 {
+			t.Errorf("block %d: insts=%d breach=%d", tb.index, tb.insts, tb.breachInst)
+		}
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("fresh sequence = %v", got)
+	}
+}
+
+func TestRequeuePriority(t *testing.T) {
+	k := testInstance(testParams(), 5)
+	first := k.nextTB()
+	k.requeue(first)
+	next := k.nextTB()
+	if next != first {
+		t.Error("preempted block not re-issued first (§3.1)")
+	}
+	if next.phase != tbQueued && next.sm != nil {
+		t.Error("requeue left stale runtime state")
+	}
+}
+
+func TestWantSMs(t *testing.T) {
+	k := testInstance(testParams(), 10) // 10 blocks at 4/SM -> 3 SMs
+	if got := k.wantSMs(); got != 3 {
+		t.Errorf("want = %d, want 3", got)
+	}
+	// Dispatch everything: demand follows the queue down.
+	for k.nextTB() != nil {
+	}
+	if got := k.wantSMs(); got != 0 {
+		t.Errorf("fully dispatched want = %d (no used SMs tracked here)", got)
+	}
+}
+
+func TestSampleCPIStatistics(t *testing.T) {
+	k := testInstance(testParams(), 1)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		cpi := k.sampleCPI()
+		if cpi < 1 || cpi > 32 {
+			t.Fatalf("CPI sample %v outside clamp [1, 32]", cpi)
+		}
+		sum += cpi
+	}
+	if mean := sum / n; math.Abs(mean-4)/4 > 0.05 {
+		t.Errorf("CPI mean = %v, want ≈4", mean)
+	}
+
+	// Zero sigma: exact.
+	p := testParams()
+	p.CPISigma = 0
+	kd := testInstance(p, 1)
+	if cpi := kd.sampleCPI(); cpi != 4 {
+		t.Errorf("sigma=0 CPI = %v", cpi)
+	}
+}
+
+func TestEstimateVisibility(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	k := testInstance(testParams(), 1)
+	est := k.estimate(cfg)
+	if est.HasInsts || est.HasCPI || est.HasIPC || est.HasCycles {
+		t.Error("cold kernel claims measured statistics")
+	}
+	if est.SMSwitchCycles == 0 || est.TBSwitchCycles == 0 {
+		t.Error("static switch timings missing")
+	}
+	if est.StrictIdempotent {
+		t.Error("idempotence flag wrong")
+	}
+
+	k.stats.RecordCompletion(1000, 4000)
+	est = k.estimate(cfg)
+	if !est.HasInsts || !est.HasCPI || !est.HasIPC || !est.HasCycles {
+		t.Error("warm kernel missing statistics")
+	}
+	if est.AvgInstsPerTB != 1000 || est.AvgCPI != 4 || est.AvgCyclesPerTB != 4000 {
+		t.Errorf("averages = %+v", est)
+	}
+	if want := 4.0 / 4.0; est.SMIPC != want {
+		t.Errorf("SMIPC = %v, want %v", est.SMIPC, want)
+	}
+}
+
+func TestThreadBlockProgressMath(t *testing.T) {
+	tb := &threadBlock{insts: 1000, breachInst: 800, cpi: 4, phase: tbRunning, startAt: 100}
+	if got := tb.executedAt(100); got != 0 {
+		t.Errorf("executedAt(start) = %d", got)
+	}
+	if got := tb.executedAt(500); got != 100 {
+		t.Errorf("executedAt(+400cy @CPI4) = %d, want 100", got)
+	}
+	if got := tb.executedAt(1_000_000); got != 1000 {
+		t.Errorf("executedAt(∞) = %d, want clamp at 1000", got)
+	}
+	if tb.breachedAt(500) {
+		t.Error("breached at 10% progress")
+	}
+	if !tb.breachedAt(100 + 800*4) {
+		t.Error("not breached at the breach instruction")
+	}
+	if got := tb.remainingCycles(500); got != 3600 {
+		t.Errorf("remainingCycles = %d, want 3600", got)
+	}
+}
+
+func TestThreadBlockSyncAccounting(t *testing.T) {
+	k := testInstance(testParams(), 1)
+	proc := &process{}
+	k.process = proc
+	tb := &threadBlock{kernel: k, insts: 1000, cpi: 4, phase: tbRunning, startAt: 0}
+	tb.sync(400)
+	if tb.executed != 100 || k.stats.IssuedInsts != 100 || proc.issued != 100 {
+		t.Errorf("sync accounting: executed=%d issued=%d proc=%d", tb.executed, k.stats.IssuedInsts, proc.issued)
+	}
+	if tb.startAt != 400 || tb.runCycles != 400 {
+		t.Errorf("segment bookkeeping: startAt=%v runCycles=%v", tb.startAt, tb.runCycles)
+	}
+	// Frozen blocks must not accrue.
+	tb.frozen = true
+	tb.sync(800)
+	if tb.executed != 100 {
+		t.Error("frozen block accrued progress")
+	}
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+// RequestRecord is the measured outcome of one preemption request: who
+// asked, who was preempted, what Chimera (or the baseline) decided, and
+// how long the handover actually took.
+type RequestRecord struct {
+	// At is the request cycle; Constraint the latency bound it carried.
+	At         units.Cycles
+	Constraint units.Cycles
+
+	// Victim and Requester are kernel labels (for reporting).
+	Victim    string
+	Requester string
+
+	// NumSMs is the number of SMs requested; Forced how many were
+	// selected best-effort after Algorithm 1 found no constraint-meeting
+	// candidate.
+	NumSMs int
+	Forced int
+
+	// EstLatencyCycles is the worst estimated per-SM latency of the
+	// selected plans (what Chimera believed when deciding).
+	EstLatencyCycles float64
+
+	// LatencyCycles is the measured preemption latency: the time until
+	// the last requested SM was handed over. Meaningful once Completed.
+	LatencyCycles units.Cycles
+	// Completed reports that every requested SM arrived. Killed reports
+	// the request was aborted at its deadline (periodic-task scenarios).
+	Completed bool
+	Killed    bool
+
+	// mix counts the thread-block preemptions actually executed, by
+	// technique (flush fallbacks count as drains).
+	mix [preempt.NumTechniques]int
+
+	requester *kernelInstance
+	arrived   int
+}
+
+// Mix returns the per-technique thread-block preemption counts.
+func (r *RequestRecord) Mix() [preempt.NumTechniques]int { return r.mix }
+
+// Violated reports whether the request failed its latency constraint:
+// either it was killed at the deadline, or it completed late.
+func (r *RequestRecord) Violated() bool {
+	if r.Killed {
+		return true
+	}
+	return r.Completed && r.LatencyCycles > r.Constraint
+}
+
+// smArrived records one SM's handover completion.
+func (r *RequestRecord) smArrived(now units.Cycles) {
+	r.arrived++
+	if lat := now - r.At; lat > r.LatencyCycles {
+		r.LatencyCycles = lat
+	}
+	if r.arrived >= r.NumSMs {
+		r.Completed = true
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"chimera/internal/units"
+)
+
+func TestRequestRecordLatency(t *testing.T) {
+	r := &RequestRecord{At: 1000, Constraint: 500, NumSMs: 3}
+	r.smArrived(1100)
+	r.smArrived(1400)
+	if r.Completed {
+		t.Error("completed before all SMs arrived")
+	}
+	r.smArrived(1300) // out-of-order arrival timestamps are fine
+	if !r.Completed {
+		t.Error("not completed after all SMs arrived")
+	}
+	if r.LatencyCycles != 400 {
+		t.Errorf("latency = %d, want 400 (max arrival delta)", r.LatencyCycles)
+	}
+	if r.Violated() {
+		t.Error("400 <= 500 should meet the constraint")
+	}
+}
+
+func TestRequestRecordViolations(t *testing.T) {
+	late := &RequestRecord{At: 0, Constraint: 100, NumSMs: 1}
+	late.smArrived(250)
+	if !late.Violated() {
+		t.Error("late completion not a violation")
+	}
+	killed := &RequestRecord{At: 0, Constraint: 100, NumSMs: 2, Killed: true}
+	if !killed.Violated() {
+		t.Error("killed request not a violation")
+	}
+	pending := &RequestRecord{At: 0, Constraint: 100, NumSMs: 2}
+	pending.smArrived(50)
+	if pending.Violated() {
+		t.Error("incomplete, unkilled request counted as violation")
+	}
+}
+
+func TestRequestRecordMixIsolated(t *testing.T) {
+	r := &RequestRecord{}
+	r.mix[0] = 7
+	m := r.Mix()
+	m[0] = 99
+	if r.Mix()[0] != 7 {
+		t.Error("Mix() exposed internal state")
+	}
+	_ = units.Cycles(0)
+}

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"fmt"
+
+	"chimera/internal/gpu"
+	"chimera/internal/preempt"
+	"chimera/internal/trace"
+	"chimera/internal/units"
+)
+
+// smUnit is the runtime state of one streaming multiprocessor.
+type smUnit struct {
+	id  gpu.SMID
+	sim *Simulation
+
+	kernel   *kernelInstance // owner; nil when free
+	resident []*threadBlock
+
+	// restoreTail serializes context restores on this SM: the cycle at
+	// which the last scheduled restore finishes.
+	restoreTail units.Cycles
+
+	// handover is non-nil while the SM is being preempted.
+	handover *handoverState
+
+	// busyCycles accumulates time with at least one resident block;
+	// busySince is the start of the current busy span (valid while
+	// resident is non-empty).
+	busyCycles units.Cycles
+	busySince  units.Cycles
+}
+
+// noteResidentChange maintains the busy-time account around a resident
+// list mutation: call with the count before the change and the current
+// cycle after applying it.
+func (sm *smUnit) noteResidentChange(before int, now units.Cycles) {
+	after := len(sm.resident)
+	switch {
+	case before == 0 && after > 0:
+		sm.busySince = now
+	case before > 0 && after == 0:
+		sm.busyCycles += now - sm.busySince
+	}
+}
+
+// busyAt reports the SM's accumulated busy time as of cycle now.
+func (sm *smUnit) busyAt(now units.Cycles) units.Cycles {
+	total := sm.busyCycles
+	if len(sm.resident) > 0 {
+		total += now - sm.busySince
+	}
+	return total
+}
+
+// handoverState tracks one SM's in-flight preemption: the SM is handed to
+// the requester once every constituent (context save, drained blocks) has
+// finished.
+type handoverState struct {
+	req *RequestRecord
+	// outstanding counts unfinished constituents: one per draining
+	// block plus one for the context save (if any block is switched).
+	outstanding int
+	// frozen are the blocks being context-switched, still resident until
+	// the save completes.
+	frozen []*threadBlock
+	// cancelled marks an aborted preemption (the requesting task was
+	// killed); late events must become no-ops.
+	cancelled bool
+}
+
+// snapshot captures the scheduler-visible state of the SM for cost
+// estimation.
+func (sm *smUnit) snapshot(now units.Cycles) gpu.SMSnapshot {
+	snap := gpu.SMSnapshot{SM: sm.id}
+	for _, tb := range sm.resident {
+		run := tb.runCycles
+		if tb.phase == tbRunning && !tb.frozen && now > tb.startAt {
+			run += now - tb.startAt
+		}
+		snap.TBs = append(snap.TBs, gpu.TBSnapshot{
+			Index:     tb.index,
+			Executed:  tb.executedAt(now),
+			RunCycles: run,
+			Breached:  tb.breachedAt(now),
+		})
+	}
+	return snap
+}
+
+// fill dispatches thread blocks into free slots. If the SM ends up
+// completely empty with nothing left to dispatch, it is released back to
+// the device (the size-bound tail of a kernel frees SMs early, §4).
+func (sm *smUnit) fill(now units.Cycles) {
+	k := sm.kernel
+	if k == nil || sm.handover != nil || k.done {
+		return
+	}
+	for len(sm.resident) < k.params.TBsPerSM && k.dispatchable() {
+		sm.place(k.nextTB(), now)
+	}
+	if len(sm.resident) == 0 {
+		sm.sim.releaseSM(sm, now)
+	}
+}
+
+// place starts (or resumes) a thread block on this SM.
+func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
+	k := sm.kernel
+	start := now
+	if tb.needsRestore {
+		// Context restores serialize on the SM's bandwidth share; the
+		// slot idles until its restore completes.
+		begin := now
+		if sm.restoreTail > begin {
+			begin = sm.restoreTail
+		}
+		start = begin + k.params.TBSwitchCycles(sm.sim.cfg)
+		sm.restoreTail = start
+		tb.needsRestore = false
+		sm.sim.trackTransfer(now, begin, start)
+		sm.sim.emit(trace.Event{At: now, Kind: trace.RestoreTB, Kernel: k.params.Label,
+			SM: int(sm.id), TB: tb.index, Detail: fmt.Sprintf("resume@%v", start)})
+	}
+	if tb.executed == 0 {
+		// Fresh run (first dispatch or re-execution after a flush).
+		tb.baseCPI = k.sampleCPI()
+		tb.runCycles = 0
+		tb.breached = false
+	}
+	tb.cpi = tb.baseCPI * sm.sim.contentionFactor()
+	tb.phase = tbRunning
+	tb.frozen = false
+	tb.draining = false
+	tb.sm = sm
+	tb.startAt = start
+	before := len(sm.resident)
+	sm.resident = append(sm.resident, tb)
+	sm.noteResidentChange(before, now)
+	sm.scheduleEvents(tb, start)
+}
+
+// scheduleEvents arms the completion and breach events of a running
+// block whose segment begins at start.
+func (sm *smUnit) scheduleEvents(tb *threadBlock, start units.Cycles) {
+	q := &sm.sim.q
+	rem := tb.insts - tb.executed
+	doneAt := start + cyclesCeil(float64(rem)*tb.cpi)
+	tb.doneEv = q.Schedule(doneAt, func(now units.Cycles) { sm.sim.tbComplete(tb, now) })
+	if !tb.breached && tb.executed < tb.breachInst && tb.breachInst < tb.insts {
+		breachAt := start + cyclesCeil(float64(tb.breachInst-tb.executed)*tb.cpi)
+		tb.breachEv = q.Schedule(breachAt, func(units.Cycles) { tb.breached = true })
+	}
+}
+
+// removeResident detaches a block from the SM's resident list at cycle
+// now (the busy-time account needs the timestamp).
+func (sm *smUnit) removeResident(tb *threadBlock, now units.Cycles) {
+	for i, r := range sm.resident {
+		if r == tb {
+			before := len(sm.resident)
+			sm.resident = append(sm.resident[:i], sm.resident[i+1:]...)
+			sm.noteResidentChange(before, now)
+			return
+		}
+	}
+	panic(fmt.Sprintf("engine: SM%d: block %d not resident", sm.id, tb.index))
+}
+
+// executePlan carries out a preemption plan on this SM at cycle now:
+// flushes drop their blocks immediately (when legal), switched blocks
+// freeze and their contexts stream out, drained blocks run to completion
+// with their slots left unfilled.
+func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, now units.Cycles) {
+	if sm.handover != nil {
+		panic(fmt.Sprintf("engine: SM%d: overlapping preemptions", sm.id))
+	}
+	k := sm.kernel
+	h := &handoverState{req: req}
+	sm.handover = h
+
+	techFor := make(map[int]preempt.Technique, len(plan.TBs))
+	for _, tp := range plan.TBs {
+		techFor[tp.Index] = tp.Technique
+	}
+
+	var saveCycles units.Cycles
+	// Iterate over a copy: flushing mutates sm.resident.
+	blocks := append([]*threadBlock(nil), sm.resident...)
+	for _, tb := range blocks {
+		tech, ok := techFor[tb.index]
+		if !ok {
+			// A block that appeared after the snapshot (cannot happen:
+			// plans are built and executed at the same cycle) would be
+			// a scheduler bug.
+			panic(fmt.Sprintf("engine: SM%d: no plan for block %d", sm.id, tb.index))
+		}
+		switch tech {
+		case preempt.Flush:
+			if sm.sim.flushLegal(tb, now) {
+				sm.flushTB(tb, now, req)
+				continue
+			}
+			// The plan wanted a flush but the block is (now) past its
+			// breach point: the SM cannot drop it, so it must be waited
+			// out — drain semantics, recorded as such.
+			fallthrough
+		case preempt.Drain:
+			tb.draining = true
+			h.outstanding++
+			k.stats.Preemptions[preempt.Drain]++
+			req.mix[preempt.Drain]++
+			sm.sim.emit(trace.Event{At: now, Kind: trace.DrainTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index})
+		case preempt.Switch:
+			tb.sync(now)
+			tb.frozen = true
+			tb.cancelEvents(&sm.sim.q)
+			h.frozen = append(h.frozen, tb)
+			saveCycles += k.params.TBSwitchCycles(sm.sim.cfg)
+			k.stats.Preemptions[preempt.Switch]++
+			req.mix[preempt.Switch]++
+			sm.sim.emit(trace.Event{At: now, Kind: trace.SaveTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
+				Detail: fmt.Sprintf("at=%d insts", tb.executed)})
+		}
+	}
+
+	if len(h.frozen) > 0 {
+		h.outstanding++
+		sm.sim.q.Schedule(now+saveCycles, func(at units.Cycles) { sm.saveComplete(h, at) })
+		sm.sim.trackTransfer(now, now, now+saveCycles)
+	}
+	if h.outstanding == 0 {
+		sm.completeHandover(now)
+	}
+}
+
+// flushTB drops one (idempotent) block instantly: its progress is
+// discarded and the block re-enters the kernel's queue from scratch.
+func (sm *smUnit) flushTB(tb *threadBlock, now units.Cycles, req *RequestRecord) {
+	k := sm.kernel
+	tb.sync(now)
+	k.stats.WastedInsts += tb.executed
+	k.process.addWasted(tb.executed)
+	k.stats.Preemptions[preempt.Flush]++
+	if req != nil {
+		req.mix[preempt.Flush]++
+	}
+	sm.sim.emit(trace.Event{At: now, Kind: trace.FlushTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
+		Detail: fmt.Sprintf("wasted=%d insts", tb.executed)})
+	tb.cancelEvents(&sm.sim.q)
+	sm.removeResident(tb, now)
+	tb.executed = 0
+	tb.runCycles = 0
+	tb.breached = false
+	tb.needsRestore = false
+	k.requeue(tb)
+}
+
+// saveComplete fires when the context of the frozen blocks has streamed
+// out: they leave the SM carrying their saved progress.
+func (sm *smUnit) saveComplete(h *handoverState, now units.Cycles) {
+	if h.cancelled {
+		return
+	}
+	k := sm.kernel
+	for _, tb := range h.frozen {
+		sm.removeResident(tb, now)
+		tb.needsRestore = true
+		k.requeue(tb)
+	}
+	h.frozen = nil
+	h.outstanding--
+	if h.outstanding == 0 {
+		sm.completeHandover(now)
+	}
+}
+
+// drainedComplete is called from tbComplete for a draining block.
+func (sm *smUnit) drainedComplete(now units.Cycles) {
+	h := sm.handover
+	if h == nil {
+		return
+	}
+	h.outstanding--
+	if h.outstanding == 0 {
+		sm.completeHandover(now)
+	}
+}
+
+// completeHandover finishes the preemption: the SM leaves the victim and
+// is assigned to the requester (or freed if the requester is gone).
+func (sm *smUnit) completeHandover(now units.Cycles) {
+	h := sm.handover
+	if len(sm.resident) != 0 {
+		panic(fmt.Sprintf("engine: SM%d: handover with %d residents", sm.id, len(sm.resident)))
+	}
+	sm.handover = nil
+	victim := sm.kernel
+	delete(victim.sms, sm.id)
+	sm.kernel = nil
+	sm.restoreTail = 0
+	h.req.smArrived(now)
+	sm.sim.emit(trace.Event{At: now, Kind: trace.Handover, Kernel: victim.params.Label, SM: int(sm.id), TB: -1,
+		Detail: "to=" + h.req.Requester})
+	to := h.req.requester
+	if to != nil && !to.done {
+		sm.sim.assignSM(sm, to, now)
+	} else {
+		sm.sim.freeSM(sm, now)
+	}
+}
+
+// cancelHandover aborts an in-flight preemption (the requesting task was
+// killed): frozen blocks resume in place — their partially saved context
+// is discarded, costing the freeze time as idle slots — and draining
+// blocks go back to normal execution with their slots refillable again.
+func (sm *smUnit) cancelHandover(now units.Cycles) {
+	h := sm.handover
+	if h == nil {
+		return
+	}
+	h.cancelled = true
+	sm.handover = nil
+	for _, tb := range h.frozen {
+		tb.frozen = false
+		tb.startAt = now
+		sm.scheduleEvents(tb, now)
+	}
+	h.frozen = nil
+	for _, tb := range sm.resident {
+		tb.draining = false
+	}
+	sm.fill(now)
+}
+
+// cyclesCeil converts a non-negative float cycle count to Cycles,
+// rounding up so completion events never fire before the modelled work
+// is done.
+func cyclesCeil(f float64) units.Cycles {
+	c := units.Cycles(f)
+	if float64(c) < f {
+		c++
+	}
+	return c
+}

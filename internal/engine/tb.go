@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"chimera/internal/eventq"
+	"chimera/internal/units"
+)
+
+// tbPhase is the lifecycle phase of a thread block instance.
+type tbPhase int
+
+const (
+	tbQueued  tbPhase = iota // waiting for dispatch (fresh, flushed, or saved)
+	tbRunning                // executing on an SM
+	tbDone                   // completed
+)
+
+// threadBlock is the runtime state of one thread block. Progress is
+// linear in time between events: a running block advances one warp
+// instruction every cpi cycles from its segment start. All observable
+// state (executed counters, the breach flag) is what real scheduling
+// hardware sees per §3.2/§3.4.
+type threadBlock struct {
+	kernel *kernelInstance
+	index  int
+
+	insts      int64 // total warp instructions (== params.InstsPerTB)
+	breachInst int64 // instruction index of the idempotence breach
+	// baseCPI is the block's sampled intrinsic CPI; cpi is the effective
+	// rate currently in force (baseCPI inflated by memory-bandwidth
+	// contention when the contention model is enabled).
+	baseCPI float64
+	cpi     float64
+
+	phase    tbPhase
+	executed int64 // committed progress at the last sync point
+	breached bool  // breach notification fired during the current run
+
+	// needsRestore marks a context-switched block whose saved context
+	// must be reloaded before it can resume.
+	needsRestore bool
+	// draining marks a running block whose SM is being preempted by
+	// draining: it finishes, but its slot is not refilled.
+	draining bool
+	// frozen marks a running block whose state is being saved (context
+	// switch in progress); progress is stopped.
+	frozen bool
+
+	sm *smUnit // SM the block is resident on (running or frozen)
+
+	// startAt is the cycle the current execution segment began (after
+	// any restore delay).
+	startAt units.Cycles
+	// runCycles accumulates wall cycles of completed execution segments,
+	// feeding the measured-CPI statistics.
+	runCycles units.Cycles
+
+	doneEv   *eventq.Event
+	breachEv *eventq.Event
+}
+
+// executedAt returns the block's warp-instruction counter at cycle now.
+func (tb *threadBlock) executedAt(now units.Cycles) int64 {
+	if tb.phase != tbRunning || tb.frozen || now <= tb.startAt {
+		return tb.executed
+	}
+	delta := int64(float64(now-tb.startAt) / tb.cpi)
+	if total := tb.executed + delta; total < tb.insts {
+		return total
+	}
+	return tb.insts
+}
+
+// breachedAt reports whether the block is past its non-idempotent point
+// at cycle now — the condition the notification store makes visible to
+// the scheduler.
+func (tb *threadBlock) breachedAt(now units.Cycles) bool {
+	return tb.breached || tb.executedAt(now) >= tb.breachInst
+}
+
+// remainingCycles returns the wall time left until completion if the
+// block keeps running undisturbed from cycle now.
+func (tb *threadBlock) remainingCycles(now units.Cycles) units.Cycles {
+	rem := tb.insts - tb.executedAt(now)
+	if rem <= 0 {
+		return 0
+	}
+	return units.Cycles(float64(rem)*tb.cpi + 0.999999)
+}
+
+// sync commits progress up to cycle now: the executed counter advances,
+// the delta is charged to the kernel's issued-instruction account, and a
+// new segment starts at now. Only meaningful while running.
+func (tb *threadBlock) sync(now units.Cycles) {
+	if tb.phase != tbRunning || tb.frozen {
+		return
+	}
+	cur := tb.executedAt(now)
+	delta := cur - tb.executed
+	if delta > 0 {
+		tb.kernel.stats.IssuedInsts += delta
+		tb.kernel.process.addIssued(delta)
+	}
+	if now > tb.startAt {
+		tb.runCycles += now - tb.startAt
+	}
+	tb.executed = cur
+	tb.startAt = now
+}
+
+// cancelEvents drops any pending completion/breach events.
+func (tb *threadBlock) cancelEvents(q *eventQueue) {
+	q.Cancel(tb.doneEv)
+	q.Cancel(tb.breachEv)
+	tb.doneEv, tb.breachEv = nil, nil
+}

@@ -1,0 +1,191 @@
+// Package eventq implements the deterministic discrete-event queue that
+// drives the GPU simulation. Events are ordered by cycle; events at the
+// same cycle are delivered in insertion order (FIFO) so that simulation
+// outcomes do not depend on heap internals.
+package eventq
+
+import "chimera/internal/units"
+
+// Event is a callback scheduled to run at a simulation time. The cycle at
+// which it fires is passed back to the callback.
+type Event struct {
+	At     units.Cycles
+	Fire   func(now units.Cycles)
+	seq    uint64
+	index  int
+	staled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.staled }
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+	now  units.Cycles
+}
+
+// Now returns the current simulation time: the fire time of the most
+// recently dispatched event.
+func (q *Queue) Now() units.Cycles { return q.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events still occupy the heap until popped but are not counted.
+func (q *Queue) Len() int {
+	n := 0
+	for _, e := range q.heap {
+		if !e.staled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule enqueues fire to run at cycle at. Scheduling in the past (at <
+// Now) is a programming error and panics: a discrete-event simulation
+// that silently reorders time produces corrupt results.
+func (q *Queue) Schedule(at units.Cycles, fire func(now units.Cycles)) *Event {
+	if at < q.now {
+		panic("eventq: scheduling into the past")
+	}
+	e := &Event{At: at, Fire: fire, seq: q.seq}
+	q.seq++
+	q.push(e)
+	return e
+}
+
+// ScheduleAfter enqueues fire to run delay cycles after the current time.
+func (q *Queue) ScheduleAfter(delay units.Cycles, fire func(now units.Cycles)) *Event {
+	return q.Schedule(q.now+delay, fire)
+}
+
+// Cancel removes an event from the queue if it has not fired. Cancelling
+// is O(1): the event is marked stale and discarded when it reaches the
+// top of the heap.
+func (q *Queue) Cancel(e *Event) {
+	if e != nil {
+		e.staled = true
+	}
+}
+
+// Step dispatches the next pending event and returns true, or returns
+// false when the queue is empty.
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		e := q.pop()
+		if e.staled {
+			continue
+		}
+		q.now = e.At
+		e.Fire(e.At)
+		return true
+	}
+	return false
+}
+
+// RunUntil dispatches events until the queue is exhausted or the next
+// event would fire after limit. It returns the number of events run. The
+// simulation clock is left at the fire time of the last dispatched event
+// (or advanced to limit if nothing remained before it).
+func (q *Queue) RunUntil(limit units.Cycles) int {
+	n := 0
+	for {
+		e := q.peek()
+		if e == nil || e.At > limit {
+			break
+		}
+		q.Step()
+		n++
+	}
+	if q.now < limit {
+		q.now = limit
+	}
+	return n
+}
+
+// Run dispatches events until the queue is empty and returns the number
+// of events run.
+func (q *Queue) Run() int {
+	n := 0
+	for q.Step() {
+		n++
+	}
+	return n
+}
+
+func (q *Queue) peek() *Event {
+	for len(q.heap) > 0 {
+		e := q.heap[0]
+		if !e.staled {
+			return e
+		}
+		q.pop()
+	}
+	return nil
+}
+
+// less orders events by time, breaking ties by insertion sequence so that
+// same-cycle events fire in the order they were scheduled.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+}
+
+func (q *Queue) pop() *Event {
+	n := len(q.heap) - 1
+	q.swap(0, n)
+	e := q.heap[n]
+	q.heap[n] = nil
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,222 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"chimera/internal/units"
+)
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	for i, at := range []units.Cycles{50, 10, 30, 20, 40} {
+		i := i
+		q.Schedule(at, func(units.Cycles) { got = append(got, i) })
+	}
+	q.Run()
+	want := []int{1, 3, 2, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOWithinCycle(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func(units.Cycles) { got = append(got, i) })
+	}
+	q.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	var q Queue
+	var at units.Cycles
+	q.Schedule(77, func(now units.Cycles) { at = now })
+	q.Run()
+	if at != 77 || q.Now() != 77 {
+		t.Errorf("fire time %d, Now %d; want 77", at, q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(100, func(units.Cycles) {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	q.Schedule(50, func(units.Cycles) {})
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(10, func(units.Cycles) { fired = true })
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	q.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var q Queue
+	q.Cancel(nil) // must not panic
+}
+
+func TestLenExcludesCancelled(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, func(units.Cycles) {})
+	q.Schedule(2, func(units.Cycles) {})
+	q.Cancel(a)
+	if n := q.Len(); n != 1 {
+		t.Errorf("Len() = %d, want 1", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []units.Cycles
+	for _, at := range []units.Cycles{10, 20, 30, 40} {
+		q.Schedule(at, func(now units.Cycles) { got = append(got, now) })
+	}
+	n := q.RunUntil(25)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("RunUntil(25) ran %d events (%v), want 2", n, got)
+	}
+	if q.Now() != 25 {
+		t.Errorf("Now() = %d after RunUntil(25)", q.Now())
+	}
+	// Boundary: an event exactly at the limit fires.
+	n = q.RunUntil(30)
+	if n != 1 || q.Now() != 30 {
+		t.Errorf("RunUntil(30) ran %d, now %d", n, q.Now())
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	var q Queue
+	var at units.Cycles
+	q.Schedule(100, func(now units.Cycles) {
+		q.ScheduleAfter(50, func(now units.Cycles) { at = now })
+	})
+	q.Run()
+	if at != 150 {
+		t.Errorf("ScheduleAfter fired at %d, want 150", at)
+	}
+}
+
+func TestReentrantScheduling(t *testing.T) {
+	// Events scheduled at the current cycle from within a handler must
+	// still fire, after already-queued same-cycle events.
+	var q Queue
+	var got []string
+	q.Schedule(10, func(now units.Cycles) {
+		got = append(got, "a")
+		q.Schedule(now, func(units.Cycles) { got = append(got, "c") })
+	})
+	q.Schedule(10, func(units.Cycles) { got = append(got, "b") })
+	q.Run()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("reentrant order %v, want [a b c]", got)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+// TestDispatchOrderProperty checks against a sorted reference on random
+// schedules: events fire in non-decreasing time, ties in insertion order.
+func TestDispatchOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		times := make([]units.Cycles, n)
+		var fired []int
+		for i := 0; i < n; i++ {
+			times[i] = units.Cycles(r.Intn(20))
+			i := i
+			q.Schedule(times[i], func(units.Cycles) { fired = append(fired, i) })
+		}
+		q.Run()
+		if len(fired) != n {
+			return false
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return times[want[a]] < times[want[b]] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCancelProperty: random cancellations never fire and never disturb
+// the order of survivors.
+func TestCancelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		const n = 60
+		events := make([]*Event, n)
+		cancelled := make([]bool, n)
+		var fired []int
+		for i := 0; i < n; i++ {
+			i := i
+			events[i] = q.Schedule(units.Cycles(r.Intn(30)), func(units.Cycles) { fired = append(fired, i) })
+		}
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				q.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		q.Run()
+		seen := make(map[int]bool)
+		for _, i := range fired {
+			if cancelled[i] || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if !cancelled[i] && !seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

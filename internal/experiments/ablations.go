@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"chimera/internal/engine"
+	"chimera/internal/kernels"
+	"chimera/internal/metrics"
+	"chimera/internal/tablefmt"
+	"chimera/internal/units"
+)
+
+// Ablations quantifies the design choices DESIGN.md §5 calls out, by
+// re-running the §4.1 scenario (15 µs constraint) with one mechanism
+// removed at a time:
+//
+//   - conservative-max fallback → optimistic zero when statistics are
+//     missing (runs cold, without warm statistics, where the fallback
+//     actually fires);
+//   - per-thread-block technique mixing → one technique per SM;
+//   - instruction-count drain estimator → direct cycle averages (the
+//     estimator §3.2 rejects).
+func Ablations(s Scale) ([]*tablefmt.Table, error) {
+	cat := kernels.Load()
+	names := cat.BenchmarkNames()
+
+	type variant struct {
+		name       string
+		policy     engine.Policy
+		warm       bool
+		constraint units.Cycles
+		headroom   units.Cycles
+	}
+	variants := []variant{
+		{"Chimera (cold start)", engine.ChimeraPolicy{}, false, Constraint15, 0},
+		{"no conservative fallback (cold)", engine.ChimeraPolicy{OptimisticCold: true}, false, Constraint15, 0},
+		{"Chimera", engine.ChimeraPolicy{}, true, Constraint15, 0},
+		{"one technique per SM", engine.ChimeraPolicy{PerSMUniform: true}, true, Constraint15, 0},
+		{"cycle-based drain estimator", engine.ChimeraPolicy{CycleBased: true}, true, Constraint15, 0},
+		{"Chimera @5µs", engine.ChimeraPolicy{}, true, units.FromMicroseconds(5), 0},
+		{"Chimera @5µs + 1µs headroom", engine.ChimeraPolicy{}, true, units.FromMicroseconds(5), units.FromMicroseconds(1)},
+	}
+
+	t := tablefmt.New("Ablations: Chimera design choices (periodic task)",
+		"Variant", "Violations", "Overhead", "Forced req")
+	for _, v := range variants {
+		r, err := s.periodicRunner(v.constraint)
+		if err != nil {
+			return nil, err
+		}
+		r.Warm = v.warm
+		r.Headroom = v.headroom
+		var violations, overheads []float64
+		forced := 0
+		for _, bench := range names {
+			res, err := r.RunPeriodic(bench, v.policy)
+			if err != nil {
+				return nil, err
+			}
+			violations = append(violations, res.ViolationRate)
+			overheads = append(overheads, res.Overhead)
+			forced += res.ForcedRequests
+		}
+		t.AddRow(v.name,
+			tablefmt.Pct(metrics.Mean(violations)),
+			tablefmt.Pct(metrics.Mean(overheads)),
+			tablefmt.F(float64(forced), 0),
+		)
+	}
+	t.Note = "cold start = estimator statistics empty at first request; warm rows use steady-state statistics"
+	return []*tablefmt.Table{t}, nil
+}

@@ -1,0 +1,70 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) from the simulator: one harness per exhibit, each
+// returning printable tables. The EXPERIMENTS.md document records
+// paper-reported versus measured values for all of them.
+package experiments
+
+import (
+	"chimera/internal/units"
+	"chimera/internal/workloads"
+)
+
+// Scale sets the simulated durations of the measurement runs. The paper
+// simulates until one billion instructions per benchmark; the defaults
+// here are scaled down to keep a full reproduction in minutes while
+// leaving enough preemption requests per scenario for stable
+// percentages. QuickScale is for tests.
+type Scale struct {
+	// PeriodicWindow is the simulated time of each §4.1 run (one
+	// preemption request per millisecond).
+	PeriodicWindow units.Cycles
+	// PairWindow is the simulated time of each §4.4 pairwise run.
+	PairWindow units.Cycles
+	// AllPairsWindow is the (shorter) window for the 91-combination
+	// sweep.
+	AllPairsWindow units.Cycles
+	// Seed drives all runs.
+	Seed uint64
+}
+
+// DefaultScale is the scale used for the recorded EXPERIMENTS.md
+// results: 120 simulated milliseconds per periodic run (≈119 requests
+// per benchmark, ≈1666 over the suite — several passes even over LC's
+// 30 ms kernel sequence) and 40 ms per pair run (longer than MUM's and
+// LC's longest kernels, so FCFS never fully starves a partner).
+func DefaultScale() Scale {
+	return Scale{
+		PeriodicWindow: units.FromMicroseconds(120_000),
+		PairWindow:     units.FromMicroseconds(40_000),
+		AllPairsWindow: units.FromMicroseconds(40_000),
+		Seed:           1,
+	}
+}
+
+// QuickScale is a fast preset for tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{
+		PeriodicWindow: units.FromMicroseconds(6_000),
+		PairWindow:     units.FromMicroseconds(6_000),
+		AllPairsWindow: units.FromMicroseconds(3_000),
+		Seed:           1,
+	}
+}
+
+// Constraint15 is the headline 15 µs preemption latency constraint of
+// §4.1; Constraint30 the 30 µs bound of the §4.4 case study (the maximum
+// context-switch latency of the configuration).
+var (
+	Constraint15 = units.FromMicroseconds(15)
+	Constraint30 = units.FromMicroseconds(30)
+)
+
+// periodicRunner builds the §4.1 runner for a given constraint.
+func (s Scale) periodicRunner(constraint units.Cycles) (*workloads.Runner, error) {
+	return workloads.NewRunner(s.PeriodicWindow, constraint, s.Seed)
+}
+
+// pairRunner builds the §4.4 runner.
+func (s Scale) pairRunner(window units.Cycles) (*workloads.Runner, error) {
+	return workloads.NewRunner(window, Constraint30, s.Seed)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"chimera/internal/engine"
+	"chimera/internal/preempt"
+	"chimera/internal/tablefmt"
+)
+
+// contentionBenchmarks spans the memory-intensity range of the suite:
+// a compute-dense kernel (BS), a streaming copy (KM), a constant-memory
+// compute loop (CP) and a mid-range one (SAD).
+var contentionBenchmarks = []string{"BS", "KM", "CP", "SAD"}
+
+// Contention is an extension beyond the paper: §4 notes that halting an
+// SM for the estimated switch time is "rather optimistic" because "the
+// memory bandwidth consumed by context switching will affect other SMs
+// to slow down in reality". This experiment quantifies that omission by
+// re-running the §4.1 scenario with the bandwidth-contention model
+// enabled (beta = 1: running kernels fully feel the stolen bandwidth
+// share) and comparing throughput overheads under the context-switch
+// baseline and under Chimera.
+func Contention(s Scale) ([]*tablefmt.Table, error) {
+	t := tablefmt.New("Extension: memory-bandwidth contention from context traffic (@15µs)",
+		"Benchmark", "Switch β=0", "Switch β=1", "Chimera β=0", "Chimera β=1")
+	policies := []engine.Policy{
+		engine.FixedPolicy{Technique: preempt.Switch},
+		engine.ChimeraPolicy{},
+	}
+	for _, bench := range contentionBenchmarks {
+		row := []string{bench}
+		for _, policy := range policies {
+			for _, beta := range []float64{0, 1} {
+				r, err := s.periodicRunner(Constraint15)
+				if err != nil {
+					return nil, err
+				}
+				r.Contention = beta
+				res, err := r.RunPeriodic(bench, policy)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, tablefmt.Pct(res.Overhead))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Note = "β=0 reproduces the paper's methodology (no contention); β=1 charges each context stream one SM's bandwidth share to all running blocks"
+	return []*tablefmt.Table{t}, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chimera/internal/engine"
+	"chimera/internal/kernels"
+	"chimera/internal/preempt"
+	"chimera/internal/tablefmt"
+	"chimera/internal/units"
+	"chimera/internal/workloads"
+)
+
+// EstimationAccuracy validates §3.2's cost estimators against the
+// simulator's measured outcomes: for every completed preemption request
+// in the §4.1 sweep, the selected plans' estimated preemption latency is
+// compared with the measured handover latency. The paper reports that
+// Chimera's rare deadline misses stem from drain misestimation "in the
+// range of few hundred cycles (< 1µs)" — this table shows where this
+// reproduction's estimator errors sit, per policy.
+func EstimationAccuracy(s Scale) ([]*tablefmt.Table, error) {
+	cat := kernels.Load()
+	t := tablefmt.New("Extension: estimated vs measured preemption latency (@15µs)",
+		"Policy", "Requests", "MeanErr", "P95Err", "MaxErr", "Overest%")
+	for _, policy := range workloads.StandardPolicies() {
+		var errsUs []float64
+		over := 0
+		requests := 0
+		for _, bench := range cat.BenchmarkNames() {
+			sim := engine.New(engine.Options{
+				Policy:     policy,
+				Constraint: Constraint15,
+				Seed:       s.Seed,
+				WarmStats:  true,
+			})
+			b, err := cat.Benchmark(bench)
+			if err != nil {
+				return nil, err
+			}
+			launches, err := workloads.Launches(cat, b)
+			if err != nil {
+				return nil, err
+			}
+			sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
+			sim.AddPeriodicTask(workloads.PeriodicSpec(sim.Config().NumSMs))
+			// A shorter window suffices: each request contributes a sample.
+			sim.Run(s.PeriodicWindow / 4)
+			for _, req := range sim.Requests() {
+				// Skip incomplete requests and ones whose plan carried a
+				// conservative-max estimate (a breached block under a
+				// uniform flush plan has no finite latency estimate).
+				if !req.Completed || req.EstLatencyCycles <= 0 || req.EstLatencyCycles >= preempt.Infeasible {
+					continue
+				}
+				requests++
+				est := req.EstLatencyCycles / units.CyclesPerMicrosecond
+				act := req.LatencyCycles.Microseconds()
+				errsUs = append(errsUs, math.Abs(est-act))
+				if est >= act {
+					over++
+				}
+			}
+		}
+		if len(errsUs) == 0 {
+			t.AddRow(policy.Name(), "0", "-", "-", "-", "-")
+			continue
+		}
+		sort.Float64s(errsUs)
+		mean := 0.0
+		for _, e := range errsUs {
+			mean += e
+		}
+		mean /= float64(len(errsUs))
+		p95 := errsUs[len(errsUs)*95/100]
+		max := errsUs[len(errsUs)-1]
+		t.AddRow(
+			policy.Name(),
+			fmt.Sprintf("%d", requests),
+			tablefmt.Us(mean),
+			tablefmt.Us(p95),
+			tablefmt.Us(max),
+			tablefmt.Pct(float64(over)/float64(len(errsUs))),
+		)
+	}
+	t.Note = "error = |estimated − measured| per completed request; Overest% = share of requests where the estimate was conservative (≥ actual); the paper attributes Chimera's residual misses to sub-µs drain misestimation"
+	return []*tablefmt.Table{t}, nil
+}

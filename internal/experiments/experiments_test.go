@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chimera/internal/gpu"
+	"chimera/internal/kernels"
+	"chimera/internal/metrics"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", QuickScale()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	s := Table1().String()
+	for _, want := range []string{"30", "1400 MHz", "48 kB", "177.4 GB/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	tbl, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"BS.0", "MUM.0", "12/27", "10173.2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	// One row per kernel plus the idempotence summary.
+	if got := len(tbl.Rows); got != 28 {
+		t.Errorf("Table 2 has %d rows, want 28", got)
+	}
+}
+
+func TestFig2Averages(t *testing.T) {
+	// The analytic averages must land near the paper's: 14.5µs switch,
+	// 830.4µs drain (we measure ~14.3 and ~891 from the published
+	// columns themselves).
+	cat := kernels.Load()
+	cfg := gpu.DefaultConfig()
+	var sw, dr []float64
+	for _, s := range cat.Kernels() {
+		sw = append(sw, s.Params.SwitchCycles(cfg).Microseconds())
+		dr = append(dr, s.Params.AvgDrainCycles().Microseconds())
+	}
+	if m := metrics.Mean(sw); math.Abs(m-14.5) > 1.0 {
+		t.Errorf("mean switch latency %.1fµs, paper 14.5µs", m)
+	}
+	if m := metrics.Mean(dr); math.Abs(m-830.4)/830.4 > 0.15 {
+		t.Errorf("mean drain latency %.1fµs, paper 830.4µs", m)
+	}
+	tbl := Fig2()
+	if len(tbl.Rows) != 28 { // 27 kernels + average
+		t.Errorf("Fig2 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig3FlushConstant(t *testing.T) {
+	// E[p/(1+p)] for p~U(0,1) is 1-ln2 ≈ 30.7% — the paper's constant.
+	if math.Abs(FlushEstOverhead-0.3069) > 0.001 {
+		t.Errorf("flush overhead constant = %v", FlushEstOverhead)
+	}
+	tbl := Fig3()
+	if !strings.Contains(tbl.String(), "30.7%") {
+		t.Error("Fig3 missing the 30.7% constant")
+	}
+}
+
+func TestFig3SwitchAverageNearPaper(t *testing.T) {
+	cat := kernels.Load()
+	cfg := gpu.DefaultConfig()
+	var sw []float64
+	for _, s := range cat.Kernels() {
+		o := 2 * float64(s.Params.SwitchCycles(cfg)) / float64(s.Params.TBExecCycles())
+		if o > 1 {
+			o = 1
+		}
+		sw = append(sw, o)
+	}
+	if m := metrics.Mean(sw); math.Abs(m-0.477) > 0.07 {
+		t.Errorf("mean switch overhead %.3f, paper 0.477", m)
+	}
+}
+
+// TestFig6Headline runs the full §4.1 sweep at quick scale and checks
+// the paper's qualitative result: Chimera (near-)zero violations, flush
+// far below switch and drain.
+func TestFig6Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := QuickScale().periodicRunner(Constraint15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunPeriodicSweep(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := make([]float64, len(sweep.Policies))
+	for i := range sweep.Benchmarks {
+		for j, res := range sweep.Results[i] {
+			avg[j] += res.ViolationRate / float64(len(sweep.Benchmarks))
+		}
+	}
+	sw, dr, fl, ch := avg[0], avg[1], avg[2], avg[3]
+	if ch > 0.02 {
+		t.Errorf("Chimera violations %.1f%%, paper 0.2%%", ch*100)
+	}
+	if fl > 0.20 {
+		t.Errorf("flush violations %.1f%% too high (paper 7.3%%)", fl*100)
+	}
+	if sw < 0.3 || dr < 0.3 {
+		t.Errorf("switch/drain violations %.1f%%/%.1f%% too low (paper 56%%/61%%)", sw*100, dr*100)
+	}
+	if !(ch <= fl && fl < sw && fl < dr) {
+		t.Errorf("ordering violated: chimera %.2f flush %.2f switch %.2f drain %.2f", ch, fl, sw, dr)
+	}
+}
+
+// TestFig10Headline checks the §4.4 qualitative result at quick scale:
+// every preemptive policy improves ANTT over FCFS and Chimera leads.
+func TestFig10Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := QuickScale()
+	r, err := s.pairRunner(s.PairWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunPairSweep(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Partners) != 13 {
+		t.Fatalf("%d partners, want 13", len(sweep.Partners))
+	}
+	geo := make([]float64, len(sweep.Policies))
+	for j := range sweep.Policies {
+		var imps []float64
+		for i := range sweep.Partners {
+			imps = append(imps, sweep.FCFS[i].ANTT/sweep.Results[i][j].ANTT)
+		}
+		g, err := metrics.Geomean(imps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geo[j] = g
+	}
+	for j, g := range geo {
+		if g <= 1 {
+			t.Errorf("%s: ANTT improvement %.2fx not > 1", sweep.Policies[j], g)
+		}
+	}
+	chimeraGeo := geo[3]
+	for j := 0; j < 3; j++ {
+		if chimeraGeo < geo[j]*0.95 {
+			t.Errorf("Chimera (%.1fx) clearly behind %s (%.1fx)", chimeraGeo, sweep.Policies[j], geo[j])
+		}
+	}
+}
+
+func TestDefaultAndQuickScale(t *testing.T) {
+	d, q := DefaultScale(), QuickScale()
+	if d.PeriodicWindow <= q.PeriodicWindow {
+		t.Error("default scale not larger than quick")
+	}
+	if d.Seed == 0 || q.Seed == 0 {
+		t.Error("zero seeds")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chimera/internal/engine"
+	"chimera/internal/kernels"
+	"chimera/internal/metrics"
+	"chimera/internal/tablefmt"
+	"chimera/internal/workloads"
+)
+
+// PairSweep holds the §4.4 case-study measurements shared by Figures 10
+// and 11: LUD paired with each other benchmark, under FCFS and the four
+// preemptive policies.
+type PairSweep struct {
+	Partners []string
+	Policies []string
+	// FCFS[i] is the baseline for pair (LUD, Partners[i]);
+	// Results[i][j] the preemptive result under Policies[j].
+	FCFS    []workloads.PairResult
+	Results [][]workloads.PairResult
+}
+
+// RunPairSweep executes the LUD×partner grid.
+func RunPairSweep(r *workloads.Runner) (*PairSweep, error) {
+	cat := kernels.Load()
+	policies := workloads.StandardPolicies()
+	sweep := &PairSweep{}
+	for _, p := range policies {
+		sweep.Policies = append(sweep.Policies, p.Name())
+	}
+	for _, bench := range cat.BenchmarkNames() {
+		if bench == "LUD" {
+			continue
+		}
+		sweep.Partners = append(sweep.Partners, bench)
+		fcfs, err := r.RunPair("LUD", bench, nil, true)
+		if err != nil {
+			return nil, err
+		}
+		sweep.FCFS = append(sweep.FCFS, fcfs)
+		row := make([]workloads.PairResult, 0, len(policies))
+		for _, p := range policies {
+			res, err := r.RunPair("LUD", bench, p, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res)
+		}
+		sweep.Results = append(sweep.Results, row)
+	}
+	return sweep, nil
+}
+
+// Fig10 reproduces Figure 10: ANTT improvement over non-preemptive FCFS
+// when LUD runs with each other benchmark. Paper geomeans: Switch 20.9x,
+// Drain 19.3x, Flush 23.6x, Chimera 25.4x.
+func Fig10(s Scale) (*tablefmt.Table, error) {
+	r, err := s.pairRunner(s.PairWindow)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := RunPairSweep(r)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.ANTTTable()
+}
+
+// ANTTTable renders the Figure 10 view: FCFS ANTT divided by the
+// policy's ANTT (higher is better).
+func (s *PairSweep) ANTTTable() (*tablefmt.Table, error) {
+	t := tablefmt.New("Figure 10: ANTT improvement over non-preemptive FCFS (LUD pairs)",
+		append([]string{"Pair"}, s.Policies...)...)
+	cols := make([][]float64, len(s.Policies))
+	for i, partner := range s.Partners {
+		row := []string{"LUD/" + partner}
+		for j, res := range s.Results[i] {
+			imp := s.FCFS[i].ANTT / res.ANTT
+			cols[j] = append(cols[j], imp)
+			row = append(row, tablefmt.Times(imp))
+		}
+		t.AddRow(row...)
+	}
+	geo := []string{"geomean"}
+	for _, col := range cols {
+		g, err := metrics.Geomean(col)
+		if err != nil {
+			return nil, err
+		}
+		geo = append(geo, tablefmt.Times(g))
+	}
+	t.AddRow(geo...)
+	t.Note = "paper geomeans: Switch 20.9x, Drain 19.3x, Flush 23.6x, Chimera 25.4x"
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: STP improvement over FCFS for the same
+// pairs. Paper averages: Switch 16.5 %, Drain 36.6 %, Flush 31.4 %,
+// Chimera 41.7 %.
+func Fig11(s Scale) (*tablefmt.Table, error) {
+	r, err := s.pairRunner(s.PairWindow)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := RunPairSweep(r)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.STPTable(), nil
+}
+
+// STPTable renders the Figure 11 view: relative STP gain over FCFS.
+func (s *PairSweep) STPTable() *tablefmt.Table {
+	t := tablefmt.New("Figure 11: STP improvement over non-preemptive FCFS (LUD pairs)",
+		append([]string{"Pair"}, s.Policies...)...)
+	cols := make([][]float64, len(s.Policies))
+	for i, partner := range s.Partners {
+		row := []string{"LUD/" + partner}
+		for j, res := range s.Results[i] {
+			imp := (res.STP - s.FCFS[i].STP) / s.FCFS[i].STP
+			cols[j] = append(cols[j], imp)
+			row = append(row, tablefmt.Pct(imp))
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"mean"}
+	for _, col := range cols {
+		avg = append(avg, tablefmt.Pct(metrics.Mean(col)))
+	}
+	t.AddRow(avg...)
+	t.Note = "paper: Switch 16.5%, Drain 36.6%, Flush 31.4%, Chimera 41.7%"
+	return t
+}
+
+// AllPairs reproduces the §4.4 all-combinations summary: Chimera versus
+// FCFS over every unordered pair of distinct benchmarks. The paper
+// reports 5.5x ANTT and 12.2 % STP improvement on average.
+func AllPairs(s Scale) (*tablefmt.Table, error) {
+	r, err := s.pairRunner(s.AllPairsWindow)
+	if err != nil {
+		return nil, err
+	}
+	cat := kernels.Load()
+	names := cat.BenchmarkNames()
+	var anttImps, stpImps []float64
+	pairs := 0
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			fcfs, err := r.RunPair(names[i], names[j], nil, true)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := r.RunPair(names[i], names[j], engine.ChimeraPolicy{}, false)
+			if err != nil {
+				return nil, err
+			}
+			anttImps = append(anttImps, fcfs.ANTT/ch.ANTT)
+			stpImps = append(stpImps, (ch.STP-fcfs.STP)/fcfs.STP)
+			pairs++
+		}
+	}
+	geo, err := metrics.Geomean(anttImps)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("§4.4: Chimera vs FCFS over all benchmark combinations",
+		"Metric", "Measured", "Paper")
+	t.AddRow("pairs", fmt.Sprintf("%d", pairs), "all combinations")
+	t.AddRow("ANTT improvement (geomean)", tablefmt.Times(geo), "5.5x")
+	t.AddRow("STP improvement (mean)", tablefmt.Pct(metrics.Mean(stpImps)), "12.2%")
+	return t, nil
+}

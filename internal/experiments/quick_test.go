@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := QuickScale()
+	Table1().Render(os.Stdout)
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2.Render(os.Stdout)
+	Fig2().Render(os.Stdout)
+	Fig3().Render(os.Stdout)
+	f6, err := Fig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6.Render(os.Stdout)
+	f7, err := Fig7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7.Render(os.Stdout)
+}
+
+func TestQuickFig89(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := QuickScale()
+	f8, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8.Render(os.Stdout)
+	f9, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9.Render(os.Stdout)
+}
+
+func TestQuickFig1011(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := QuickScale()
+	f10, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10.Render(os.Stdout)
+	f11, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11.Render(os.Stdout)
+}
+
+// TestAllExhibitsQuick regenerates every registered exhibit at quick
+// scale — the registry equivalent of `chimerasim -quick all` — and
+// checks each produced at least one well-formed table.
+func TestAllExhibitsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tables, err := Run(name, QuickScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range tables {
+				if tbl.Title == "" || len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+					t.Errorf("malformed table %+v", tbl)
+				}
+				// Render must not error (it validates row widths).
+				_ = tbl.String()
+			}
+		})
+	}
+}

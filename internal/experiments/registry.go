@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"chimera/internal/tablefmt"
+)
+
+// Runner is one registered experiment: it regenerates one (or more) of
+// the paper's exhibits at the given scale.
+type Runner func(Scale) ([]*tablefmt.Table, error)
+
+// registry maps exhibit names to their harnesses.
+var registry = map[string]Runner{
+	"table1": func(Scale) ([]*tablefmt.Table, error) {
+		return []*tablefmt.Table{Table1()}, nil
+	},
+	"table2": func(Scale) ([]*tablefmt.Table, error) {
+		t, err := Table2()
+		if err != nil {
+			return nil, err
+		}
+		return []*tablefmt.Table{t}, nil
+	},
+	"fig2": func(Scale) ([]*tablefmt.Table, error) {
+		return []*tablefmt.Table{Fig2()}, nil
+	},
+	"fig3": func(Scale) ([]*tablefmt.Table, error) {
+		return []*tablefmt.Table{Fig3()}, nil
+	},
+	"fig6":       one(Fig6),
+	"fig7":       one(Fig7),
+	"fig8":       one(Fig8),
+	"fig9":       one(Fig9),
+	"fig10":      one(Fig10),
+	"fig11":      one(Fig11),
+	"allpairs":   one(AllPairs),
+	"ablation":   Ablations,
+	"contention": Contention,
+	"scaling":    Scaling,
+	"estacc":     EstimationAccuracy,
+	"calibrated": Calibrated,
+	"gpusize":    GPUSize,
+	"seeds":      Seeds,
+}
+
+func one(f func(Scale) (*tablefmt.Table, error)) Runner {
+	return func(s Scale) ([]*tablefmt.Table, error) {
+		t, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*tablefmt.Table{t}, nil
+	}
+}
+
+// Names lists the registered experiments in a stable order matching the
+// paper's presentation.
+func Names() []string {
+	preferred := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds"}
+	seen := make(map[string]bool, len(preferred))
+	var names []string
+	for _, n := range preferred {
+		if _, ok := registry[n]; ok {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range registry {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}
+
+// Run executes one experiment by name.
+func Run(name string, s Scale) ([]*tablefmt.Table, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(s)
+}
+
+// RunAll executes every experiment in presentation order.
+func RunAll(s Scale) ([]*tablefmt.Table, error) {
+	var out []*tablefmt.Table
+	for _, name := range Names() {
+		tables, err := Run(name, s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}

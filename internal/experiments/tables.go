@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chimera/internal/gpu"
+	"chimera/internal/kernelir"
+	"chimera/internal/kernels"
+	"chimera/internal/tablefmt"
+	"chimera/internal/units"
+)
+
+// Table1 renders the system configuration (paper Table 1).
+func Table1() *tablefmt.Table {
+	cfg := gpu.DefaultConfig()
+	t := tablefmt.New("Table 1: System configuration", "Parameter", "Value")
+	t.AddRow("SMs", fmt.Sprintf("%d", cfg.NumSMs))
+	t.AddRow("Clock", fmt.Sprintf("%d MHz", units.ClockMHz))
+	t.AddRow("SIMT width", fmt.Sprintf("%d", cfg.SIMTWidth))
+	t.AddRow("Registers per SM", fmt.Sprintf("%d", cfg.RegistersPerSM))
+	t.AddRow("Max thread blocks per SM", fmt.Sprintf("%d", cfg.MaxTBsPerSM))
+	t.AddRow("Shared memory per SM", fmt.Sprintf("%d kB", cfg.SharedMemPerSM/units.KB))
+	t.AddRow("Memory partitions", fmt.Sprintf("%d", cfg.MemPartitions))
+	t.AddRow("Memory bandwidth", fmt.Sprintf("%.1f GB/s", float64(cfg.Bandwidth)))
+	return t
+}
+
+// Table2 renders the benchmark characteristics (paper Table 2): the
+// published drain/context/occupancy/switch/idempotence columns together
+// with the simulator's derived values — the computed context-switch time
+// and the compiler-analysis results (strict idempotence, breach point,
+// number of notification stores inserted).
+func Table2() (*tablefmt.Table, error) {
+	cat := kernels.Load()
+	t := tablefmt.New("Table 2: Benchmark specification",
+		"Kernel", "Suite", "Drain(µs)", "Ctx/TB", "TBs/SM", "Switch(µs)", "SwitchPaper", "Idem", "Breach@", "Notifies")
+	cfg := gpu.DefaultConfig()
+	for _, s := range cat.Kernels() {
+		p := s.Params
+		inst := kernelir.Instrument(s.Program)
+		idem := "No"
+		if p.StrictIdempotent {
+			idem = "Yes"
+		}
+		if p.StrictIdempotent != s.PaperIdempotent {
+			return nil, fmt.Errorf("experiments: %s: idempotence disagrees with Table 2", p.Label)
+		}
+		breach := "-"
+		if !p.StrictIdempotent {
+			breach = tablefmt.Pct(p.BreachFraction)
+		}
+		t.AddRow(
+			p.Label,
+			s.Suite,
+			tablefmt.F(p.AvgDrainCycles().Microseconds(), 1),
+			fmt.Sprintf("%dkB", s.PaperContextKB),
+			fmt.Sprintf("%d", p.TBsPerSM),
+			tablefmt.F(p.SwitchCycles(cfg).Microseconds(), 1),
+			tablefmt.F(s.PaperSwitchUs, 1),
+			idem,
+			breach,
+			fmt.Sprintf("%d", inst.NotifyCount),
+		)
+	}
+	t.AddRow("idempotent", "", "", "", "", "", "", fmt.Sprintf("%d/27", cat.IdempotentCount()))
+	t.Note = "Switch(µs) is computed from context size over the per-SM bandwidth share (§2.4); SwitchPaper is Table 2's published value."
+	return t, nil
+}

@@ -1,0 +1,244 @@
+// Package funcsim executes kernelir programs *functionally* — with
+// concrete memory contents — to validate the paper's core correctness
+// claim: a thread block preempted by SM flushing and re-executed from
+// scratch "produces the same result up to the preemption point" as an
+// undisturbed run, provided the flush happens before the block's
+// idempotence breach (§2.3, §3.4).
+//
+// The interpreter gives the IR a deterministic concrete semantics:
+//
+//   - the block carries an accumulator (its register state proxy);
+//   - ALU mixes the accumulator; loads fold the loaded value in; stores
+//     write the accumulator out; atomics add it in place (the
+//     read-modify-write that re-execution would double-apply);
+//   - addresses resolve from the symbolic tags: a named tag is a stable
+//     index (offset by the innermost loop iteration when loop-variant),
+//     and the UnknownTag address is data-dependent (derived from the
+//     accumulator — precisely why the compiler cannot resolve it);
+//   - global memory persists across a flush; shared memory and the
+//     accumulator are discarded (they are the dropped context).
+//
+// These semantics realize exactly the aliasing model of the static
+// analysis, so the analysis's breach point is a sound flush boundary
+// for them: Execute with a flush at any instruction index at or before
+// Result.FirstBreach must equal the undisturbed run. The property tests
+// exercise that equivalence over random programs and concrete breaches
+// beyond the boundary.
+package funcsim
+
+import (
+	"fmt"
+
+	"chimera/internal/kernelir"
+)
+
+// Memory is concrete global memory: buffer name → index → value. Reads
+// of never-written cells see a deterministic per-cell seed (the "input
+// data").
+type Memory map[string]map[int64]uint64
+
+// clone deep-copies the memory.
+func (m Memory) clone() Memory {
+	out := make(Memory, len(m))
+	for buf, cells := range m {
+		cp := make(map[int64]uint64, len(cells))
+		for i, v := range cells {
+			cp[i] = v
+		}
+		out[buf] = cp
+	}
+	return out
+}
+
+// Equal reports whether two memories hold identical contents (cells
+// explicitly written; seeded-but-untouched cells are never stored).
+func (m Memory) Equal(other Memory) bool {
+	if len(m) != len(other) {
+		return false
+	}
+	for buf, cells := range m {
+		oc, ok := other[buf]
+		if !ok || len(oc) != len(cells) {
+			return false
+		}
+		for i, v := range cells {
+			if ov, ok := oc[i]; !ok || ov != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mix is a cheap invertible-ish scramble (splitmix64 finalizer).
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// strHash is a stable FNV-1a over a string.
+func strHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// seed is the pristine value of a never-written cell.
+func seed(buf string, idx int64) uint64 {
+	return mix(strHash(buf) ^ uint64(idx)*0x9e3779b97f4a7c15)
+}
+
+// state is one execution attempt's mutable state.
+type state struct {
+	global Memory
+	shared map[string]map[int64]uint64 // dropped on flush
+	acc    uint64
+
+	pos     int64 // dynamic instruction index
+	flushAt int64 // -1: never
+	flushed bool  // a flush was consumed
+}
+
+// Execute runs one thread block of p to completion and returns the
+// final global memory. With flushAt >= 0, the block is flushed once
+// after executing exactly flushAt instructions — its accumulator and
+// shared memory are discarded, global memory keeps whatever the partial
+// run wrote — and then re-executed from the beginning to completion
+// (the SM-flushing recovery path). flushAt beyond the program length
+// means the flush never triggers.
+func Execute(p *kernelir.Program, flushAt int64) (Memory, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st := &state{global: make(Memory), flushAt: -1}
+	if flushAt >= 0 {
+		st.flushAt = flushAt
+	}
+	for {
+		st.shared = make(map[string]map[int64]uint64)
+		st.acc = mix(strHash(p.Name))
+		st.pos = 0
+		done, err := st.runBody(p.Body, 0)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return st.global, nil
+		}
+		// Flushed: context dropped, global memory persists; go again.
+	}
+}
+
+// runBody executes statements; it returns false when the flush point
+// was hit (execution must restart).
+func (st *state) runBody(body []kernelir.Stmt, iter int64) (bool, error) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case kernelir.Instr:
+			n := int(s.Repeat)
+			if n <= 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				if !st.flushed && st.flushAt >= 0 && st.pos == st.flushAt {
+					st.flushed = true
+					return false, nil
+				}
+				if err := st.step(s, iter); err != nil {
+					return false, err
+				}
+				st.pos++
+			}
+		case kernelir.Loop:
+			for i := 0; i < s.Trip; i++ {
+				done, err := st.runBody(s.Body, int64(i))
+				if err != nil || !done {
+					return done, err
+				}
+			}
+		default:
+			return false, fmt.Errorf("funcsim: unknown stmt %T", s)
+		}
+	}
+	return true, nil
+}
+
+// index resolves an address to a concrete cell index, mirroring the
+// static analysis's aliasing model.
+func (st *state) index(a kernelir.Addr, iter int64) int64 {
+	if a.Tag == kernelir.UnknownTag {
+		// Data-dependent address: the reason the compiler must treat it
+		// as aliasing anything in the buffer.
+		return int64(st.acc % 61)
+	}
+	idx := int64(strHash(a.Tag) % 1009)
+	if a.LoopVariant {
+		idx += 1009 * (iter + 1)
+	}
+	return idx
+}
+
+func (st *state) step(in kernelir.Instr, iter int64) error {
+	switch in.Op {
+	case kernelir.ALU:
+		st.acc = mix(st.acc)
+	case kernelir.Barrier, kernelir.Notify:
+		// No memory effect (the notify store goes to a scratch address
+		// outside the kernel's data).
+	case kernelir.Load:
+		idx := st.index(in.Addr, iter)
+		var v uint64
+		switch in.Space {
+		case kernelir.Global:
+			v = st.loadGlobal(in.Addr.Buf, idx)
+		case kernelir.Shared:
+			v = st.shared[in.Addr.Buf][idx] // zero if unwritten
+		case kernelir.Constant:
+			v = seed(in.Addr.Buf, idx) // read-only space
+		}
+		st.acc = mix(st.acc ^ v)
+	case kernelir.Store:
+		idx := st.index(in.Addr, iter)
+		switch in.Space {
+		case kernelir.Global:
+			st.storeGlobal(in.Addr.Buf, idx, st.acc)
+		case kernelir.Shared:
+			cells := st.shared[in.Addr.Buf]
+			if cells == nil {
+				cells = make(map[int64]uint64)
+				st.shared[in.Addr.Buf] = cells
+			}
+			cells[idx] = st.acc
+		}
+	case kernelir.Atomic:
+		idx := st.index(in.Addr, iter)
+		// Read-modify-write: the operation re-execution cannot undo.
+		st.storeGlobal(in.Addr.Buf, idx, st.loadGlobal(in.Addr.Buf, idx)+st.acc)
+	default:
+		return fmt.Errorf("funcsim: unknown op %v", in.Op)
+	}
+	return nil
+}
+
+func (st *state) loadGlobal(buf string, idx int64) uint64 {
+	if cells, ok := st.global[buf]; ok {
+		if v, ok := cells[idx]; ok {
+			return v
+		}
+	}
+	return seed(buf, idx)
+}
+
+func (st *state) storeGlobal(buf string, idx int64, v uint64) {
+	cells := st.global[buf]
+	if cells == nil {
+		cells = make(map[int64]uint64)
+		st.global[buf] = cells
+	}
+	cells[idx] = v
+}

@@ -1,0 +1,61 @@
+package funcsim
+
+import (
+	"testing"
+
+	"chimera/internal/kernelir"
+)
+
+// FuzzFlushSoundness drives the full compiler-to-recovery pipeline with
+// arbitrary kernel source: parse, analyze, then execute with a flush
+// injected inside the analysis's safe window. Any accepted program whose
+// flushed run diverges from its undisturbed run would be a soundness bug
+// in the idempotence analysis (or the interpreter).
+func FuzzFlushSoundness(f *testing.F) {
+	seeds := []struct {
+		src   string
+		point uint16
+	}{
+		{".kernel k\nld global:x[t]\nld global:y[t]\nalu x4\nst global:y[t]\n", 3},
+		{"loop x9 {\nld global:a[i*]\nalu\nst global:b[i*]\n}\n", 11},
+		{"atom global:c[z]\nalu x5\n", 0},
+		{"ld global:a[?]\nst global:a[q]\nalu\n", 1},
+		{"st shared:s[t]\nld shared:s[t]\nst global:o[t]\n", 2},
+	}
+	for _, s := range seeds {
+		f.Add(s.src, s.point)
+	}
+	f.Fuzz(func(t *testing.T, src string, point uint16) {
+		p, err := kernelir.ParseString(src)
+		if err != nil {
+			return
+		}
+		res, err := kernelir.Analyze(p)
+		if err != nil {
+			return
+		}
+		if res.Insts > 100_000 {
+			return // keep the interpreter cheap under fuzzing
+		}
+		limit := res.FirstBreach
+		if res.StrictIdempotent {
+			limit = res.Insts
+		}
+		if limit < 0 {
+			return
+		}
+		flushAt := int64(point) % (limit + 1)
+		undisturbed, err := Execute(p, -1)
+		if err != nil {
+			t.Fatalf("undisturbed execution failed: %v", err)
+		}
+		flushed, err := Execute(p, flushAt)
+		if err != nil {
+			t.Fatalf("flushed execution failed: %v", err)
+		}
+		if !flushed.Equal(undisturbed) {
+			t.Fatalf("flush at %d (safe limit %d) diverged for:\n%s",
+				flushAt, limit, kernelir.DisassembleString(p))
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package gpu
+
+import (
+	"fmt"
+
+	"chimera/internal/units"
+)
+
+// KernelParams describes one GPU kernel the way the scheduler sees it: the
+// statically known quantities (context size, occupancy, grid size) plus
+// the timing model parameters of our simulator substrate (instruction
+// count and CPI process per thread block).
+//
+// In the paper these come from the kernel binary and launch configuration
+// (context size, thread blocks per SM) and from execution (instruction
+// counts, CPI). Here they are inputs taken from Table 2 of the paper; see
+// internal/kernels for the catalog.
+type KernelParams struct {
+	// Label is the paper's short identifier, e.g. "BS.0".
+	Label string
+	// Benchmark is the benchmark the kernel belongs to, e.g. "BS".
+	Benchmark string
+	// Name is the kernel's function name, e.g. "BlackScholesGPU".
+	Name string
+
+	// InstsPerTB is the number of warp-granularity instructions one
+	// thread block executes. The paper counts instructions in warp
+	// granularity so control divergence has minimal effect (§3.2).
+	InstsPerTB int64
+	// BaseCPI is the mean cycles-per-warp-instruction of one thread
+	// block's progress while the SM is fully occupied.
+	BaseCPI float64
+	// CPISigma is the lognormal shape parameter of per-thread-block CPI
+	// variation. Zero makes every block identical.
+	CPISigma float64
+
+	// TBsPerSM is the number of thread blocks that fit concurrently on
+	// one SM for this kernel (Table 2, "TBs/SM").
+	TBsPerSM int
+	// ContextBytesPerTB is the register + shared-memory context of one
+	// thread block (Table 2, "Context/TB").
+	ContextBytesPerTB units.Bytes
+	// GridSize is the number of thread blocks in one launch.
+	GridSize int
+
+	// StrictIdempotent reports the paper's strict §2.3 condition, as
+	// determined by compiler analysis of the kernel body.
+	StrictIdempotent bool
+	// BreachFraction is the fraction of a thread block's dynamic
+	// instruction stream executed before the first idempotence breach
+	// (atomic or global overwrite). 1 for strictly idempotent kernels.
+	BreachFraction float64
+}
+
+// Validate reports the first parameter error, if any.
+func (k KernelParams) Validate() error {
+	switch {
+	case k.Label == "":
+		return fmt.Errorf("gpu: kernel without label")
+	case k.InstsPerTB <= 0:
+		return fmt.Errorf("gpu: %s: InstsPerTB must be positive", k.Label)
+	case k.BaseCPI <= 0:
+		return fmt.Errorf("gpu: %s: BaseCPI must be positive", k.Label)
+	case k.CPISigma < 0:
+		return fmt.Errorf("gpu: %s: CPISigma must be non-negative", k.Label)
+	case k.TBsPerSM <= 0:
+		return fmt.Errorf("gpu: %s: TBsPerSM must be positive", k.Label)
+	case k.GridSize <= 0:
+		return fmt.Errorf("gpu: %s: GridSize must be positive", k.Label)
+	case k.BreachFraction < 0 || k.BreachFraction > 1:
+		return fmt.Errorf("gpu: %s: BreachFraction out of [0,1]", k.Label)
+	case k.StrictIdempotent && k.BreachFraction != 1:
+		return fmt.Errorf("gpu: %s: strictly idempotent kernel must have BreachFraction 1", k.Label)
+	}
+	return nil
+}
+
+// TBExecCycles is the mean wall time of one thread block.
+func (k KernelParams) TBExecCycles() units.Cycles {
+	return units.Cycles(float64(k.InstsPerTB)*k.BaseCPI + 0.5)
+}
+
+// AvgDrainCycles is the expected drain latency under a uniformly random
+// preemption point: half the thread block execution time. This is the
+// quantity Table 2 reports as "Average Drain Time".
+func (k KernelParams) AvgDrainCycles() units.Cycles {
+	return k.TBExecCycles() / 2
+}
+
+// SMContextBytes is the context that must move to switch one full SM
+// running this kernel: the per-block context times the resident blocks.
+func (k KernelParams) SMContextBytes() units.Bytes {
+	return k.ContextBytesPerTB * units.Bytes(k.TBsPerSM)
+}
+
+// SwitchCycles is the estimated time to save (or restore) one full SM's
+// context at the SM's bandwidth share — Table 2's "Switching Time".
+func (k KernelParams) SwitchCycles(c Config) units.Cycles {
+	return c.ContextTransferCycles(k.SMContextBytes())
+}
+
+// TBSwitchCycles is the save (or restore) time for a single thread
+// block's context at the SM's bandwidth share.
+func (k KernelParams) TBSwitchCycles(c Config) units.Cycles {
+	return c.ContextTransferCycles(k.ContextBytesPerTB)
+}
+
+// BreachInst is the warp-instruction index at which a thread block of
+// this kernel crosses into its non-idempotent region; InstsPerTB (i.e.
+// never) for strictly idempotent kernels.
+func (k KernelParams) BreachInst() int64 {
+	if k.StrictIdempotent {
+		return k.InstsPerTB
+	}
+	b := int64(k.BreachFraction * float64(k.InstsPerTB))
+	if b > k.InstsPerTB {
+		b = k.InstsPerTB
+	}
+	return b
+}
+
+// SMIPC is the aggregate instructions-per-cycle one SM achieves running
+// this kernel at full occupancy: TBsPerSM blocks each progressing at
+// 1/BaseCPI.
+func (k KernelParams) SMIPC() float64 {
+	return float64(k.TBsPerSM) / k.BaseCPI
+}

@@ -1,0 +1,66 @@
+package gpu
+
+import "chimera/internal/units"
+
+// KernelStats accumulates the hardware-measured statistics §3.2 names as
+// Chimera's estimator inputs: per-completed-thread-block instruction and
+// cycle totals (yielding average instructions per block and average CPI),
+// plus throughput accounting used by the evaluation harness.
+//
+// The estimator must never read ground-truth KernelParams for quantities
+// the paper measures at runtime — it reads this struct, which starts empty
+// and converges as thread blocks complete. Until then the estimator falls
+// back to conservative maxima (§3.2, last sentence).
+type KernelStats struct {
+	// CompletedTBs counts thread blocks run to completion.
+	CompletedTBs int64
+	// InstsFromCompleted is the summed warp-instruction count of
+	// completed thread blocks.
+	InstsFromCompleted int64
+	// CyclesFromCompleted is the summed wall-cycle count of completed
+	// thread blocks (execution time only, excluding restore halts).
+	CyclesFromCompleted units.Cycles
+
+	// IssuedInsts counts every instruction executed, including
+	// re-execution of flushed blocks and pre-save progress of switched
+	// blocks.
+	IssuedInsts int64
+	// WastedInsts counts instructions discarded by flushing (progress at
+	// the moment of the flush). UsefulInsts = IssuedInsts - WastedInsts.
+	WastedInsts int64
+
+	// Preemptions counts thread-block preemption events by technique.
+	Preemptions [3]int64
+}
+
+// RecordCompletion folds one completed thread block into the averages.
+func (s *KernelStats) RecordCompletion(insts int64, cycles units.Cycles) {
+	s.CompletedTBs++
+	s.InstsFromCompleted += insts
+	s.CyclesFromCompleted += cycles
+}
+
+// AvgInstsPerTB returns the measured mean warp instructions per completed
+// thread block. ok is false until at least one block has completed.
+func (s *KernelStats) AvgInstsPerTB() (avg float64, ok bool) {
+	if s.CompletedTBs == 0 {
+		return 0, false
+	}
+	return float64(s.InstsFromCompleted) / float64(s.CompletedTBs), true
+}
+
+// AvgCPI returns the measured mean cycles per warp instruction of
+// completed thread blocks. ok is false until at least one block has
+// completed.
+func (s *KernelStats) AvgCPI() (avg float64, ok bool) {
+	if s.InstsFromCompleted == 0 {
+		return 0, false
+	}
+	return float64(s.CyclesFromCompleted) / float64(s.InstsFromCompleted), true
+}
+
+// UsefulInsts is the forward progress credited to the kernel: everything
+// issued minus work thrown away by flushes.
+func (s *KernelStats) UsefulInsts() int64 {
+	return s.IssuedInsts - s.WastedInsts
+}

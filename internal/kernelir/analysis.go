@@ -1,0 +1,216 @@
+package kernelir
+
+import "fmt"
+
+// Result is the outcome of idempotence analysis over one kernel program.
+type Result struct {
+	// Insts is the dynamic per-warp instruction count.
+	Insts int64
+	// StrictIdempotent reports the paper's strict (§2.3) condition: no
+	// atomics and no overwrite of a previously-read global location
+	// anywhere in the execution.
+	StrictIdempotent bool
+	// FirstBreach is the dynamic instruction index (0-based) of the first
+	// idempotence breach. Valid only when StrictIdempotent is false.
+	FirstBreach int64
+	// BreachOp describes the first breaching instruction.
+	BreachOp string
+}
+
+// BreachFraction returns the fraction of the dynamic instruction stream
+// executed before the first breach — the window during which the relaxed
+// condition (§3.4) still permits flushing. A strictly idempotent kernel
+// returns 1 (flushable for its entire execution).
+func (r Result) BreachFraction() float64 {
+	if r.StrictIdempotent {
+		return 1
+	}
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.FirstBreach) / float64(r.Insts)
+}
+
+// addrKey identifies a concrete-enough address for alias tracking: the
+// symbolic tag plus, for loop-variant indices, the iteration it was
+// touched in (different iterations touch provably distinct locations).
+type addrKey struct {
+	tag  string
+	iter int64
+}
+
+// readState tracks the global locations a thread block has read so far.
+type readState struct {
+	// tags maps buffer -> set of read address keys.
+	tags map[string]map[addrKey]struct{}
+	// unknown marks buffers with at least one unresolvable read.
+	unknown map[string]bool
+}
+
+func newReadState() *readState {
+	return &readState{
+		tags:    make(map[string]map[addrKey]struct{}),
+		unknown: make(map[string]bool),
+	}
+}
+
+func (rs *readState) addRead(a Addr, iter int64) {
+	if a.Tag == UnknownTag {
+		rs.unknown[a.Buf] = true
+		return
+	}
+	key := addrKey{tag: a.Tag}
+	if a.LoopVariant {
+		key.iter = iter + 1 // 0 is reserved for loop-invariant keys
+	}
+	set := rs.tags[a.Buf]
+	if set == nil {
+		set = make(map[addrKey]struct{})
+		rs.tags[a.Buf] = set
+	}
+	set[key] = struct{}{}
+}
+
+// storeAliases reports whether a store to a may alias any prior read.
+func (rs *readState) storeAliases(a Addr, iter int64) bool {
+	if rs.unknown[a.Buf] {
+		return true
+	}
+	set := rs.tags[a.Buf]
+	if len(set) == 0 {
+		return false
+	}
+	if a.Tag == UnknownTag {
+		return true
+	}
+	key := addrKey{tag: a.Tag}
+	if a.LoopVariant {
+		key.iter = iter + 1
+	}
+	_, ok := set[key]
+	return ok
+}
+
+// persistentSize returns a fingerprint of the state that can influence
+// future loop iterations: the number of loop-invariant read keys and
+// unknown-read buffers. Loop-variant keys from past iterations can only be
+// aliased by UnknownTag stores, which the fingerprint captures via the
+// per-buffer "has any read" count.
+func (rs *readState) persistentSize() int {
+	n := len(rs.unknown)
+	for _, set := range rs.tags {
+		n++ // buffer presence matters for UnknownTag stores
+		for k := range set {
+			if k.iter == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+type walker struct {
+	pos     int64
+	reads   *readState
+	breach  int64
+	breachA string
+	found   bool
+}
+
+// Analyze runs the idempotence analysis of §2.3/§3.4 over the program. It
+// walks the dynamic per-warp instruction stream in order, tracking the set
+// of global locations read so far; the first atomic, or the first global
+// store aliasing a prior read, marks the breach point. Long loops are not
+// materialized: once a loop iteration neither breaches nor contributes new
+// persistent alias state, the remaining iterations are skipped
+// arithmetically (they are exact repeats for aliasing purposes).
+func Analyze(p *Program) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	w := &walker{reads: newReadState(), breach: -1}
+	w.walkBody(p.Body, 0)
+	res := Result{
+		Insts:            p.InstCount(),
+		StrictIdempotent: !w.found,
+		FirstBreach:      w.breach,
+		BreachOp:         w.breachA,
+	}
+	if w.pos != res.Insts {
+		return Result{}, fmt.Errorf("kernelir: %s: analysis walked %d insts, program has %d", p.Name, w.pos, res.Insts)
+	}
+	return res, nil
+}
+
+// MustAnalyze is Analyze for statically known-valid programs (the built-in
+// catalog); it panics on error.
+func MustAnalyze(p *Program) Result {
+	r, err := Analyze(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (w *walker) walkBody(body []Stmt, iter int64) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			w.walkInstr(s, iter)
+		case Loop:
+			w.walkLoop(s, iter)
+		}
+	}
+}
+
+func (w *walker) walkInstr(in Instr, iter int64) {
+	n := in.count()
+	if w.found {
+		w.pos += n
+		return
+	}
+	switch in.Op {
+	case Atomic:
+		w.markBreach(in)
+	case Load:
+		if in.Space == Global {
+			w.reads.addRead(in.Addr, iter)
+		}
+	case Store:
+		if in.Space == Global && w.reads.storeAliases(in.Addr, iter) {
+			w.markBreach(in)
+		}
+	}
+	w.pos += n
+}
+
+func (w *walker) markBreach(in Instr) {
+	w.found = true
+	w.breach = w.pos
+	w.breachA = fmt.Sprintf("%v %s[%s]", in.Op, in.Addr.Buf, in.Addr.Tag)
+}
+
+func (w *walker) walkLoop(l Loop, outerIter int64) {
+	if l.Trip <= 0 {
+		return
+	}
+	bodyInsts := countStmts(l.Body)
+	for i := 0; i < l.Trip; i++ {
+		if w.found {
+			// Breach already located; the rest is pure counting.
+			w.pos += int64(l.Trip-i) * bodyInsts
+			return
+		}
+		before := w.reads.persistentSize()
+		w.walkBody(l.Body, int64(i))
+		// After at least two iterations (so cross-iteration aliasing via
+		// persistent keys has had a chance to fire), a steady-state
+		// iteration — no breach, no new persistent alias state — proves
+		// the remaining iterations cannot breach either.
+		if i >= 1 && !w.found && w.reads.persistentSize() == before {
+			w.pos += int64(l.Trip-i-1) * bodyInsts
+			return
+		}
+	}
+	_ = outerIter
+}

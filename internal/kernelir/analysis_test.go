@@ -1,0 +1,297 @@
+package kernelir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAnalyze(t *testing.T, p *Program) Result {
+	t.Helper()
+	r, err := Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", p.Name, err)
+	}
+	return r
+}
+
+func TestIdempotentDistinctBuffers(t *testing.T) {
+	// c[i] = a[i] + b[i]: output distinct from inputs.
+	p := NewBuilder("vecadd").LoadG("a", "t").LoadG("b", "t").ALU(3).StoreG("c", "t").Build()
+	r := mustAnalyze(t, p)
+	if !r.StrictIdempotent {
+		t.Errorf("vecadd should be idempotent, breach %q at %d", r.BreachOp, r.FirstBreach)
+	}
+	if r.BreachFraction() != 1 {
+		t.Errorf("idempotent kernel breach fraction = %v, want 1", r.BreachFraction())
+	}
+}
+
+func TestReadThenWriteBreaches(t *testing.T) {
+	// y[i] += x[i]: reads y then overwrites it.
+	p := NewBuilder("saxpy").LoadG("x", "t").LoadG("y", "t").ALU(4).StoreG("y", "t").Build()
+	r := mustAnalyze(t, p)
+	if r.StrictIdempotent {
+		t.Fatal("saxpy should not be idempotent")
+	}
+	if r.FirstBreach != 6 {
+		t.Errorf("breach at %d, want 6 (after 2 loads + 4 ALU)", r.FirstBreach)
+	}
+}
+
+func TestWriteThenReadIsIdempotent(t *testing.T) {
+	// Writing a location before ever reading it is fine: on re-execution
+	// the write happens again and the read sees the same value.
+	p := NewBuilder("wr").StoreG("buf", "t").ALU(2).LoadG("buf", "t").Build()
+	r := mustAnalyze(t, p)
+	if !r.StrictIdempotent {
+		t.Errorf("write-then-read flagged as breach: %q", r.BreachOp)
+	}
+}
+
+func TestDistinctTagsNoAlias(t *testing.T) {
+	p := NewBuilder("p").LoadG("m", "row").StoreG("m", "col").Build()
+	if r := mustAnalyze(t, p); !r.StrictIdempotent {
+		t.Errorf("provably distinct indices flagged as breach: %q", r.BreachOp)
+	}
+}
+
+func TestAtomicBreachesImmediately(t *testing.T) {
+	p := NewBuilder("p").ALU(5).AtomicG("counter", "x").ALU(5).Build()
+	r := mustAnalyze(t, p)
+	if r.StrictIdempotent || r.FirstBreach != 5 {
+		t.Errorf("atomic breach at %d (idempotent=%v), want 5", r.FirstBreach, r.StrictIdempotent)
+	}
+}
+
+func TestUnknownStoreAliasesBuffer(t *testing.T) {
+	p := NewBuilder("p").LoadG("a", "x").StoreG("a", UnknownTag).Build()
+	if r := mustAnalyze(t, p); r.StrictIdempotent {
+		t.Error("unknown-index store into a read buffer must be a breach")
+	}
+	// ... but only the same buffer.
+	q := NewBuilder("q").LoadG("a", "x").StoreG("b", UnknownTag).Build()
+	if r := mustAnalyze(t, q); !r.StrictIdempotent {
+		t.Error("unknown-index store into an unread buffer is no breach")
+	}
+}
+
+func TestUnknownReadAliasesLaterStores(t *testing.T) {
+	p := NewBuilder("p").LoadG("a", UnknownTag).StoreG("a", "y").Build()
+	if r := mustAnalyze(t, p); r.StrictIdempotent {
+		t.Error("store into a buffer with an unknown read must be a breach")
+	}
+}
+
+func TestSharedAndConstantIgnored(t *testing.T) {
+	// Shared memory is part of the dropped context; overwriting it never
+	// breaks idempotence. Constant space is read-only by construction.
+	p := NewBuilder("p").
+		LoadS("tile", "t").StoreS("tile", "t").
+		LoadC("lut", "k").
+		LoadG("in", "t").StoreG("out", "t").
+		Build()
+	if r := mustAnalyze(t, p); !r.StrictIdempotent {
+		t.Errorf("shared/constant traffic flagged as breach: %q", r.BreachOp)
+	}
+}
+
+func TestLoopVariantNoCrossIterationAlias(t *testing.T) {
+	// for i: load a[i]; store a[i] — same iteration: breach.
+	p := NewBuilder("inplace")
+	p.Loop(10, func(b *Builder) { b.LoadGVar("a", "i"); b.ALU(1); b.StoreGVar("a", "i") })
+	r := mustAnalyze(t, p.Build())
+	if r.StrictIdempotent || r.FirstBreach != 2 {
+		t.Errorf("in-place loop breach at %d (idempotent=%v), want 2", r.FirstBreach, r.StrictIdempotent)
+	}
+
+	// for i: store b[i]; load a[i] — stores precede any read of the same
+	// location; distinct iterations touch distinct elements: idempotent.
+	q := NewBuilder("stream")
+	q.Loop(10, func(b *Builder) { b.StoreGVar("b", "i"); b.LoadGVar("a", "i") })
+	if r := mustAnalyze(t, q.Build()); !r.StrictIdempotent {
+		t.Errorf("loop-variant streaming flagged as breach: %q", r.BreachOp)
+	}
+}
+
+func TestLoopInvariantCrossIterationAlias(t *testing.T) {
+	// for i: store acc[k]; load acc[k] — iteration 0 is write-then-read
+	// (fine); iteration 1 overwrites the location iteration 0 read.
+	p := NewBuilder("acc")
+	p.Loop(5, func(b *Builder) { b.StoreG("acc", "k"); b.LoadG("acc", "k") })
+	r := mustAnalyze(t, p.Build())
+	if r.StrictIdempotent {
+		t.Fatal("cross-iteration overwrite not detected")
+	}
+	if r.FirstBreach != 2 {
+		t.Errorf("breach at %d, want 2 (first store of iteration 1)", r.FirstBreach)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	p := NewBuilder("p")
+	p.Loop(0, func(b *Builder) { b.AtomicG("x", "t") })
+	p.ALU(3)
+	r := mustAnalyze(t, p.Build())
+	if !r.StrictIdempotent || r.Insts != 3 {
+		t.Errorf("zero-trip loop: idempotent=%v insts=%d", r.StrictIdempotent, r.Insts)
+	}
+}
+
+func TestInstCountWithLoops(t *testing.T) {
+	p := NewBuilder("p")
+	p.ALU(2)
+	p.Loop(10, func(b *Builder) {
+		b.ALU(3)
+		b.Loop(4, func(b *Builder) { b.LoadGVar("a", "i") })
+	})
+	prog := p.Build()
+	want := int64(2 + 10*(3+4))
+	if got := prog.InstCount(); got != want {
+		t.Errorf("InstCount = %d, want %d", got, want)
+	}
+	r := mustAnalyze(t, prog)
+	if r.Insts != want {
+		t.Errorf("analysis inst count = %d, want %d", r.Insts, want)
+	}
+}
+
+func TestBigLoopSkipMatchesCount(t *testing.T) {
+	// The fixpoint skip must keep the position arithmetic exact even for
+	// huge trip counts (Analyze cross-checks walked count internally).
+	p := NewBuilder("big")
+	p.Loop(1_000_000, func(b *Builder) { b.ALU(2); b.LoadGVar("a", "i") })
+	p.LoadG("y", "t")
+	p.StoreG("y", "t")
+	r := mustAnalyze(t, p.Build())
+	if r.StrictIdempotent {
+		t.Fatal("expected breach at trailing overwrite")
+	}
+	if want := int64(3_000_001); r.FirstBreach != want {
+		t.Errorf("breach at %d, want %d", r.FirstBreach, want)
+	}
+}
+
+// --- Property: the loop-skipping analysis must agree with a naive
+// analysis over the fully unrolled program. -----------------------------
+
+// unroll expands every loop literally (small trips only).
+func unroll(body []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			out = append(out, s)
+		case Loop:
+			inner := unroll(s.Body)
+			for i := 0; i < s.Trip; i++ {
+				out = append(out, inner...)
+			}
+		}
+	}
+	return out
+}
+
+// naiveAnalyze walks an unrolled (loop-free) program directly with the
+// simplest possible alias bookkeeping, treating each unrolled copy of a
+// loop-variant access as a distinct location per copy index.
+//
+// NOTE: unrolling erases loop-iteration identity, so to compare fairly
+// the generator below only emits loop-invariant addresses inside loops.
+func naiveAnalyze(p *Program) Result {
+	reads := map[string]map[string]bool{}
+	readUnknown := map[string]bool{}
+	var pos int64
+	res := Result{StrictIdempotent: true, FirstBreach: -1, Insts: p.InstCount()}
+	for _, s := range unroll(p.Body) {
+		in := s.(Instr)
+		n := in.count()
+		breach := false
+		switch in.Op {
+		case Atomic:
+			breach = true
+		case Load:
+			if in.Space == Global {
+				if in.Addr.Tag == UnknownTag {
+					readUnknown[in.Addr.Buf] = true
+				} else {
+					if reads[in.Addr.Buf] == nil {
+						reads[in.Addr.Buf] = map[string]bool{}
+					}
+					reads[in.Addr.Buf][in.Addr.Tag] = true
+				}
+			}
+		case Store:
+			if in.Space == Global {
+				switch {
+				case readUnknown[in.Addr.Buf]:
+					breach = true
+				case in.Addr.Tag == UnknownTag && len(reads[in.Addr.Buf]) > 0:
+					breach = true
+				case reads[in.Addr.Buf][in.Addr.Tag]:
+					breach = true
+				}
+			}
+		}
+		if breach && res.StrictIdempotent {
+			res.StrictIdempotent = false
+			res.FirstBreach = pos
+		}
+		pos += n
+	}
+	return res
+}
+
+// randomProgram builds a random loop-invariant program.
+func randomProgram(r *rand.Rand) *Program {
+	bufs := []string{"a", "b", "c"}
+	tags := []string{"x", "y", UnknownTag}
+	var gen func(depth int) []Stmt
+	gen = func(depth int) []Stmt {
+		n := r.Intn(6) + 1
+		var body []Stmt
+		for i := 0; i < n; i++ {
+			switch k := r.Intn(10); {
+			case k < 3:
+				body = append(body, Instr{Op: ALU, Repeat: r.Intn(3) + 1})
+			case k < 6:
+				body = append(body, Instr{Op: Load, Space: Global,
+					Addr: Addr{Buf: bufs[r.Intn(3)], Tag: tags[r.Intn(3)]}})
+			case k < 8:
+				body = append(body, Instr{Op: Store, Space: Global,
+					Addr: Addr{Buf: bufs[r.Intn(3)], Tag: tags[r.Intn(3)]}})
+			case k < 9 && depth < 2:
+				body = append(body, Loop{Trip: r.Intn(5), Body: gen(depth + 1)})
+			default:
+				body = append(body, Instr{Op: Atomic, Space: Global,
+					Addr: Addr{Buf: bufs[r.Intn(3)], Tag: tags[r.Intn(3)]}})
+			}
+		}
+		return body
+	}
+	return &Program{Name: "rand", Body: gen(0)}
+}
+
+func TestAnalyzeMatchesNaiveUnroll(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		got, err := Analyze(p)
+		if err != nil {
+			return false
+		}
+		want := naiveAnalyze(p)
+		if got.StrictIdempotent != want.StrictIdempotent {
+			t.Logf("seed %d: idempotent %v vs naive %v", seed, got.StrictIdempotent, want.StrictIdempotent)
+			return false
+		}
+		if !got.StrictIdempotent && got.FirstBreach != want.FirstBreach {
+			t.Logf("seed %d: breach %d vs naive %d", seed, got.FirstBreach, want.FirstBreach)
+			return false
+		}
+		return got.Insts == want.Insts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package kernelir
+
+// Builder assembles kernel programs with a compact fluent API. It exists
+// so the 27-kernel catalog reads like pseudo-code of the original CUDA
+// kernels rather than literal AST plumbing.
+type Builder struct {
+	name  string
+	stack [][]Stmt
+}
+
+// NewBuilder starts a program with the given kernel name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, stack: [][]Stmt{nil}}
+}
+
+func (b *Builder) emit(s Stmt) *Builder {
+	top := len(b.stack) - 1
+	b.stack[top] = append(b.stack[top], s)
+	return b
+}
+
+// ALU appends n arithmetic instructions.
+func (b *Builder) ALU(n int) *Builder {
+	return b.emit(Instr{Op: ALU, Repeat: n})
+}
+
+// LoadG appends a global load of buf at the symbolic index tag.
+func (b *Builder) LoadG(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Load, Space: Global, Addr: Addr{Buf: buf, Tag: tag}})
+}
+
+// LoadGVar appends a loop-variant global load (distinct location each
+// iteration of the innermost loop).
+func (b *Builder) LoadGVar(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Load, Space: Global, Addr: Addr{Buf: buf, Tag: tag, LoopVariant: true}})
+}
+
+// StoreG appends a global store of buf at the symbolic index tag.
+func (b *Builder) StoreG(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Store, Space: Global, Addr: Addr{Buf: buf, Tag: tag}})
+}
+
+// StoreGVar appends a loop-variant global store.
+func (b *Builder) StoreGVar(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Store, Space: Global, Addr: Addr{Buf: buf, Tag: tag, LoopVariant: true}})
+}
+
+// LoadS and StoreS touch the on-chip shared memory, which never affects
+// idempotence (it is part of the dropped context).
+func (b *Builder) LoadS(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Load, Space: Shared, Addr: Addr{Buf: buf, Tag: tag}})
+}
+
+// StoreS appends a shared-memory store.
+func (b *Builder) StoreS(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Store, Space: Shared, Addr: Addr{Buf: buf, Tag: tag}})
+}
+
+// LoadC appends a read from the constant/texture space.
+func (b *Builder) LoadC(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Load, Space: Constant, Addr: Addr{Buf: buf, Tag: tag}})
+}
+
+// AtomicG appends a global atomic read-modify-write.
+func (b *Builder) AtomicG(buf, tag string) *Builder {
+	return b.emit(Instr{Op: Atomic, Space: Global, Addr: Addr{Buf: buf, Tag: tag}})
+}
+
+// Barrier appends an intra-block barrier.
+func (b *Builder) Barrier() *Builder {
+	return b.emit(Instr{Op: Barrier})
+}
+
+// Loop runs fill to populate a loop body executed trip times.
+func (b *Builder) Loop(trip int, fill func(*Builder)) *Builder {
+	b.stack = append(b.stack, nil)
+	fill(b)
+	top := len(b.stack) - 1
+	body := b.stack[top]
+	b.stack = b.stack[:top]
+	return b.emit(Loop{Trip: trip, Body: body})
+}
+
+// Build finalizes and validates the program.
+func (b *Builder) Build() *Program {
+	if len(b.stack) != 1 {
+		panic("kernelir: unbalanced builder loops")
+	}
+	p := &Program{Name: b.name, Body: b.stack[0]}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}

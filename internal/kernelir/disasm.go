@@ -1,0 +1,73 @@
+package kernelir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Disassemble writes a human-readable listing of the program: one line
+// per static instruction, loops indented with their trip counts, memory
+// operands shown as space:buffer[tag]. It is the inspection format used
+// by cmd/idemscan and the examples.
+func Disassemble(p *Program, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, ".kernel %s  ; %d insts/warp\n", p.Name, p.InstCount()); err != nil {
+		return err
+	}
+	return disasmBody(p.Body, 1, w)
+}
+
+// DisassembleString returns the listing as a string.
+func DisassembleString(p *Program) string {
+	var sb strings.Builder
+	if err := Disassemble(p, &sb); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}
+
+func disasmBody(body []Stmt, depth int, w io.Writer) error {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			line := indent + formatInstr(s)
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		case Loop:
+			if _, err := fmt.Fprintf(w, "%sloop x%d {\n", indent, s.Trip); err != nil {
+				return err
+			}
+			if err := disasmBody(s.Body, depth+1, w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s}\n", indent); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatInstr(in Instr) string {
+	var line string
+	switch in.Op {
+	case ALU:
+		line = "alu"
+	case Barrier:
+		line = "bar.sync"
+	case Notify:
+		line = "notify    ; breach notification store (§3.4)"
+	default:
+		variant := ""
+		if in.Addr.LoopVariant {
+			variant = "*" // index advances with the enclosing loop
+		}
+		line = fmt.Sprintf("%-4v %v:%s[%s%s]", in.Op, in.Space, in.Addr.Buf, in.Addr.Tag, variant)
+	}
+	if in.Repeat > 1 {
+		line += fmt.Sprintf("  x%d", in.Repeat)
+	}
+	return line
+}

@@ -1,0 +1,49 @@
+package kernelir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	p := NewBuilder("k")
+	p.LoadG("x", "tid")
+	p.Loop(5, func(b *Builder) {
+		b.ALU(2)
+		b.LoadGVar("a", "i")
+	})
+	p.Barrier()
+	p.AtomicG("bins", "?")
+	p.StoreS("tile", "t")
+	prog := p.Build()
+
+	s := DisassembleString(prog)
+	for _, want := range []string{
+		".kernel k",
+		"insts/warp",
+		"ld   global:x[tid]",
+		"loop x5 {",
+		"alu  x2",
+		"ld   global:a[i*]",
+		"bar.sync",
+		"atom global:bins[?]",
+		"st   shared:tile[t]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDisassembleNotify(t *testing.T) {
+	p := NewBuilder("k").LoadG("y", "t").StoreG("y", "t").Build()
+	inst := Instrument(p)
+	s := DisassembleString(inst.Program)
+	if !strings.Contains(s, "notify") {
+		t.Errorf("instrumented listing missing notify:\n%s", s)
+	}
+	// The notify line must precede the breaching store.
+	if strings.Index(s, "notify") > strings.Index(s, "st   global:y") {
+		t.Error("notify rendered after the store it guards")
+	}
+}

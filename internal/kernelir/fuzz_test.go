@@ -1,0 +1,54 @@
+package kernelir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the kernel parser: it must never
+// panic, and everything it accepts must validate, analyze and round-trip
+// through the disassembler to an equivalent program.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		".kernel k\nld global:x[tid]\nst global:y[tid]\n",
+		"loop x8 {\n  alu x3\n  ld global:a[i*]\n}\n",
+		"atom global:bins[?]\nnotify\nbar.sync\n",
+		"# comment\nld shared:t[x] ; trailing\n",
+		"loop x0 {\nalu\n}\nld const:c[k]\n",
+		"loop x3 {\nloop x2 {\nst shared:s[t]\n}\n}\n",
+		"}", "loop x {", ".kernel", "ld", "st global:a", "ld global:a[t] x9999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseString(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+		res, err := Analyze(p)
+		if err != nil {
+			t.Fatalf("accepted program fails analysis: %v", err)
+		}
+		// Round trip through the disassembler.
+		back, err := Parse(strings.NewReader(DisassembleString(p)))
+		if err != nil {
+			t.Fatalf("disassembly does not reparse: %v\n%s", err, DisassembleString(p))
+		}
+		res2, err := Analyze(back)
+		if err != nil {
+			t.Fatalf("round-tripped program fails analysis: %v", err)
+		}
+		if res.Insts != res2.Insts || res.StrictIdempotent != res2.StrictIdempotent || res.FirstBreach != res2.FirstBreach {
+			t.Fatalf("round trip changed semantics: %+v vs %+v", res, res2)
+		}
+		// Instrumentation of anything parseable must stay valid.
+		inst := Instrument(p)
+		if err := inst.Program.Validate(); err != nil {
+			t.Fatalf("instrumented program invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package kernelir
+
+// Instrumentation is the result of the compiler pass of §3.4: the
+// rewritten program with Notify stores inserted, plus bookkeeping about
+// what was inserted.
+type Instrumentation struct {
+	// Program is the rewritten kernel with a Notify instruction in front
+	// of every potentially breaching instruction.
+	Program *Program
+	// NotifyCount is the number of Notify instructions inserted
+	// (statically).
+	NotifyCount int
+	// Breaching lists human-readable descriptions of the instrumented
+	// instructions, in program order.
+	Breaching []string
+}
+
+// Instrument performs the software breach-detection rewrite of §3.4: it
+// inserts a store to a predefined, non-cacheable, per-SM address in front
+// of every atomic operation and every global store that may overwrite a
+// location the block previously read. The set of instrumented stores is a
+// static may-breach over-approximation: the pass walks the program twice
+// through each loop so cross-iteration read-before-write patterns are
+// caught, and treats UnknownTag as aliasing anything in its buffer.
+// Over-approximation is safe — a spurious Notify only makes flushing
+// conservative earlier, never incorrect.
+func Instrument(p *Program) Instrumentation {
+	ins := &instrumenter{reads: newReadState()}
+	// Pass 1: accumulate the full read state (loops walked twice so that
+	// second-iteration state is present).
+	ins.gather(p.Body)
+	// Pass 2: rewrite, consulting the complete read state.
+	body := ins.rewrite(p.Body)
+	return Instrumentation{
+		Program:     &Program{Name: p.Name + "+notify", Body: body},
+		NotifyCount: ins.count,
+		Breaching:   ins.descs,
+	}
+}
+
+type instrumenter struct {
+	reads *readState
+	count int
+	descs []string
+}
+
+func (ins *instrumenter) gather(body []Stmt) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			if s.Op == Load && s.Space == Global {
+				// Loop-variant distinctions are collapsed (iter 0) for the
+				// static pass: conservative, since the pass cannot know
+				// which dynamic iteration a store will face.
+				a := s.Addr
+				a.LoopVariant = false
+				ins.reads.addRead(a, 0)
+			}
+		case Loop:
+			if s.Trip > 0 {
+				ins.gather(s.Body)
+				if s.Trip > 1 {
+					ins.gather(s.Body)
+				}
+			}
+		}
+	}
+}
+
+func (ins *instrumenter) rewrite(body []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			if ins.mayBreach(s) {
+				out = append(out, Instr{Op: Notify, Space: Global, Addr: Addr{Buf: "__chimera_notify", Tag: "sm"}})
+				ins.count++
+				ins.descs = append(ins.descs, s.Op.String()+" "+s.Addr.Buf)
+			}
+			out = append(out, s)
+		case Loop:
+			out = append(out, Loop{Trip: s.Trip, Body: ins.rewrite(s.Body)})
+		}
+	}
+	return out
+}
+
+func (ins *instrumenter) mayBreach(in Instr) bool {
+	switch in.Op {
+	case Atomic:
+		return true
+	case Store:
+		if in.Space != Global {
+			return false
+		}
+		a := in.Addr
+		a.LoopVariant = false
+		return ins.reads.storeAliases(a, 0)
+	}
+	return false
+}

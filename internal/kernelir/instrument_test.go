@@ -1,0 +1,193 @@
+package kernelir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstrumentInsertsBeforeAtomic(t *testing.T) {
+	p := NewBuilder("p").ALU(2).AtomicG("x", "t").Build()
+	inst := Instrument(p)
+	if inst.NotifyCount != 1 {
+		t.Fatalf("NotifyCount = %d, want 1", inst.NotifyCount)
+	}
+	// The rewritten stream must contain a Notify immediately before the
+	// atomic.
+	body := inst.Program.Body
+	var prev Instr
+	for _, s := range body {
+		in := s.(Instr)
+		if in.Op == Atomic && prev.Op != Notify {
+			t.Errorf("atomic not preceded by Notify")
+		}
+		prev = in
+	}
+}
+
+func TestInstrumentOverwrite(t *testing.T) {
+	p := NewBuilder("p").LoadG("y", "t").StoreG("y", "t").StoreG("z", "t").Build()
+	inst := Instrument(p)
+	if inst.NotifyCount != 1 {
+		t.Errorf("NotifyCount = %d, want 1 (only the y overwrite)", inst.NotifyCount)
+	}
+	if len(inst.Breaching) != 1 || inst.Breaching[0] != "st y" {
+		t.Errorf("Breaching = %v", inst.Breaching)
+	}
+}
+
+func TestInstrumentIdempotentKernelUntouched(t *testing.T) {
+	p := NewBuilder("p").LoadG("a", "t").ALU(4).StoreG("b", "t").Build()
+	inst := Instrument(p)
+	if inst.NotifyCount != 0 {
+		t.Errorf("idempotent kernel got %d notifies", inst.NotifyCount)
+	}
+	if got, want := inst.Program.InstCount(), p.InstCount(); got != want {
+		t.Errorf("instrumented count %d, want %d", got, want)
+	}
+}
+
+func TestInstrumentCrossIterationOverwrite(t *testing.T) {
+	// for i: load acc[k] ... store acc[k]: the static pass walks the
+	// loop twice, so the cross-iteration read-before-write is caught.
+	p := NewBuilder("p")
+	p.Loop(8, func(b *Builder) { b.StoreG("acc", "k"); b.LoadG("acc", "k") })
+	inst := Instrument(p.Build())
+	if inst.NotifyCount != 1 {
+		t.Errorf("NotifyCount = %d, want 1", inst.NotifyCount)
+	}
+}
+
+func TestInstrumentedProgramValidates(t *testing.T) {
+	for _, p := range []*Program{
+		NewBuilder("a").LoadG("y", "t").StoreG("y", "t").Build(),
+		NewBuilder("b").AtomicG("x", "t").Build(),
+	} {
+		inst := Instrument(p)
+		if err := inst.Program.Validate(); err != nil {
+			t.Errorf("%s: instrumented program invalid: %v", p.Name, err)
+		}
+	}
+}
+
+// TestInstrumentCoversDynamicBreach: the static may-breach set must be a
+// superset of the dynamic first breach — a block can never cross into
+// its non-idempotent region without a Notify having fired first. Checked
+// on random programs by verifying that whenever the dynamic analysis
+// finds a breach, the instrumentation inserted at least one Notify, and
+// that in the instrumented program a Notify precedes the first breach in
+// the dynamic stream.
+func TestInstrumentCoversDynamicBreach(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		res, err := Analyze(p)
+		if err != nil {
+			return false
+		}
+		inst := Instrument(p)
+		if res.StrictIdempotent {
+			return true // nothing to cover
+		}
+		if inst.NotifyCount == 0 {
+			t.Logf("seed %d: dynamic breach %q but no notify", seed, res.BreachOp)
+			return false
+		}
+		// Walk the instrumented program's dynamic stream: a Notify must
+		// appear at or before the first breaching instruction.
+		notifySeen := false
+		covered := false
+		var walk func(body []Stmt) bool // returns true when done
+		state := newReadState()
+		var iter int64
+		walk = func(body []Stmt) bool {
+			for _, s := range body {
+				switch s := s.(type) {
+				case Instr:
+					switch s.Op {
+					case Notify:
+						notifySeen = true
+					case Atomic:
+						covered = notifySeen
+						return true
+					case Load:
+						if s.Space == Global {
+							state.addRead(s.Addr, iter)
+						}
+					case Store:
+						if s.Space == Global && state.storeAliases(s.Addr, iter) {
+							covered = notifySeen
+							return true
+						}
+					}
+				case Loop:
+					for i := 0; i < s.Trip; i++ {
+						iter = int64(i)
+						if walk(s.Body) {
+							return true
+						}
+					}
+					iter = 0
+				}
+			}
+			return false
+		}
+		if !walk(inst.Program.Body) {
+			// The instrumented program shows no dynamic breach (cannot
+			// happen: instrumentation only inserts Notify ops).
+			t.Logf("seed %d: instrumented program lost its breach", seed)
+			return false
+		}
+		if !covered {
+			t.Logf("seed %d: breach not preceded by a Notify", seed)
+		}
+		return covered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderUnbalancedLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced builder did not panic")
+		}
+	}()
+	b := NewBuilder("p")
+	b.Loop(2, func(inner *Builder) {
+		// Building from inside a loop body leaves the stack unbalanced.
+		inner.ALU(1)
+		_ = b.Build()
+	})
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"atomic outside global", &Program{Name: "p", Body: []Stmt{Instr{Op: Atomic, Space: Shared, Addr: Addr{Buf: "x", Tag: "t"}}}}},
+		{"store to constant", &Program{Name: "p", Body: []Stmt{Instr{Op: Store, Space: Constant, Addr: Addr{Buf: "x", Tag: "t"}}}}},
+		{"load without buffer", &Program{Name: "p", Body: []Stmt{Instr{Op: Load, Space: Global}}}},
+		{"negative trip", &Program{Name: "p", Body: []Stmt{Loop{Trip: -1}}}},
+		{"negative repeat", &Program{Name: "p", Body: []Stmt{Instr{Op: ALU, Repeat: -2}}}},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestOpAndSpaceStrings(t *testing.T) {
+	if ALU.String() != "alu" || Atomic.String() != "atom" || Notify.String() != "notify" {
+		t.Error("op mnemonics wrong")
+	}
+	if Global.String() != "global" || Shared.String() != "shared" || Constant.String() != "const" {
+		t.Error("space names wrong")
+	}
+	if Op(99).String() == "" || Space(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}

@@ -1,0 +1,221 @@
+// Package kernelir defines a miniature SIMT kernel intermediate
+// representation and the static analyses Chimera needs over it.
+//
+// The Chimera paper (§2.3, §3.4) classifies GPU kernels by idempotence: a
+// kernel is idempotent if it contains no atomic operations and never
+// overwrites a global memory location that it previously read. The paper
+// further relaxes the condition per thread block and in time: a thread
+// block is idempotent *at a given moment* if it has not yet executed an
+// atomic or such an overwrite. Detection is a compiler job — the compiler
+// finds the offending operations and inserts a notification store in front
+// of each so the scheduler learns when a block crosses into its
+// non-idempotent region.
+//
+// This package is that compiler substrate. Kernels are written as small
+// programs over symbolic memory (buffers with symbolic index classes
+// instead of concrete pointers, mirroring the restricted pointer usage of
+// real GPU kernels that the paper relies on in §3.4). The analyses are:
+//
+//   - Analyze: strict idempotence plus the dynamic position of the first
+//     idempotence breach (atomic or global overwrite) in the per-warp
+//     instruction stream, expressed as a fraction of the stream.
+//   - Instrument: a rewrite inserting Notify instructions in front of every
+//     potentially breaching instruction (the software detection mechanism
+//     of §3.4).
+package kernelir
+
+import "fmt"
+
+// Space identifies the memory space an access touches. Only the global
+// space participates in idempotence: shared memory and registers are part
+// of the discarded context, and constant/texture spaces are read-only.
+type Space int
+
+const (
+	// Global is off-chip DRAM visible across thread blocks.
+	Global Space = iota
+	// Shared is the on-chip per-block scratch-pad.
+	Shared
+	// Constant is the read-only constant/texture space.
+	Constant
+)
+
+// String returns the conventional short name of the space.
+func (s Space) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case Shared:
+		return "shared"
+	case Constant:
+		return "const"
+	}
+	return fmt.Sprintf("space(%d)", int(s))
+}
+
+// Op is the kind of an instruction.
+type Op int
+
+const (
+	// ALU is any arithmetic/logic instruction (no memory effect).
+	ALU Op = iota
+	// Load reads memory.
+	Load
+	// Store writes memory.
+	Store
+	// Atomic is a read-modify-write on global memory. Atomics always
+	// break idempotence (§2.3 condition 1).
+	Atomic
+	// Barrier is an intra-block synchronization. It has no memory effect
+	// and does not affect idempotence.
+	Barrier
+	// Notify is the instrumentation store inserted by Instrument in front
+	// of a breaching instruction: a store to a predefined non-cacheable
+	// address that tells the scheduler the block is about to become
+	// non-idempotent (§3.4). Notify itself never breaches.
+	Notify
+)
+
+// String returns the mnemonic of the op.
+func (o Op) String() string {
+	switch o {
+	case ALU:
+		return "alu"
+	case Load:
+		return "ld"
+	case Store:
+		return "st"
+	case Atomic:
+		return "atom"
+	case Barrier:
+		return "bar"
+	case Notify:
+		return "notify"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// UnknownTag marks an address the compiler cannot resolve; it may alias
+// any location in the same buffer. The paper notes pointer analysis is
+// undecidable in general but that GPU kernels use pointers in a restricted
+// fashion — Unknown is the escape hatch for the residual cases.
+const UnknownTag = "?"
+
+// Addr is a symbolic address: a named buffer plus an index class. Two
+// addresses in the same buffer may alias according to their tags:
+//
+//   - equal non-Unknown tags with equal loop-variance refer to the same
+//     location (alias);
+//   - distinct non-Unknown tags are provably distinct (no alias);
+//   - UnknownTag may alias anything in the buffer.
+//
+// LoopVariant marks an index that advances with the innermost enclosing
+// loop (e.g. a[i] inside `for i`); accesses from different iterations are
+// then provably distinct.
+type Addr struct {
+	Buf         string
+	Tag         string
+	LoopVariant bool
+}
+
+// Instr is a single (warp-granularity) instruction, optionally repeated.
+// Repeat models straight-line unrolled sequences compactly; Repeat 0 is
+// treated as 1.
+type Instr struct {
+	Op     Op
+	Space  Space
+	Addr   Addr
+	Repeat int
+}
+
+func (in Instr) count() int64 {
+	if in.Repeat <= 0 {
+		return 1
+	}
+	return int64(in.Repeat)
+}
+
+// Stmt is a node of a kernel body: either an Instr or a Loop.
+type Stmt interface{ isStmt() }
+
+func (Instr) isStmt() {}
+
+// Loop repeats its body Trip times. Trip <= 0 means the loop body never
+// executes.
+type Loop struct {
+	Trip int
+	Body []Stmt
+}
+
+func (Loop) isStmt() {}
+
+// Program is a kernel body: the per-warp instruction stream of one thread
+// block, in program order.
+type Program struct {
+	Name string
+	Body []Stmt
+}
+
+// InstCount returns the dynamic per-warp instruction count of the
+// program: the total number of instructions one warp executes, with loops
+// expanded by their trip counts.
+func (p *Program) InstCount() int64 {
+	return countStmts(p.Body)
+}
+
+func countStmts(body []Stmt) int64 {
+	var n int64
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			n += s.count()
+		case Loop:
+			if s.Trip > 0 {
+				n += int64(s.Trip) * countStmts(s.Body)
+			}
+		default:
+			panic(fmt.Sprintf("kernelir: unknown stmt %T", s))
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: memory ops carry a buffer name,
+// atomics target global memory, constant space is never stored to, and
+// loop trips are non-negative. It returns the first violation found.
+func (p *Program) Validate() error {
+	return validateStmts(p.Name, p.Body)
+}
+
+func validateStmts(name string, body []Stmt) error {
+	for _, s := range body {
+		switch s := s.(type) {
+		case Instr:
+			switch s.Op {
+			case Load, Store, Atomic:
+				if s.Addr.Buf == "" {
+					return fmt.Errorf("kernelir: %s: %v without buffer", name, s.Op)
+				}
+			}
+			if s.Op == Atomic && s.Space != Global {
+				return fmt.Errorf("kernelir: %s: atomic outside global space", name)
+			}
+			if s.Op == Store && s.Space == Constant {
+				return fmt.Errorf("kernelir: %s: store to constant space", name)
+			}
+			if s.Repeat < 0 {
+				return fmt.Errorf("kernelir: %s: negative repeat", name)
+			}
+		case Loop:
+			if s.Trip < 0 {
+				return fmt.Errorf("kernelir: %s: negative loop trip", name)
+			}
+			if err := validateStmts(name, s.Body); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("kernelir: %s: unknown stmt %T", name, s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package kernelir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a kernel program in the textual form emitted by
+// Disassemble, so kernels can be written by hand, scanned with
+// cmd/idemscan, and round-tripped through the analysis tools. The
+// grammar, one statement per line ('#' and ';' start comments):
+//
+//	.kernel NAME
+//	alu [xN]
+//	ld|st|atom SPACE:BUF[TAG]      (TAG may end in * for loop-variant)
+//	bar.sync
+//	notify
+//	loop xN {
+//	  ...
+//	}
+//
+// SPACE is global, shared or const; atom requires global. A missing
+// .kernel header names the program "kernel".
+func Parse(r io.Reader) (*Program, error) {
+	p := &parser{scanner: bufio.NewScanner(r), name: "kernel"}
+	body, err := p.parseBody(false)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: p.name, Body: body}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseString parses a program from a string.
+func ParseString(src string) (*Program, error) {
+	return Parse(strings.NewReader(src))
+}
+
+type parser struct {
+	scanner *bufio.Scanner
+	name    string
+	line    int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("kernelir: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next meaningful line, stripped of comments.
+func (p *parser) next() (string, bool) {
+	for p.scanner.Scan() {
+		p.line++
+		line := p.scanner.Text()
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+// parseBody consumes statements until EOF (top level) or a closing
+// brace (inside a loop).
+func (p *parser) parseBody(inLoop bool) ([]Stmt, error) {
+	var body []Stmt
+	for {
+		line, ok := p.next()
+		if !ok {
+			if inLoop {
+				return nil, p.errf("unexpected end of input inside loop")
+			}
+			return body, nil
+		}
+		switch {
+		case line == "}":
+			if !inLoop {
+				return nil, p.errf("unmatched '}'")
+			}
+			return body, nil
+
+		case strings.HasPrefix(line, ".kernel"):
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, p.errf(".kernel without a name")
+			}
+			p.name = fields[1]
+
+		case strings.HasPrefix(line, "loop"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "loop"))
+			rest = strings.TrimSuffix(rest, "{")
+			rest = strings.TrimSpace(rest)
+			if !strings.HasPrefix(rest, "x") {
+				return nil, p.errf("loop needs a trip count like 'loop x8 {'")
+			}
+			trip, err := strconv.Atoi(rest[1:])
+			if err != nil || trip < 0 {
+				return nil, p.errf("bad loop trip %q", rest)
+			}
+			inner, err := p.parseBody(true)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, Loop{Trip: trip, Body: inner})
+
+		default:
+			in, err := p.parseInstr(line)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, in)
+		}
+	}
+}
+
+func (p *parser) parseInstr(line string) (Instr, error) {
+	fields := strings.Fields(line)
+	mnemonic := fields[0]
+
+	// Optional trailing repeat: "alu x3", "ld global:a[i] x2".
+	repeat := 1
+	if n := len(fields); n >= 2 && strings.HasPrefix(fields[n-1], "x") {
+		if v, err := strconv.Atoi(fields[n-1][1:]); err == nil {
+			repeat = v
+			fields = fields[:n-1]
+		}
+	}
+
+	switch mnemonic {
+	case "alu", "bar.sync", "bar", "notify":
+		if len(fields) != 1 {
+			return Instr{}, p.errf("%s takes no operand", mnemonic)
+		}
+		switch mnemonic {
+		case "alu":
+			return Instr{Op: ALU, Repeat: repeat}, nil
+		case "notify":
+			return Instr{Op: Notify, Space: Global, Addr: Addr{Buf: "__chimera_notify", Tag: "sm"}, Repeat: repeat}, nil
+		default:
+			return Instr{Op: Barrier, Repeat: repeat}, nil
+		}
+	case "ld", "st", "atom":
+		if len(fields) != 2 {
+			return Instr{}, p.errf("%s needs exactly one operand like global:buf[tag]", mnemonic)
+		}
+		addr, space, err := p.parseOperand(fields[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		op := map[string]Op{"ld": Load, "st": Store, "atom": Atomic}[mnemonic]
+		return Instr{Op: op, Space: space, Addr: addr, Repeat: repeat}, nil
+	}
+	return Instr{}, p.errf("unknown mnemonic %q", mnemonic)
+}
+
+func (p *parser) parseOperand(s string) (Addr, Space, error) {
+	colon := strings.Index(s, ":")
+	if colon < 0 {
+		return Addr{}, 0, p.errf("operand %q needs a space prefix (global:/shared:/const:)", s)
+	}
+	var space Space
+	switch s[:colon] {
+	case "global":
+		space = Global
+	case "shared":
+		space = Shared
+	case "const":
+		space = Constant
+	default:
+		return Addr{}, 0, p.errf("unknown memory space %q", s[:colon])
+	}
+	rest := s[colon+1:]
+	open := strings.Index(rest, "[")
+	if open < 0 || !strings.HasSuffix(rest, "]") {
+		return Addr{}, 0, p.errf("operand %q needs an index like buf[tag]", s)
+	}
+	buf := rest[:open]
+	tag := rest[open+1 : len(rest)-1]
+	variant := false
+	if strings.HasSuffix(tag, "*") {
+		variant = true
+		tag = strings.TrimSuffix(tag, "*")
+	}
+	if buf == "" || tag == "" {
+		return Addr{}, 0, p.errf("operand %q has an empty buffer or tag", s)
+	}
+	return Addr{Buf: buf, Tag: tag, LoopVariant: variant}, space, nil
+}

@@ -1,0 +1,93 @@
+package kernelir_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chimera/internal/funcsim"
+	"chimera/internal/kernelir"
+)
+
+// patternExpectations classifies the classic GPU kernel patterns under
+// testdata/ — documentation of how common idioms fall under the paper's
+// idempotence conditions (§2.3).
+var patternExpectations = map[string]struct {
+	idempotent bool
+	// breachLow/breachHigh bound the breach fraction for the
+	// non-idempotent patterns.
+	breachLow, breachHigh float64
+}{
+	"transpose.kir":  {idempotent: true},
+	"stencil2d.kir":  {idempotent: true},
+	"gemm.kir":       {idempotent: true},
+	"spmv.kir":       {idempotent: true},
+	"reduction.kir":  {idempotent: false, breachLow: 0.9, breachHigh: 1.0},  // atomic commit at the end
+	"gemm_accum.kir": {idempotent: false, breachLow: 0.9, breachHigh: 1.0},  // C += epilogue
+	"scan.kir":       {idempotent: false, breachLow: 0.4, breachHigh: 0.6},  // in-place down-sweep
+	"bfs.kir":        {idempotent: false, breachLow: 0.0, breachHigh: 0.15}, // early visited[?] overwrite
+	"histogram.kir":  {idempotent: false, breachLow: 0.0, breachHigh: 0.1},  // atomics throughout
+}
+
+func TestClassicPatterns(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.kir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(patternExpectations) {
+		t.Fatalf("testdata has %d kernels, expectations cover %d", len(files), len(patternExpectations))
+	}
+	for _, path := range files {
+		name := filepath.Base(path)
+		want, ok := patternExpectations[name]
+		if !ok {
+			t.Errorf("%s: no expectation recorded", name)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := kernelir.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		res := kernelir.MustAnalyze(prog)
+		if res.StrictIdempotent != want.idempotent {
+			t.Errorf("%s: idempotent = %v, want %v (breach %q)",
+				name, res.StrictIdempotent, want.idempotent, res.BreachOp)
+			continue
+		}
+		if !want.idempotent {
+			frac := res.BreachFraction()
+			if frac < want.breachLow || frac > want.breachHigh {
+				t.Errorf("%s: breach at %.2f, want in [%.2f, %.2f] (%s)",
+					name, frac, want.breachLow, want.breachHigh, res.BreachOp)
+			}
+			if inst := kernelir.Instrument(prog); inst.NotifyCount == 0 {
+				t.Errorf("%s: no notification stores inserted", name)
+			}
+		}
+		// Every pattern must satisfy the functional flush contract in
+		// its safe window.
+		limit := res.FirstBreach
+		if res.StrictIdempotent {
+			limit = res.Insts
+		}
+		clean, err := funcsim.Execute(prog, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int64{0, limit / 2, limit} {
+			got, err := funcsim.Execute(prog, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(clean) {
+				t.Errorf("%s: flush at %d (limit %d) diverged", name, k, limit)
+			}
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package kernels is the workload catalog: all 27 kernels of the paper's
+// Table 2, each carrying its published characteristics (average drain
+// time, context size per thread block, thread blocks per SM, context
+// switch time, idempotence) plus an IR program (programs.go) whose static
+// analysis reproduces the published idempotence classification and
+// supplies the relaxed-idempotence breach point.
+//
+// Timing parameters are synthetic but anchored: thread-block execution
+// time is exactly twice the published average drain time (a uniformly
+// random preemption point drains half a block on average, §2.4), context
+// switch times follow from the published context sizes and the Table 1
+// bandwidth share (§2.4), and per-kernel CPI assumptions (documented
+// below) translate execution time into the warp-instruction counts the
+// cost estimator works in.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chimera/internal/gpu"
+	"chimera/internal/kernelir"
+	"chimera/internal/units"
+)
+
+// WarpsPerTB is the number of warps per thread block in the timing model
+// (256 threads at warp size 32). Instruction counts are per-warp in the
+// IR and per-block (×WarpsPerTB) in the timing model, matching the
+// paper's warp-granularity counting (§3.2).
+const WarpsPerTB = 8
+
+// Spec is one catalog kernel: simulator parameters plus the published
+// Table 2 reference values it was derived from.
+type Spec struct {
+	Params   gpu.KernelParams
+	Program  *kernelir.Program
+	Analysis kernelir.Result
+
+	// Published Table 2 values, kept for validation and table output.
+	PaperDrainUs    float64
+	PaperContextKB  int
+	PaperSwitchUs   float64
+	PaperIdempotent bool
+	Suite           string
+	Input           string
+}
+
+// Launch is one kernel launch within a benchmark's launch sequence.
+type Launch struct {
+	// Label is the kernel's catalog label, e.g. "LUD.2".
+	Label string
+	// Grid is the number of thread blocks in this launch.
+	Grid int
+}
+
+// Benchmark is a GPGPU application: an ordered launch sequence that the
+// harness repeats until its simulation window closes (the paper restarts
+// finished benchmarks for the same reason, §4.4).
+type Benchmark struct {
+	Name     string
+	Suite    string
+	Input    string
+	Launches []Launch
+}
+
+// def is the raw catalog row before derivation.
+type def struct {
+	label, bench, name string
+	suite, input       string
+	drainUs            float64 // Table 2 "Average Drain Time"
+	contextKB          int     // Table 2 "Context/TB"
+	tbsPerSM           int     // Table 2 "TBs/SM"
+	switchUs           float64 // Table 2 "Switching Time" (reference only)
+	idempotent         bool    // Table 2 "Idempotent"
+	cpi                float64 // assumed mean cycles per warp instruction
+	sigma              float64 // lognormal CPI shape across thread blocks
+	prog               func(n int) *kernelir.Program
+}
+
+// defs lists Table 2 verbatim (drain, context, TBs/SM, switch time,
+// idempotence) plus this reproduction's two assumptions per kernel:
+//
+//   - cpi: mean cycles per warp instruction of one block's progress.
+//     Compute-bound kernels (CP, SAD, LC) sit near 2.5-4; streaming or
+//     divergent memory-bound kernels (KM.0, MUM.0, BT, FWT.2) near 10-16.
+//   - sigma: block-to-block execution-time variation. SAD gets the
+//     largest (the paper names it as the case where cost estimation is
+//     imprecise, §4.4); tree/trace-driven kernels (BT, FWT, MUM) get
+//     elevated values, regular dense kernels small ones.
+var defs = []def{
+	{"BS.0", "BS", "BlackScholesGPU", "Nvidia SDK", "4M Options", 60.9, 24, 4, 17.0, true, 4.0, 0.15, progBlackScholes},
+	{"BT.0", "BT", "findRangeK", "Rodinia", "1M Nodes", 3.5, 46, 2, 15.9, false, 12.0, 0.35, progFindRangeK},
+	{"BT.1", "BT", "findK", "Rodinia", "1M Nodes", 2.8, 36, 3, 18.7, false, 12.0, 0.35, progFindK},
+	{"BP.0", "BP", "bpnn_layerforward", "Rodinia", "128K Nodes", 3.1, 12, 6, 12.5, false, 6.0, 0.20, progLayerforward},
+	{"BP.1", "BP", "bpnn_adjust_weights", "Rodinia", "128K Nodes", 1.8, 22, 5, 19.0, false, 8.0, 0.20, progAdjustWeights},
+	{"CP.0", "CP", "cenergy", "Parboil", "2K Atoms on 256x256 Grid", 746.9, 7, 8, 10.4, false, 2.5, 0.10, progCenergy},
+	{"FWT.0", "FWT", "fwtBatch2Kernel", "Nvidia SDK", "8M", 2.3, 21, 5, 18.2, false, 6.0, 0.35, progFWTBatch2},
+	{"FWT.1", "FWT", "fwtBatch1Kernel", "Nvidia SDK", "8M", 7.2, 28, 3, 14.5, false, 6.0, 0.35, progFWTBatch1},
+	{"FWT.2", "FWT", "modulateKernel", "Nvidia SDK", "8M", 321.8, 18, 6, 18.7, false, 10.0, 0.15, progModulate},
+	{"HW.0", "HW", "kernel", "Rodinia", "656x744 Pixels/Frame", 5.2, 67, 2, 23.4, false, 5.0, 0.20, progHeartWall},
+	{"HS.0", "HS", "calculate_temp", "Rodinia", "1024x1024 Data Points", 4.5, 38, 3, 19.7, true, 4.0, 0.15, progHotSpot},
+	{"KM.0", "KM", "invert_mapping", "Rodinia", "0.5M Points, 34 Features", 424.3, 10, 6, 10.4, true, 14.0, 0.10, progInvertMapping},
+	{"KM.1", "KM", "kmeansPoint", "Rodinia", "0.5M Points, 34 Features", 118.8, 12, 6, 12.5, true, 6.0, 0.10, progKmeansPoint},
+	{"LC.0", "LC", "GICOV_kernel", "Rodinia", "640x480 Pixels/Frame", 1162.0, 17, 7, 20.9, true, 3.0, 0.15, progGICOV},
+	{"LC.1", "LC", "dilate_kernel", "Rodinia", "640x480 Pixels/Frame", 391.7, 9, 8, 13.5, true, 4.0, 0.15, progDilate},
+	{"LC.2", "LC", "IMGVF_kernel", "Rodinia", "640x480 Pixels/Frame", 10173.2, 87, 1, 15.2, false, 3.0, 0.20, progIMGVF},
+	{"LUD.0", "LUD", "lud_diagonal", "Rodinia", "512x512 Data Points", 17.4, 4, 8, 5.6, false, 5.0, 0.30, progLUDDiagonal},
+	{"LUD.1", "LUD", "lud_perimeter", "Rodinia", "512x512 Data Points", 26.2, 5, 8, 8.1, false, 5.0, 0.30, progLUDPerimeter},
+	{"LUD.2", "LUD", "lud_internal", "Rodinia", "512x512 Data Points", 3.5, 16, 6, 16.6, false, 6.0, 0.30, progLUDInternal},
+	{"MUM.0", "MUM", "mummergpuKernel", "Rodinia", "50000 25-char Queries", 10212.8, 18, 6, 18.7, true, 16.0, 0.40, progMummer},
+	{"MUM.1", "MUM", "printKernel", "Rodinia", "50000 25-char Queries", 76.4, 24, 5, 20.8, true, 10.0, 0.25, progPrintKernel},
+	{"NW.0", "NW", "needle_cuda_shared_1", "Rodinia", "4096x4096 Data Points", 18.2, 8, 8, 11.1, false, 5.0, 0.20,
+		func(n int) *kernelir.Program { return progNeedle("needle_cuda_shared_1", n) }},
+	{"NW.1", "NW", "needle_cuda_shared_2", "Rodinia", "4096x4096 Data Points", 18.7, 8, 8, 11.1, false, 5.0, 0.20,
+		func(n int) *kernelir.Program { return progNeedle("needle_cuda_shared_2", n) }},
+	{"SAD.0", "SAD", "mb_sad_calc", "Parboil", "1920x1072 Pixels", 42.3, 7, 8, 10.1, true, 3.0, 0.45,
+		func(n int) *kernelir.Program { return progSAD("mb_sad_calc", "sad", n) }},
+	{"SAD.1", "SAD", "larger_sad_calc_8", "Parboil", "1920x1072 Pixels", 82.9, 8, 8, 11.1, true, 3.0, 0.45,
+		func(n int) *kernelir.Program { return progSAD("larger_sad_calc_8", "sad8", n) }},
+	{"SAD.2", "SAD", "larger_sad_calc_16", "Parboil", "1920x1072 Pixels", 19.7, 2, 8, 2.8, true, 3.0, 0.45,
+		func(n int) *kernelir.Program { return progSAD("larger_sad_calc_16", "sad16", n) }},
+	{"ST.0", "ST", "block2D_hybrid_coarsen_x", "Parboil", "512x512x64 Grid", 122.3, 11, 8, 15.9, true, 5.0, 0.15, progStencil},
+}
+
+// Catalog is the immutable kernel and benchmark library.
+type Catalog struct {
+	specs   []*Spec
+	byLabel map[string]*Spec
+	benches []*Benchmark
+	byName  map[string]*Benchmark
+}
+
+var (
+	buildOnce sync.Once
+	built     *Catalog
+)
+
+// Load returns the shared catalog, building it (including the IR
+// idempotence analysis of every kernel) on first use.
+func Load() *Catalog {
+	buildOnce.Do(func() { built = build() })
+	return built
+}
+
+func build() *Catalog {
+	c := &Catalog{
+		byLabel: make(map[string]*Spec),
+		byName:  make(map[string]*Benchmark),
+	}
+	for _, d := range defs {
+		spec := buildSpec(d)
+		c.specs = append(c.specs, spec)
+		c.byLabel[spec.Params.Label] = spec
+	}
+	for _, b := range benchmarks(c) {
+		bench := b
+		c.benches = append(c.benches, &bench)
+		c.byName[bench.Name] = &bench
+	}
+	return c
+}
+
+func buildSpec(d def) *Spec {
+	execCycles := 2 * d.drainUs * units.CyclesPerMicrosecond // drain = exec/2
+	perWarp := int(execCycles / (d.cpi * WarpsPerTB))
+	if perWarp < 16 {
+		perWarp = 16
+	}
+	prog := d.prog(perWarp)
+	analysis := kernelir.MustAnalyze(prog)
+	instsPerTB := analysis.Insts * WarpsPerTB
+	params := gpu.KernelParams{
+		Label:             d.label,
+		Benchmark:         d.bench,
+		Name:              d.name,
+		InstsPerTB:        instsPerTB,
+		BaseCPI:           execCycles / float64(instsPerTB),
+		CPISigma:          d.sigma,
+		TBsPerSM:          d.tbsPerSM,
+		ContextBytesPerTB: units.Bytes(d.contextKB) * units.KB,
+		GridSize:          gridSizes[d.label],
+		StrictIdempotent:  analysis.StrictIdempotent,
+		BreachFraction:    analysis.BreachFraction(),
+	}
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if analysis.StrictIdempotent != d.idempotent {
+		panic(fmt.Sprintf("kernels: %s: IR analysis says idempotent=%v, Table 2 says %v",
+			d.label, analysis.StrictIdempotent, d.idempotent))
+	}
+	return &Spec{
+		Params:          params,
+		Program:         prog,
+		Analysis:        analysis,
+		PaperDrainUs:    d.drainUs,
+		PaperContextKB:  d.contextKB,
+		PaperSwitchUs:   d.switchUs,
+		PaperIdempotent: d.idempotent,
+		Suite:           d.suite,
+		Input:           d.input,
+	}
+}
+
+// gridSizes fixes the thread blocks per launch for each kernel, scaled
+// from the Table 2 inputs (e.g. HotSpot's 1024x1024 grid yields 7396
+// 16x16 blocks; SAD's 1920x1072 frame has 8040 macroblocks). Launches
+// are large enough that each kernel saturates the 30-SM device for many
+// waves — the paper runs benchmarks for a billion instructions, so the
+// device is essentially never between launches. The deliberately
+// size-bound launches of LUD and NW are generated per-iteration (see
+// benchmarks); those two exercise spatial sharing and frequent
+// preemption requests in §4.4.
+var gridSizes = map[string]int{
+	"BS.0": 7680, "BT.0": 9000, "BT.1": 13500, "BP.0": 8192, "BP.1": 8192,
+	"CP.0": 480, "FWT.0": 8192, "FWT.1": 2048, "FWT.2": 2048, "HW.0": 2400,
+	"HS.0": 7396, "KM.0": 1954, "KM.1": 1954, "LC.0": 630, "LC.1": 960,
+	"LC.2": 30, "LUD.0": 1, "LUD.1": 32, "LUD.2": 256, "MUM.0": 180,
+	"MUM.1": 300, "NW.0": 16, "NW.1": 16, "SAD.0": 8040, "SAD.1": 2010,
+	"SAD.2": 503, "ST.0": 2048,
+}
+
+// benchmarks assembles the 14 applications' launch sequences.
+func benchmarks(c *Catalog) []Benchmark {
+	single := func(name string, labels ...string) Benchmark {
+		b := Benchmark{Name: name}
+		spec := c.byLabel[labels[0]]
+		b.Suite, b.Input = spec.Suite, spec.Input
+		for _, l := range labels {
+			b.Launches = append(b.Launches, Launch{Label: l, Grid: gridSizes[l]})
+		}
+		return b
+	}
+
+	// LUD iterates over a shrinking matrix: per iteration a single-block
+	// diagonal factorization, a thin perimeter update and a dense
+	// internal update. The single-block and thin launches are size-bound
+	// (they request fewer SMs than the even split), which is what makes
+	// LUD generate numerous preemption requests (§4.4).
+	lud := Benchmark{Name: "LUD", Suite: "Rodinia", Input: "512x512 Data Points"}
+	const ludIters = 16
+	for i := 0; i < ludIters; i++ {
+		rem := ludIters - i
+		lud.Launches = append(lud.Launches,
+			Launch{Label: "LUD.0", Grid: 1},
+			Launch{Label: "LUD.1", Grid: 2 * rem},
+			Launch{Label: "LUD.2", Grid: rem * rem},
+		)
+	}
+
+	// NW sweeps anti-diagonals of the score matrix: the wavefront grows
+	// and then shrinks, alternating the two kernels.
+	nw := Benchmark{Name: "NW", Suite: "Rodinia", Input: "4096x4096 Data Points"}
+	const nwBlocks = 16
+	for i := 1; i <= nwBlocks; i++ {
+		nw.Launches = append(nw.Launches, Launch{Label: "NW.0", Grid: i})
+	}
+	for i := nwBlocks - 1; i >= 1; i-- {
+		nw.Launches = append(nw.Launches, Launch{Label: "NW.1", Grid: i})
+	}
+
+	return []Benchmark{
+		single("BS", "BS.0"),
+		single("BT", "BT.0", "BT.1"),
+		single("BP", "BP.0", "BP.1"),
+		single("CP", "CP.0"),
+		single("FWT", "FWT.1", "FWT.0", "FWT.2"),
+		single("HW", "HW.0"),
+		single("HS", "HS.0"),
+		single("KM", "KM.0", "KM.1"),
+		single("LC", "LC.0", "LC.1", "LC.2"),
+		lud,
+		single("MUM", "MUM.0", "MUM.1"),
+		nw,
+		single("SAD", "SAD.0", "SAD.1", "SAD.2"),
+		single("ST", "ST.0"),
+	}
+}
+
+// Kernels returns all kernel specs in Table 2 order.
+func (c *Catalog) Kernels() []*Spec { return c.specs }
+
+// Kernel returns the spec for a label like "BS.0", or an error naming the
+// unknown label.
+func (c *Catalog) Kernel(label string) (*Spec, error) {
+	s, ok := c.byLabel[label]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q", label)
+	}
+	return s, nil
+}
+
+// MustKernel is Kernel for known-good labels; it panics on error.
+func (c *Catalog) MustKernel(label string) *Spec {
+	s, err := c.Kernel(label)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Benchmarks returns all benchmarks in Table 2 order.
+func (c *Catalog) Benchmarks() []*Benchmark { return c.benches }
+
+// Benchmark returns the named benchmark, or an error.
+func (c *Catalog) Benchmark(name string) (*Benchmark, error) {
+	b, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// MustBenchmark is Benchmark for known-good names; it panics on error.
+func (c *Catalog) MustBenchmark(name string) *Benchmark {
+	b, err := c.Benchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// BenchmarkNames returns the benchmark names in catalog order.
+func (c *Catalog) BenchmarkNames() []string {
+	names := make([]string, len(c.benches))
+	for i, b := range c.benches {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Labels returns the kernel labels sorted in Table 2 order.
+func (c *Catalog) Labels() []string {
+	labels := make([]string, len(c.specs))
+	for i, s := range c.specs {
+		labels[i] = s.Params.Label
+	}
+	return labels
+}
+
+// IdempotentCount returns how many of the catalog's kernels are strictly
+// idempotent (the paper reports 12 of 27, §2.3).
+func (c *Catalog) IdempotentCount() int {
+	n := 0
+	for _, s := range c.specs {
+		if s.Params.StrictIdempotent {
+			n++
+		}
+	}
+	return n
+}
+
+// sortedCopy is a utility for tests: labels sorted lexicographically.
+func (c *Catalog) sortedCopy() []string {
+	l := c.Labels()
+	sort.Strings(l)
+	return l
+}

@@ -1,0 +1,249 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"chimera/internal/gpu"
+	"chimera/internal/kernelir"
+)
+
+// table2 holds the published values this catalog must reproduce.
+var table2 = map[string]struct {
+	drainUs    float64
+	switchUs   float64
+	tbsPerSM   int
+	idempotent bool
+}{
+	"BS.0": {60.9, 17.0, 4, true}, "BT.0": {3.5, 15.9, 2, false},
+	"BT.1": {2.8, 18.7, 3, false}, "BP.0": {3.1, 12.5, 6, false},
+	"BP.1": {1.8, 19.0, 5, false}, "CP.0": {746.9, 10.4, 8, false},
+	"FWT.0": {2.3, 18.2, 5, false}, "FWT.1": {7.2, 14.5, 3, false},
+	"FWT.2": {321.8, 18.7, 6, false}, "HW.0": {5.2, 23.4, 2, false},
+	"HS.0": {4.5, 19.7, 3, true}, "KM.0": {424.3, 10.4, 6, true},
+	"KM.1": {118.8, 12.5, 6, true}, "LC.0": {1162.0, 20.9, 7, true},
+	"LC.1": {391.7, 13.5, 8, true}, "LC.2": {10173.2, 15.2, 1, false},
+	"LUD.0": {17.4, 5.6, 8, false}, "LUD.1": {26.2, 8.1, 8, false},
+	"LUD.2": {3.5, 16.6, 6, false}, "MUM.0": {10212.8, 18.7, 6, true},
+	"MUM.1": {76.4, 20.8, 5, true}, "NW.0": {18.2, 11.1, 8, false},
+	"NW.1": {18.7, 11.1, 8, false}, "SAD.0": {42.3, 10.1, 8, true},
+	"SAD.1": {82.9, 11.1, 8, true}, "SAD.2": {19.7, 2.8, 8, true},
+	"ST.0": {122.3, 15.9, 8, true},
+}
+
+func TestCatalogMatchesTable2(t *testing.T) {
+	c := Load()
+	cfg := gpu.DefaultConfig()
+	if got := len(c.Kernels()); got != 27 {
+		t.Fatalf("catalog has %d kernels, want 27", got)
+	}
+	for _, s := range c.Kernels() {
+		p := s.Params
+		want, ok := table2[p.Label]
+		if !ok {
+			t.Errorf("%s: not a Table 2 kernel", p.Label)
+			continue
+		}
+		if got := p.AvgDrainCycles().Microseconds(); math.Abs(got-want.drainUs) > 0.05 {
+			t.Errorf("%s: drain %.2fµs, want %.1fµs", p.Label, got, want.drainUs)
+		}
+		if got := p.SwitchCycles(cfg).Microseconds(); math.Abs(got-want.switchUs)/want.switchUs > 0.15 {
+			t.Errorf("%s: switch %.2fµs, want ≈%.1fµs", p.Label, got, want.switchUs)
+		}
+		if p.TBsPerSM != want.tbsPerSM {
+			t.Errorf("%s: TBs/SM %d, want %d", p.Label, p.TBsPerSM, want.tbsPerSM)
+		}
+		if p.StrictIdempotent != want.idempotent {
+			t.Errorf("%s: idempotent %v, want %v", p.Label, p.StrictIdempotent, want.idempotent)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: invalid params: %v", p.Label, err)
+		}
+	}
+	if got := c.IdempotentCount(); got != 12 {
+		t.Errorf("idempotent kernels = %d, want 12 of 27 (§2.3)", got)
+	}
+}
+
+func TestBreachFractionsShape(t *testing.T) {
+	// §2.3: non-idempotent regions cluster at the end of GPU kernels —
+	// except for the deliberately-early tree/butterfly kernels, breach
+	// fractions must be late. All must be strictly inside (0, 1).
+	c := Load()
+	for _, s := range c.Kernels() {
+		p := s.Params
+		if p.StrictIdempotent {
+			continue
+		}
+		if p.BreachFraction <= 0 || p.BreachFraction >= 1 {
+			t.Errorf("%s: breach fraction %v out of (0,1)", p.Label, p.BreachFraction)
+		}
+		switch p.Label {
+		case "BT.0", "BT.1", "BP.1", "FWT.0", "FWT.1":
+			// Short-block kernels with mid-body read-modify-writes (the
+			// Fig 6 flush-violation story needs these below ~0.65).
+			if p.BreachFraction > 0.65 {
+				t.Errorf("%s: breach fraction %v too late for the Fig 6 story", p.Label, p.BreachFraction)
+			}
+		default:
+			if p.BreachFraction < 0.7 {
+				t.Errorf("%s: breach fraction %v should cluster near the end (§2.3)", p.Label, p.BreachFraction)
+			}
+		}
+	}
+}
+
+func TestAnalysisAgreesWithParams(t *testing.T) {
+	c := Load()
+	for _, s := range c.Kernels() {
+		res := kernelir.MustAnalyze(s.Program)
+		if res.StrictIdempotent != s.Params.StrictIdempotent {
+			t.Errorf("%s: analysis/param idempotence mismatch", s.Params.Label)
+		}
+		if math.Abs(res.BreachFraction()-s.Params.BreachFraction) > 1e-9 {
+			t.Errorf("%s: breach fraction %v vs params %v", s.Params.Label, res.BreachFraction(), s.Params.BreachFraction)
+		}
+		if res.Insts*WarpsPerTB != s.Params.InstsPerTB {
+			t.Errorf("%s: inst counts disagree", s.Params.Label)
+		}
+	}
+}
+
+func TestNonIdempotentKernelsAreInstrumented(t *testing.T) {
+	c := Load()
+	for _, s := range c.Kernels() {
+		inst := kernelir.Instrument(s.Program)
+		if !s.Params.StrictIdempotent && inst.NotifyCount == 0 {
+			t.Errorf("%s: non-idempotent kernel without notification stores", s.Params.Label)
+		}
+		if s.Params.StrictIdempotent && inst.NotifyCount != 0 {
+			t.Errorf("%s: idempotent kernel got %d notification stores", s.Params.Label, inst.NotifyCount)
+		}
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	c := Load()
+	names := c.BenchmarkNames()
+	if len(names) != 14 {
+		t.Fatalf("%d benchmarks, want 14", len(names))
+	}
+	for _, b := range c.Benchmarks() {
+		if len(b.Launches) == 0 {
+			t.Errorf("%s: no launches", b.Name)
+		}
+		for _, l := range b.Launches {
+			spec, err := c.Kernel(l.Label)
+			if err != nil {
+				t.Errorf("%s: %v", b.Name, err)
+				continue
+			}
+			if l.Grid <= 0 {
+				t.Errorf("%s: launch %s with grid %d", b.Name, l.Label, l.Grid)
+			}
+			if spec.Params.Benchmark != b.Name {
+				t.Errorf("%s: launches foreign kernel %s", b.Name, l.Label)
+			}
+		}
+	}
+}
+
+func TestLUDStructure(t *testing.T) {
+	// LUD must launch diagonal (grid 1), perimeter and internal kernels
+	// with shrinking grids — the size-bound launches behind §4.4.
+	b := Load().MustBenchmark("LUD")
+	if len(b.Launches)%3 != 0 {
+		t.Fatalf("LUD launches %d kernels, want a multiple of 3", len(b.Launches))
+	}
+	prevInternal := 1 << 30
+	for i := 0; i < len(b.Launches); i += 3 {
+		diag, peri, internal := b.Launches[i], b.Launches[i+1], b.Launches[i+2]
+		if diag.Label != "LUD.0" || diag.Grid != 1 {
+			t.Errorf("iteration %d: diagonal launch %+v", i/3, diag)
+		}
+		if peri.Label != "LUD.1" || internal.Label != "LUD.2" {
+			t.Errorf("iteration %d: wrong kernel order", i/3)
+		}
+		if internal.Grid >= prevInternal {
+			t.Errorf("iteration %d: internal grid not shrinking", i/3)
+		}
+		prevInternal = internal.Grid
+	}
+}
+
+func TestCatalogLookups(t *testing.T) {
+	c := Load()
+	if _, err := c.Kernel("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := c.Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if c.MustKernel("BS.0").Params.Label != "BS.0" {
+		t.Error("MustKernel wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustKernel should panic on unknown label")
+		}
+	}()
+	c.MustKernel("nope")
+}
+
+func TestLabelsSorted(t *testing.T) {
+	c := Load()
+	labels := c.Labels()
+	if len(labels) != 27 || labels[0] != "BS.0" {
+		t.Errorf("labels = %v", labels)
+	}
+	sorted := c.sortedCopy()
+	if len(sorted) != 27 {
+		t.Errorf("sortedCopy lost labels")
+	}
+}
+
+func TestLoadIsSingleton(t *testing.T) {
+	if Load() != Load() {
+		t.Error("Load rebuilt the catalog")
+	}
+}
+
+func TestLoadCalibrated(t *testing.T) {
+	base := Load()
+	cal := LoadCalibrated()
+	if len(cal.Kernels()) != 27 || len(cal.Benchmarks()) != 14 {
+		t.Fatalf("calibrated catalog incomplete")
+	}
+	changed := 0
+	for i, s := range cal.Kernels() {
+		b := base.Kernels()[i]
+		if s.Params.Label != b.Params.Label {
+			t.Fatalf("kernel order changed at %d", i)
+		}
+		if s.Params.BaseCPI <= 0 {
+			t.Errorf("%s: calibrated CPI %v", s.Params.Label, s.Params.BaseCPI)
+		}
+		if s.Params.BaseCPI != b.Params.BaseCPI {
+			changed++
+		}
+		// Idempotence, context, occupancy and instruction counts are
+		// untouched by calibration.
+		if s.Params.StrictIdempotent != b.Params.StrictIdempotent ||
+			s.Params.InstsPerTB != b.Params.InstsPerTB ||
+			s.Params.TBsPerSM != b.Params.TBsPerSM {
+			t.Errorf("%s: calibration changed non-timing parameters", s.Params.Label)
+		}
+		if err := s.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Params.Label, err)
+		}
+	}
+	if changed < 20 {
+		t.Errorf("calibration changed only %d/27 CPIs", changed)
+	}
+	// The base catalog must be untouched (copied specs): KM.0's assumed
+	// CPI is ~14, far from its warp-model value (~65 after occupancy
+	// scaling).
+	if got := base.MustKernel("KM.0").Params.BaseCPI; math.Abs(got-14) > 0.1 {
+		t.Errorf("calibration mutated the base catalog: KM.0 CPI %v", got)
+	}
+}

@@ -1,0 +1,59 @@
+package kernels
+
+import (
+	"testing"
+
+	"chimera/internal/smsim"
+)
+
+// TestCatalogKernelsRunAtWarpLevel pushes every catalog kernel program
+// through the warp-level SM model (sampled to 4k instructions per warp)
+// and sanity-checks the resulting CPIs: finite, above the issue bound,
+// and well below fully-serialized DRAM latency.
+func TestCatalogKernelsRunAtWarpLevel(t *testing.T) {
+	cfg := smsim.DefaultConfig()
+	cfg.MaxInstsPerWarp = 4096
+	for _, s := range Load().Kernels() {
+		res, err := smsim.Run(s.Program, cfg)
+		if err != nil {
+			t.Errorf("%s: %v", s.Params.Label, err)
+			continue
+		}
+		cpi := res.CPI()
+		if cpi < 1 || cpi > float64(cfg.MemLatency) {
+			t.Errorf("%s: warp-level CPI %.2f out of plausible range", s.Params.Label, cpi)
+		}
+		if res.Insts == 0 {
+			t.Errorf("%s: nothing issued", s.Params.Label)
+		}
+	}
+}
+
+// TestWarpModelOrdersMemoryIntensity: the warp-level model must agree
+// with the catalog's qualitative CPI assignments — the streaming DRAM
+// copy (KM.0) must run a higher warp-level CPI than the constant-memory
+// compute loop (CP.0) and the shared-memory stencil (HS.0).
+func TestWarpModelOrdersMemoryIntensity(t *testing.T) {
+	cfg := smsim.DefaultConfig()
+	cfg.MaxInstsPerWarp = 4096
+	cpiOf := func(label string) float64 {
+		t.Helper()
+		res, err := smsim.Run(MustLoadKernel(label).Program, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return res.CPI()
+	}
+	km := cpiOf("KM.0")
+	cp := cpiOf("CP.0")
+	hs := cpiOf("HS.0")
+	if km <= cp {
+		t.Errorf("KM.0 warp CPI %.2f not above CP.0 %.2f", km, cp)
+	}
+	if km <= hs {
+		t.Errorf("KM.0 warp CPI %.2f not above HS.0 %.2f", km, hs)
+	}
+}
+
+// MustLoadKernel is a test convenience over the shared catalog.
+func MustLoadKernel(label string) *Spec { return Load().MustKernel(label) }

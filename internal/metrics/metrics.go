@@ -1,0 +1,136 @@
+// Package metrics implements the multiprogram performance metrics of the
+// paper's evaluation: average normalized turnaround time (ANTT) and
+// system throughput (STP) as defined by Eyerman & Eeckhout (§4.4,
+// equations 1 and 2), plus deadline-violation and throughput-overhead
+// accounting for the periodic-task scenario (§4.1) and small statistical
+// helpers shared by the experiment harnesses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProgRate is one program's measured progress rates: useful instructions
+// per cycle when running alone on the whole GPU (Single) and when
+// running in the multiprogrammed mix (Multi). Rates are the CPI proxies
+// of equations 1 and 2: CPI_multi/CPI_single == Single/Multi.
+type ProgRate struct {
+	Name   string
+	Single float64
+	Multi  float64
+}
+
+// NTT is the program's normalized turnaround time CPI_multi/CPI_single.
+func (p ProgRate) NTT() (float64, error) {
+	if p.Single <= 0 || p.Multi <= 0 {
+		return 0, fmt.Errorf("metrics: %s: non-positive rate (single=%g multi=%g)", p.Name, p.Single, p.Multi)
+	}
+	return p.Single / p.Multi, nil
+}
+
+// ANTT is equation 1: the arithmetic mean over programs of
+// CPI_multi/CPI_single. Lower is better; 1.0 is no slowdown.
+func ANTT(progs []ProgRate) (float64, error) {
+	if len(progs) == 0 {
+		return 0, fmt.Errorf("metrics: ANTT of empty set")
+	}
+	sum := 0.0
+	for _, p := range progs {
+		ntt, err := p.NTT()
+		if err != nil {
+			return 0, err
+		}
+		sum += ntt
+	}
+	return sum / float64(len(progs)), nil
+}
+
+// STP is equation 2: the summed per-program progress rates
+// CPI_single/CPI_multi. Higher is better; the maximum is the number of
+// programs.
+func STP(progs []ProgRate) (float64, error) {
+	if len(progs) == 0 {
+		return 0, fmt.Errorf("metrics: STP of empty set")
+	}
+	sum := 0.0
+	for _, p := range progs {
+		ntt, err := p.NTT()
+		if err != nil {
+			return 0, err
+		}
+		sum += 1 / ntt
+	}
+	return sum, nil
+}
+
+// ViolationRate returns the fraction (0..1) of true values — the
+// deadline-violation percentage of Figures 6, 8a and 9.
+func ViolationRate(violated []bool) float64 {
+	if len(violated) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range violated {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(violated))
+}
+
+// PeriodOverhead computes the effective-throughput overhead of §4.1 for
+// one period of the periodic-task scenario.
+//
+// soloUseful is the benchmark's stand-alone progress for the period (its
+// throughput "without preemption", the paper's baseline); fairUseful is
+// its fair share once the real-time task's SM-time entitlement is
+// removed; measuredUseful is what it actually achieved. Progress above
+// the fair share — possible only when the task missed its deadline, was
+// killed and the benchmark kept its SMs — is discarded, implementing the
+// paper's fairness correction ("we ignore the throughput additionally
+// gained by running the GPGPU benchmark more during that period"), so
+// violating techniques gain no advantage. The returned overhead is
+// relative to the stand-alone baseline, which is why the real-time
+// task's ~10 % occupancy appears in every technique's overhead in
+// Figure 7.
+func PeriodOverhead(soloUseful, fairUseful, measuredUseful float64) float64 {
+	if soloUseful <= 0 {
+		return 0
+	}
+	credited := measuredUseful
+	if credited > fairUseful {
+		credited = fairUseful
+	}
+	if credited < 0 {
+		credited = 0
+	}
+	return 1 - credited/soloUseful
+}
+
+// Geomean returns the geometric mean of strictly positive values.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: geomean of empty set")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: geomean of non-positive value %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNTT(t *testing.T) {
+	p := ProgRate{Name: "a", Single: 4, Multi: 2}
+	ntt, err := p.NTT()
+	if err != nil || ntt != 2 {
+		t.Errorf("NTT = %v, %v", ntt, err)
+	}
+	for _, bad := range []ProgRate{{Single: 0, Multi: 1}, {Single: 1, Multi: 0}, {Single: -1, Multi: 1}} {
+		if _, err := bad.NTT(); err == nil {
+			t.Errorf("NTT accepted %+v", bad)
+		}
+	}
+}
+
+func TestANTTAndSTP(t *testing.T) {
+	progs := []ProgRate{
+		{Name: "a", Single: 4, Multi: 2}, // NTT 2
+		{Name: "b", Single: 9, Multi: 3}, // NTT 3
+	}
+	antt, err := ANTT(progs)
+	if err != nil || antt != 2.5 {
+		t.Errorf("ANTT = %v, %v", antt, err)
+	}
+	stp, err := STP(progs)
+	if err != nil || math.Abs(stp-(0.5+1.0/3)) > 1e-12 {
+		t.Errorf("STP = %v, %v", stp, err)
+	}
+}
+
+func TestANTTEmpty(t *testing.T) {
+	if _, err := ANTT(nil); err == nil {
+		t.Error("ANTT accepted empty set")
+	}
+	if _, err := STP(nil); err == nil {
+		t.Error("STP accepted empty set")
+	}
+}
+
+func TestIdentityWorkload(t *testing.T) {
+	// A program unaffected by multiprogramming has NTT 1; N such
+	// programs give ANTT 1 and STP N.
+	progs := []ProgRate{{Name: "a", Single: 5, Multi: 5}, {Name: "b", Single: 7, Multi: 7}}
+	if antt, _ := ANTT(progs); antt != 1 {
+		t.Errorf("ANTT = %v, want 1", antt)
+	}
+	if stp, _ := STP(progs); stp != 2 {
+		t.Errorf("STP = %v, want 2", stp)
+	}
+}
+
+func TestSTPBounded(t *testing.T) {
+	// STP of N programs cannot exceed N if sharing never speeds a
+	// program beyond its stand-alone rate.
+	f := func(rates [4]uint16) bool {
+		var progs []ProgRate
+		for i, r := range rates {
+			single := float64(r%1000) + 1
+			multi := single * (float64(i+1) / 8) // ≤ single
+			progs = append(progs, ProgRate{Single: single, Multi: multi})
+		}
+		stp, err := STP(progs)
+		return err == nil && stp <= float64(len(progs))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolationRate(t *testing.T) {
+	if v := ViolationRate(nil); v != 0 {
+		t.Errorf("empty violation rate = %v", v)
+	}
+	if v := ViolationRate([]bool{true, false, true, true}); v != 0.75 {
+		t.Errorf("violation rate = %v, want 0.75", v)
+	}
+}
+
+func TestPeriodOverhead(t *testing.T) {
+	// Fair share 90 of a 100 solo baseline.
+	if o := PeriodOverhead(100, 90, 90); math.Abs(o-0.10) > 1e-12 {
+		t.Errorf("at fair share: overhead = %v, want 0.10", o)
+	}
+	// Below fair share: the shortfall is overhead on top of the 10%.
+	if o := PeriodOverhead(100, 90, 72); math.Abs(o-0.28) > 1e-12 {
+		t.Errorf("below fair share: overhead = %v, want 0.28", o)
+	}
+	// Above fair share (deadline missed, benchmark kept the SMs): the
+	// excess is discarded — overhead never drops below the entitlement.
+	if o := PeriodOverhead(100, 90, 99); math.Abs(o-0.10) > 1e-12 {
+		t.Errorf("capped overhead = %v, want 0.10", o)
+	}
+	// Degenerate inputs.
+	if o := PeriodOverhead(0, 0, 50); o != 0 {
+		t.Errorf("zero baseline overhead = %v", o)
+	}
+	if o := PeriodOverhead(100, 90, -5); o != 1 {
+		t.Errorf("negative measurement overhead = %v, want 1", o)
+	}
+}
+
+func TestPeriodOverheadRange(t *testing.T) {
+	f := func(solo, fair, measured uint16) bool {
+		o := PeriodOverhead(float64(solo), float64(fair), float64(measured))
+		if solo == 0 {
+			return o == 0
+		}
+		return o >= 0 || o <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{2, 8})
+	if err != nil || g != 4 {
+		t.Errorf("Geomean = %v, %v", g, err)
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Error("Geomean accepted empty set")
+	}
+	if _, err := Geomean([]float64{1, 0}); err == nil {
+		t.Error("Geomean accepted zero")
+	}
+	if _, err := Geomean([]float64{-2}); err == nil {
+		t.Error("Geomean accepted negative")
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw [5]uint16) bool {
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g, err := Geomean(xs)
+		return err == nil && g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+}

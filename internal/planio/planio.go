@@ -1,0 +1,219 @@
+// Package planio is the JSON codec behind cmd/chimeraplan: it decodes a
+// scheduler snapshot (kernel characteristics plus per-SM thread-block
+// states) into a core.Request/Input pair and encodes the resulting
+// selection. It exists so GPU-scheduler snapshots from outside this
+// repository can be run through Algorithm 1 directly.
+package planio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"chimera/internal/core"
+	"chimera/internal/gpu"
+	"chimera/internal/kernels"
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+// Snapshot is the input document.
+type Snapshot struct {
+	// ConstraintUs is the preemption latency bound in microseconds.
+	ConstraintUs float64 `json:"constraint_us"`
+	// NumPreempts is the number of SMs to take.
+	NumPreempts int `json:"num_preempts"`
+	// Relaxed selects the relaxed idempotence condition (default true).
+	Relaxed *bool `json:"relaxed,omitempty"`
+	// Kernel describes the victim kernel.
+	Kernel Kernel `json:"kernel"`
+	// SMs are the victim's streaming multiprocessors.
+	SMs []SM `json:"sms"`
+}
+
+// Kernel carries the victim's statically known and measured quantities.
+// Either name a catalog kernel (CatalogLabel) or supply the fields
+// explicitly.
+type Kernel struct {
+	// CatalogLabel pulls everything from the Table 2 catalog (e.g.
+	// "BS.0"), with measured statistics assumed converged to the
+	// catalog's means.
+	CatalogLabel string `json:"catalog_label,omitempty"`
+
+	// Explicit description (ignored when CatalogLabel is set):
+	ContextKBPerTB   float64 `json:"context_kb_per_tb,omitempty"`
+	TBsPerSM         int     `json:"tbs_per_sm,omitempty"`
+	StrictIdempotent bool    `json:"strict_idempotent,omitempty"`
+	// Measured statistics; omit a field to leave the estimator on its
+	// conservative fallback.
+	AvgInstsPerTB *float64 `json:"avg_insts_per_tb,omitempty"`
+	AvgCPI        *float64 `json:"avg_cpi,omitempty"`
+}
+
+// SM is one streaming multiprocessor's resident blocks.
+type SM struct {
+	ID  int  `json:"id"`
+	TBs []TB `json:"tbs"`
+}
+
+// TB is one resident thread block's scheduler-visible state.
+type TB struct {
+	Index    int   `json:"index"`
+	Executed int64 `json:"executed"`
+	// RunCycles is the block's elapsed execution time; omit it (0) to
+	// leave the per-block CPI unobserved.
+	RunCycles int64 `json:"run_cycles,omitempty"`
+	Breached  bool  `json:"breached,omitempty"`
+}
+
+// Decode reads a Snapshot and builds the Algorithm 1 inputs against the
+// given device configuration.
+func Decode(r io.Reader, cfg gpu.Config) (core.Request, core.Input, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return core.Request{}, core.Input{}, fmt.Errorf("planio: %w", err)
+	}
+	return Build(snap, cfg)
+}
+
+// Build converts a decoded Snapshot into Algorithm 1 inputs.
+func Build(snap Snapshot, cfg gpu.Config) (core.Request, core.Input, error) {
+	if snap.ConstraintUs <= 0 {
+		return core.Request{}, core.Input{}, fmt.Errorf("planio: constraint_us must be positive")
+	}
+	if snap.NumPreempts <= 0 {
+		return core.Request{}, core.Input{}, fmt.Errorf("planio: num_preempts must be positive")
+	}
+	if len(snap.SMs) == 0 {
+		return core.Request{}, core.Input{}, fmt.Errorf("planio: no SMs in snapshot")
+	}
+
+	est, err := estimateFor(snap.Kernel, cfg)
+	if err != nil {
+		return core.Request{}, core.Input{}, err
+	}
+
+	relaxed := true
+	if snap.Relaxed != nil {
+		relaxed = *snap.Relaxed
+	}
+	req := core.Request{
+		ConstraintCycles: float64(units.FromMicroseconds(snap.ConstraintUs)),
+		NumPreempts:      snap.NumPreempts,
+		Opts:             preempt.Options{Relaxed: relaxed},
+	}
+	in := core.Input{Est: est}
+	seen := make(map[int]bool, len(snap.SMs))
+	for _, sm := range snap.SMs {
+		if seen[sm.ID] {
+			return core.Request{}, core.Input{}, fmt.Errorf("planio: duplicate SM id %d", sm.ID)
+		}
+		seen[sm.ID] = true
+		gs := gpu.SMSnapshot{SM: gpu.SMID(sm.ID)}
+		for _, tb := range sm.TBs {
+			if tb.Executed < 0 || tb.RunCycles < 0 {
+				return core.Request{}, core.Input{}, fmt.Errorf("planio: SM %d block %d: negative counters", sm.ID, tb.Index)
+			}
+			gs.TBs = append(gs.TBs, gpu.TBSnapshot{
+				Index:     tb.Index,
+				Executed:  tb.Executed,
+				RunCycles: units.Cycles(tb.RunCycles),
+				Breached:  tb.Breached,
+			})
+		}
+		in.SMs = append(in.SMs, gs)
+	}
+	return req, in, nil
+}
+
+func estimateFor(k Kernel, cfg gpu.Config) (gpu.KernelEstimate, error) {
+	if k.CatalogLabel != "" {
+		spec, err := kernels.Load().Kernel(k.CatalogLabel)
+		if err != nil {
+			return gpu.KernelEstimate{}, fmt.Errorf("planio: %w", err)
+		}
+		p := spec.Params
+		return gpu.KernelEstimate{
+			AvgInstsPerTB:    float64(p.InstsPerTB),
+			HasInsts:         true,
+			AvgCPI:           p.BaseCPI,
+			HasCPI:           true,
+			AvgCyclesPerTB:   float64(p.TBExecCycles()),
+			HasCycles:        true,
+			SMIPC:            p.SMIPC(),
+			HasIPC:           true,
+			SMSwitchCycles:   p.SwitchCycles(cfg),
+			TBSwitchCycles:   p.TBSwitchCycles(cfg),
+			StrictIdempotent: p.StrictIdempotent,
+		}, nil
+	}
+	if k.TBsPerSM <= 0 {
+		return gpu.KernelEstimate{}, fmt.Errorf("planio: kernel needs tbs_per_sm (or a catalog_label)")
+	}
+	if k.ContextKBPerTB <= 0 {
+		return gpu.KernelEstimate{}, fmt.Errorf("planio: kernel needs context_kb_per_tb (or a catalog_label)")
+	}
+	ctx := units.Bytes(k.ContextKBPerTB * float64(units.KB))
+	est := gpu.KernelEstimate{
+		SMSwitchCycles:   cfg.ContextTransferCycles(ctx * units.Bytes(k.TBsPerSM)),
+		TBSwitchCycles:   cfg.ContextTransferCycles(ctx),
+		StrictIdempotent: k.StrictIdempotent,
+	}
+	if k.AvgInstsPerTB != nil {
+		est.AvgInstsPerTB, est.HasInsts = *k.AvgInstsPerTB, true
+	}
+	if k.AvgCPI != nil {
+		est.AvgCPI, est.HasCPI = *k.AvgCPI, true
+		if *k.AvgCPI > 0 {
+			est.SMIPC, est.HasIPC = float64(k.TBsPerSM) / *k.AvgCPI, true
+		}
+		if k.AvgInstsPerTB != nil {
+			est.AvgCyclesPerTB, est.HasCycles = *k.AvgInstsPerTB**k.AvgCPI, true
+		}
+	}
+	return est, nil
+}
+
+// PlanJSON is the output document: one entry per selected SM.
+type PlanJSON struct {
+	SM               int      `json:"sm"`
+	EstLatencyUs     float64  `json:"est_latency_us"`
+	EstOverheadInsts float64  `json:"est_overhead_insts"`
+	Forced           bool     `json:"forced,omitempty"`
+	TBs              []TBPlan `json:"tbs"`
+}
+
+// TBPlan is one thread block's assignment.
+type TBPlan struct {
+	Index     int    `json:"index"`
+	Technique string `json:"technique"`
+}
+
+// Encode writes the selection as JSON.
+func Encode(w io.Writer, sel core.Selection) error {
+	out := make([]PlanJSON, 0, len(sel.Plans))
+	forcedFrom := len(sel.Plans) - sel.Forced
+	for i, p := range sel.Plans {
+		pj := PlanJSON{
+			SM:               int(p.SM),
+			EstLatencyUs:     p.LatencyCycles / units.CyclesPerMicrosecond,
+			EstOverheadInsts: p.OverheadInsts,
+			Forced:           i >= forcedFrom,
+		}
+		if pj.EstOverheadInsts >= preempt.Infeasible {
+			pj.EstOverheadInsts = -1
+		}
+		if pj.EstLatencyUs >= preempt.Infeasible/units.CyclesPerMicrosecond {
+			pj.EstLatencyUs = -1
+		}
+		for _, tb := range p.TBs {
+			pj.TBs = append(pj.TBs, TBPlan{Index: tb.Index, Technique: tb.Technique.String()})
+		}
+		out = append(out, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

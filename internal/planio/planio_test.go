@@ -1,0 +1,157 @@
+package planio
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chimera/internal/core"
+	"chimera/internal/gpu"
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+const sample = `{
+  "constraint_us": 15,
+  "num_preempts": 1,
+  "kernel": {"catalog_label": "BS.0"},
+  "sms": [
+    {"id": 0, "tbs": [
+      {"index": 0, "executed": 2000, "run_cycles": 8000},
+      {"index": 1, "executed": 41000, "run_cycles": 164000}
+    ]},
+    {"id": 3, "tbs": [
+      {"index": 2, "executed": 30000, "run_cycles": 120000}
+    ]}
+  ]
+}`
+
+func TestDecodeCatalogKernel(t *testing.T) {
+	req, in, err := Decode(strings.NewReader(sample), gpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ConstraintCycles != float64(units.FromMicroseconds(15)) {
+		t.Errorf("constraint = %v", req.ConstraintCycles)
+	}
+	if req.NumPreempts != 1 || !req.Opts.Relaxed {
+		t.Errorf("request = %+v", req)
+	}
+	if !in.Est.HasInsts || !in.Est.HasCPI || !in.Est.StrictIdempotent {
+		t.Errorf("estimate = %+v", in.Est)
+	}
+	if len(in.SMs) != 2 || in.SMs[1].SM != 3 {
+		t.Errorf("SMs = %+v", in.SMs)
+	}
+
+	sel := core.Select(req, in)
+	if len(sel.Plans) != 1 {
+		t.Fatalf("plans = %d", len(sel.Plans))
+	}
+	var sb strings.Builder
+	if err := Encode(&sb, sel); err != nil {
+		t.Fatal(err)
+	}
+	var out []PlanJSON
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].TBs) == 0 {
+		t.Fatalf("encoded = %+v", out)
+	}
+	for _, tb := range out[0].TBs {
+		switch tb.Technique {
+		case "Switch", "Drain", "Flush":
+		default:
+			t.Errorf("technique %q", tb.Technique)
+		}
+	}
+}
+
+func TestDecodeExplicitKernel(t *testing.T) {
+	src := `{
+	  "constraint_us": 20,
+	  "num_preempts": 1,
+	  "relaxed": false,
+	  "kernel": {"context_kb_per_tb": 16, "tbs_per_sm": 4, "strict_idempotent": false,
+	             "avg_insts_per_tb": 10000, "avg_cpi": 4},
+	  "sms": [{"id": 0, "tbs": [{"index": 0, "executed": 100}]}]
+	}`
+	req, in, err := Decode(strings.NewReader(src), gpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Opts.Relaxed {
+		t.Error("relaxed flag ignored")
+	}
+	if !in.Est.HasIPC || !in.Est.HasCycles {
+		t.Errorf("derived stats missing: %+v", in.Est)
+	}
+	want := gpu.DefaultConfig().ContextTransferCycles(4 * 16 * units.KB)
+	if in.Est.SMSwitchCycles != want {
+		t.Errorf("SM switch = %v, want %v", in.Est.SMSwitchCycles, want)
+	}
+}
+
+func TestDecodeColdKernel(t *testing.T) {
+	src := `{
+	  "constraint_us": 15, "num_preempts": 1,
+	  "kernel": {"context_kb_per_tb": 16, "tbs_per_sm": 4},
+	  "sms": [{"id": 0, "tbs": [{"index": 0, "executed": 100}]}]
+	}`
+	_, in, err := Decode(strings.NewReader(src), gpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Est.HasInsts || in.Est.HasCPI || in.Est.HasIPC {
+		t.Error("cold kernel claims statistics")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"constraint_us": 15}`,
+		`{"constraint_us": 15, "num_preempts": 1, "kernel": {"catalog_label": "BS.0"}}`,
+		`{"constraint_us": 15, "num_preempts": 1, "kernel": {"catalog_label": "NOPE.0"},
+		  "sms": [{"id": 0, "tbs": []}]}`,
+		`{"constraint_us": 15, "num_preempts": 1, "kernel": {},
+		  "sms": [{"id": 0, "tbs": []}]}`,
+		`{"constraint_us": 15, "num_preempts": 1, "kernel": {"catalog_label": "BS.0"},
+		  "sms": [{"id": 0, "tbs": []}, {"id": 0, "tbs": []}]}`,
+		`{"constraint_us": 15, "num_preempts": 1, "kernel": {"catalog_label": "BS.0"},
+		  "sms": [{"id": 0, "tbs": [{"index": 0, "executed": -5}]}]}`,
+		`{"constraint_us": 15, "num_preempts": 1, "unknown_field": true,
+		  "kernel": {"catalog_label": "BS.0"}, "sms": [{"id": 0, "tbs": []}]}`,
+	}
+	for i, src := range cases {
+		if _, _, err := Decode(strings.NewReader(src), gpu.DefaultConfig()); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEncodeInfeasibleSentinels(t *testing.T) {
+	sel := core.Selection{
+		Plans: []preempt.SMPlan{{
+			SM:            1,
+			LatencyCycles: preempt.Infeasible,
+			OverheadInsts: preempt.Infeasible,
+		}},
+		Forced: 1,
+	}
+	var sb strings.Builder
+	if err := Encode(&sb, sel); err != nil {
+		t.Fatal(err)
+	}
+	var out []PlanJSON
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].EstLatencyUs != -1 || out[0].EstOverheadInsts != -1 {
+		t.Errorf("infeasible sentinels not applied: %+v", out[0])
+	}
+	if !out[0].Forced {
+		t.Error("forced flag lost")
+	}
+}

@@ -1,0 +1,169 @@
+package preempt
+
+import (
+	"math"
+
+	"chimera/internal/gpu"
+)
+
+// Infeasible is the conservative-maximum cost the estimator substitutes
+// when a technique cannot be costed (missing statistics, §3.2) or cannot
+// be applied (flushing a breached block). Any finite real cost sorts
+// before it, and it never meets a latency constraint.
+const Infeasible = math.MaxFloat64
+
+// Options tunes the cost estimators. The zero value is the paper's
+// configuration except for Relaxed, which callers must opt into
+// explicitly (§3.4); the remaining flags exist for the ablation studies
+// in DESIGN.md §5.
+type Options struct {
+	// Relaxed enables the relaxed per-block idempotence condition for
+	// flushing (§3.4); false restricts flushing to strictly idempotent
+	// kernels.
+	Relaxed bool
+	// OptimisticCold replaces the conservative-maximum fallback for
+	// missing statistics (§3.2) with an optimistic zero — the ablation
+	// showing why the conservative fallback matters.
+	OptimisticCold bool
+	// CycleBased estimates drain latency from the average execution
+	// cycles per thread block directly instead of remaining instructions
+	// times CPI — the estimator §3.2 rejects for its higher variance.
+	CycleBased bool
+}
+
+// cold returns the cost placeholder for missing statistics: the
+// conservative maximum by default, zero under the optimistic ablation.
+func (o Options) cold() float64 {
+	if o.OptimisticCold {
+		return 0
+	}
+	return Infeasible
+}
+
+// Cost is the estimated price of preempting one thread block with one
+// technique: preemption latency in cycles and throughput overhead in warp
+// instructions.
+type Cost struct {
+	Technique Technique
+	// LatencyCycles is the estimated preemption latency contribution.
+	LatencyCycles float64
+	// OverheadInsts is the estimated throughput overhead.
+	OverheadInsts float64
+}
+
+// Feasible reports whether the cost is real (not a conservative-max
+// placeholder).
+func (c Cost) Feasible() bool {
+	return c.LatencyCycles < Infeasible && c.OverheadInsts < Infeasible
+}
+
+// MeetsLatency reports whether the estimated latency fits the constraint.
+func (c Cost) MeetsLatency(constraintCycles float64) bool {
+	return c.LatencyCycles <= constraintCycles
+}
+
+// EstimateSwitch prices a context switch for one thread block (§3.2).
+// The paper treats context-switch latency as the per-SM constant of §2.4
+// — the whole SM context over the SM's bandwidth share — regardless of
+// how many blocks end up switched (this is why context switching has
+// "constant preemption latency regardless of the constraint" and its
+// utilization collapses under tight constraints, §4.2). The overhead is
+// twice the latency — saving plus restoring — times the block's share of
+// the kernel's measured SM IPC. With no IPC measurement yet, the
+// overhead falls back to the conservative maximum.
+func EstimateSwitch(tb gpu.TBSnapshot, est gpu.KernelEstimate, residentTBs int, opts Options) Cost {
+	c := Cost{Technique: Switch, LatencyCycles: float64(est.SMSwitchCycles)}
+	if !est.HasIPC || residentTBs <= 0 {
+		c.OverheadInsts = opts.cold()
+		return c
+	}
+	perTBIPC := est.SMIPC / float64(residentTBs)
+	c.OverheadInsts = 2 * c.LatencyCycles * perTBIPC
+	return c
+}
+
+// EstimateDrain prices draining one thread block (§3.2): latency is the
+// remaining instructions times a measured CPI. The remaining count uses
+// the measured average instructions per completed block — the paper
+// deliberately estimates from instruction counts because per-block cycle
+// totals have much larger variance. For the CPI factor, §3.2 has Chimera
+// measure each thread block's own executed instructions *and* cycles
+// ("Chimera can calculate the average IPC or CPI of a thread block with
+// these two statistics"), so the block's observed CPI is used once the
+// block has made enough progress, falling back to the kernel average for
+// very young blocks. Overhead is the out-of-sync idling the block will
+// impose: the gap to the SM's most-advanced block (maxExecuted -
+// executed), since the freed slots idle until the slowest drained block
+// finishes.
+//
+// With no completed block yet, the remaining-instruction term is unknown
+// and the cost is the conservative maximum (§3.2, last sentence).
+func EstimateDrain(tb gpu.TBSnapshot, est gpu.KernelEstimate, maxExecuted int64, opts Options) Cost {
+	c := Cost{Technique: Drain}
+	c.OverheadInsts = float64(maxExecuted - tb.Executed)
+	if c.OverheadInsts < 0 {
+		c.OverheadInsts = 0
+	}
+	if opts.CycleBased {
+		// Ablation: estimate straight from average execution cycles per
+		// block. §3.2 rejects this because per-block cycle totals vary
+		// far more than instruction counts.
+		if !est.HasCycles {
+			c.LatencyCycles = opts.cold()
+			c.OverheadInsts = opts.cold()
+			return c
+		}
+		c.LatencyCycles = est.AvgCyclesPerTB - float64(tb.RunCycles)
+		if c.LatencyCycles < 0 {
+			c.LatencyCycles = 0
+		}
+		return c
+	}
+	cpi, haveTB := tb.ObservedCPI()
+	if !haveTB {
+		cpi = est.AvgCPI
+	}
+	if !est.HasInsts || (!haveTB && !est.HasCPI) {
+		c.LatencyCycles = opts.cold()
+		c.OverheadInsts = opts.cold()
+		return c
+	}
+	remaining := est.AvgInstsPerTB - float64(tb.Executed)
+	if remaining < 0 {
+		// The block outlived the average; it should finish imminently.
+		remaining = 0
+	}
+	c.LatencyCycles = remaining * cpi
+	return c
+}
+
+// EstimateFlush prices flushing one thread block: zero latency, and an
+// overhead equal to the work thrown away — the block's executed
+// instruction counter, which the hardware tracks exactly (§3.2). A block
+// past its breach point cannot be flushed; relaxed=false additionally
+// forbids flushing any block of a non-strictly-idempotent kernel (the
+// strict arm of Fig 9).
+func EstimateFlush(tb gpu.TBSnapshot, est gpu.KernelEstimate, opts Options) Cost {
+	c := Cost{Technique: Flush}
+	flushable := !tb.Breached
+	if !opts.Relaxed {
+		flushable = est.StrictIdempotent
+	}
+	if !flushable {
+		c.LatencyCycles = Infeasible
+		c.OverheadInsts = Infeasible
+		return c
+	}
+	c.LatencyCycles = 0
+	c.OverheadInsts = float64(tb.Executed)
+	return c
+}
+
+// EstimateAll prices all three techniques for one thread block.
+func EstimateAll(tb gpu.TBSnapshot, est gpu.KernelEstimate, residentTBs int, maxExecuted int64, opts Options) [NumTechniques]Cost {
+	return [NumTechniques]Cost{
+		Switch: EstimateSwitch(tb, est, residentTBs, opts),
+		Drain:  EstimateDrain(tb, est, maxExecuted, opts),
+		Flush:  EstimateFlush(tb, est, opts),
+	}
+}

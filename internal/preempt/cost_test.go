@@ -1,0 +1,244 @@
+package preempt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chimera/internal/gpu"
+	"chimera/internal/units"
+)
+
+// testEstimate builds a fully-warm estimate for a synthetic kernel:
+// 10000 insts per block at CPI 4, 4 blocks per SM, 16kB context per
+// block.
+func testEstimate(strict bool) gpu.KernelEstimate {
+	cfg := gpu.DefaultConfig()
+	return gpu.KernelEstimate{
+		AvgInstsPerTB:    10000,
+		HasInsts:         true,
+		AvgCPI:           4,
+		HasCPI:           true,
+		AvgCyclesPerTB:   40000,
+		HasCycles:        true,
+		SMIPC:            1,
+		HasIPC:           true,
+		SMSwitchCycles:   cfg.ContextTransferCycles(4 * 16 * units.KB),
+		TBSwitchCycles:   cfg.ContextTransferCycles(16 * units.KB),
+		StrictIdempotent: strict,
+	}
+}
+
+func tbAt(executed int64, breached bool) gpu.TBSnapshot {
+	return gpu.TBSnapshot{
+		Index:     0,
+		Executed:  executed,
+		RunCycles: units.Cycles(executed * 4),
+		Breached:  breached,
+	}
+}
+
+var relaxed = Options{Relaxed: true}
+
+func TestSwitchConstantAcrossProgress(t *testing.T) {
+	est := testEstimate(true)
+	a := EstimateSwitch(tbAt(100, false), est, 4, relaxed)
+	b := EstimateSwitch(tbAt(9000, false), est, 4, relaxed)
+	if a.LatencyCycles != b.LatencyCycles {
+		t.Errorf("switch latency varies with progress: %v vs %v", a.LatencyCycles, b.LatencyCycles)
+	}
+	if a.LatencyCycles != float64(est.SMSwitchCycles) {
+		t.Errorf("switch latency %v, want SM constant %v", a.LatencyCycles, est.SMSwitchCycles)
+	}
+	// Overhead = 2 × latency × per-block IPC share.
+	want := 2 * float64(est.SMSwitchCycles) * est.SMIPC / 4
+	if math.Abs(a.OverheadInsts-want) > 1e-9 {
+		t.Errorf("switch overhead %v, want %v", a.OverheadInsts, want)
+	}
+}
+
+func TestSwitchColdIPC(t *testing.T) {
+	est := testEstimate(true)
+	est.HasIPC = false
+	c := EstimateSwitch(tbAt(100, false), est, 4, relaxed)
+	if c.Feasible() {
+		t.Error("switch without IPC statistics must be conservative-max")
+	}
+	c = EstimateSwitch(tbAt(100, false), est, 4, Options{Relaxed: true, OptimisticCold: true})
+	if !c.Feasible() || c.OverheadInsts != 0 {
+		t.Error("optimistic cold switch should cost zero overhead")
+	}
+}
+
+func TestDrainDecreasesWithProgress(t *testing.T) {
+	est := testEstimate(true)
+	prev := math.Inf(1)
+	for _, exec := range []int64{1000, 3000, 6000, 9000} {
+		c := EstimateDrain(tbAt(exec, false), est, exec, relaxed)
+		if c.LatencyCycles >= prev {
+			t.Errorf("drain latency not decreasing at %d: %v >= %v", exec, c.LatencyCycles, prev)
+		}
+		prev = c.LatencyCycles
+	}
+}
+
+func TestDrainUsesObservedCPI(t *testing.T) {
+	est := testEstimate(true)
+	// Block is running 2× slower than the kernel average (CPI 8).
+	tb := gpu.TBSnapshot{Executed: 5000, RunCycles: 40000}
+	c := EstimateDrain(tb, est, 5000, relaxed)
+	if want := 5000.0 * 8; math.Abs(c.LatencyCycles-want) > 1e-9 {
+		t.Errorf("drain latency %v, want %v (observed CPI)", c.LatencyCycles, want)
+	}
+}
+
+func TestDrainFallsBackToKernelCPI(t *testing.T) {
+	est := testEstimate(true)
+	tb := gpu.TBSnapshot{Executed: 8, RunCycles: 64} // too young to observe
+	c := EstimateDrain(tb, est, 8, relaxed)
+	if want := (10000.0 - 8) * 4; math.Abs(c.LatencyCycles-want) > 1e-9 {
+		t.Errorf("drain latency %v, want %v (kernel CPI)", c.LatencyCycles, want)
+	}
+}
+
+func TestDrainOverheadIsSyncGap(t *testing.T) {
+	est := testEstimate(true)
+	c := EstimateDrain(tbAt(3000, false), est, 8000, relaxed)
+	if c.OverheadInsts != 5000 {
+		t.Errorf("drain overhead %v, want 5000 (gap to most-advanced block)", c.OverheadInsts)
+	}
+}
+
+func TestDrainPastAverageClamped(t *testing.T) {
+	est := testEstimate(true)
+	c := EstimateDrain(tbAt(12000, false), est, 12000, relaxed)
+	if c.LatencyCycles != 0 {
+		t.Errorf("block past the average should drain imminently, got %v", c.LatencyCycles)
+	}
+}
+
+func TestDrainColdStats(t *testing.T) {
+	est := testEstimate(true)
+	est.HasInsts = false
+	c := EstimateDrain(tbAt(3000, false), est, 3000, relaxed)
+	if c.Feasible() {
+		t.Error("drain without completed-block statistics must be conservative-max")
+	}
+}
+
+func TestDrainCycleBasedAblation(t *testing.T) {
+	est := testEstimate(true)
+	opts := Options{Relaxed: true, CycleBased: true}
+	tb := gpu.TBSnapshot{Executed: 5000, RunCycles: 15000}
+	c := EstimateDrain(tb, est, 5000, opts)
+	if want := 40000.0 - 15000; math.Abs(c.LatencyCycles-want) > 1e-9 {
+		t.Errorf("cycle-based drain latency %v, want %v", c.LatencyCycles, want)
+	}
+	est.HasCycles = false
+	if c := EstimateDrain(tb, est, 5000, opts); c.Feasible() {
+		t.Error("cycle-based drain without cycle statistics must be conservative-max")
+	}
+}
+
+func TestFlushIncreasesWithProgress(t *testing.T) {
+	est := testEstimate(true)
+	prev := -1.0
+	for _, exec := range []int64{0, 1000, 5000, 9999} {
+		c := EstimateFlush(tbAt(exec, false), est, relaxed)
+		if c.LatencyCycles != 0 {
+			t.Errorf("flush latency %v, want 0", c.LatencyCycles)
+		}
+		if c.OverheadInsts <= prev {
+			t.Errorf("flush overhead not increasing at %d", exec)
+		}
+		prev = c.OverheadInsts
+	}
+}
+
+func TestFlushBreachedInfeasible(t *testing.T) {
+	est := testEstimate(false)
+	if c := EstimateFlush(tbAt(5000, true), est, relaxed); c.Feasible() {
+		t.Error("breached block must not be flushable")
+	}
+	if c := EstimateFlush(tbAt(5000, false), est, relaxed); !c.Feasible() {
+		t.Error("unbreached block of a non-idempotent kernel is flushable under the relaxed condition")
+	}
+}
+
+func TestFlushStrictCondition(t *testing.T) {
+	strictOpts := Options{Relaxed: false}
+	// Non-idempotent kernel: never flushable under strict, even unbreached.
+	if c := EstimateFlush(tbAt(100, false), testEstimate(false), strictOpts); c.Feasible() {
+		t.Error("strict condition flushed a non-idempotent kernel")
+	}
+	// Idempotent kernel: always flushable under strict, even "breached"
+	// (an idempotent kernel has no breach point; the flag is vacuous).
+	if c := EstimateFlush(tbAt(100, true), testEstimate(true), strictOpts); !c.Feasible() {
+		t.Error("strict condition rejected an idempotent kernel")
+	}
+}
+
+// Figure 4's crossover property: flushing is the cheapest-overhead
+// technique early in a block's execution, draining near the end.
+func TestFigure4Crossover(t *testing.T) {
+	est := testEstimate(true)
+	early := EstimateAll(tbAt(200, false), est, 4, 10000, relaxed)
+	if !(early[Flush].OverheadInsts < early[Switch].OverheadInsts) {
+		t.Errorf("early block: flush (%v) should undercut switch (%v)",
+			early[Flush].OverheadInsts, early[Switch].OverheadInsts)
+	}
+	late := EstimateAll(tbAt(9900, false), est, 4, 10000, relaxed)
+	if !(late[Drain].OverheadInsts < late[Flush].OverheadInsts) {
+		t.Errorf("late block: drain (%v) should undercut flush (%v)",
+			late[Drain].OverheadInsts, late[Flush].OverheadInsts)
+	}
+	if !(late[Drain].LatencyCycles < early[Drain].LatencyCycles) {
+		t.Error("drain latency should shrink with progress")
+	}
+}
+
+func TestCostMeetsLatency(t *testing.T) {
+	c := Cost{LatencyCycles: 100}
+	if !c.MeetsLatency(100) || c.MeetsLatency(99) {
+		t.Error("MeetsLatency boundary wrong")
+	}
+	inf := Cost{LatencyCycles: Infeasible, OverheadInsts: Infeasible}
+	if inf.MeetsLatency(1e300) && false {
+		t.Error("unreachable")
+	}
+	if inf.Feasible() {
+		t.Error("Infeasible cost claims feasibility")
+	}
+}
+
+// Property: all estimators produce non-negative costs and flushing never
+// reports latency.
+func TestEstimatesNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		est := testEstimate(r.Intn(2) == 0)
+		est.HasInsts = r.Intn(4) > 0
+		est.HasCPI = r.Intn(4) > 0
+		est.HasIPC = r.Intn(4) > 0
+		tb := gpu.TBSnapshot{
+			Executed:  int64(r.Intn(12000)),
+			RunCycles: units.Cycles(r.Intn(50000)),
+			Breached:  r.Intn(2) == 0,
+		}
+		maxExec := tb.Executed + int64(r.Intn(2000))
+		opts := Options{Relaxed: r.Intn(2) == 0, OptimisticCold: r.Intn(2) == 0, CycleBased: r.Intn(2) == 0}
+		for _, c := range EstimateAll(tb, est, r.Intn(8)+1, maxExec, opts) {
+			if c.LatencyCycles < 0 || c.OverheadInsts < 0 {
+				return false
+			}
+			if c.Technique == Flush && c.Feasible() && c.LatencyCycles != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package preempt
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/gpu"
+)
+
+// TBPlan assigns one technique to one resident thread block.
+type TBPlan struct {
+	Index     int // thread block index within its grid
+	Technique Technique
+	Cost      Cost
+}
+
+// SMPlan is a complete preemption recipe for one SM: a technique per
+// resident thread block plus the aggregated cost used for SM selection.
+type SMPlan struct {
+	SM  gpu.SMID
+	TBs []TBPlan
+
+	// LatencyCycles is the estimated time until the SM can be handed
+	// over: flushes are instant, context saves serialize on the SM's
+	// bandwidth share, drains run concurrently until the slowest drained
+	// block finishes.
+	LatencyCycles float64
+	// OverheadInsts is the summed per-block overhead.
+	OverheadInsts float64
+}
+
+// Aggregate recomputes the plan's latency and overhead from its per-block
+// assignments. The estimated switch latency is the per-SM constant (the
+// same for every switched block — a conservative upper bound on the
+// actual save, which only moves the switched blocks' contexts); drained
+// blocks overlap with each other and with the save, so the SM latency is
+// max(switch constant if any block switches, max drain latency, flush
+// zero).
+func (p *SMPlan) Aggregate() {
+	var switchMax, drainMax, overhead float64
+	for _, tb := range p.TBs {
+		if !tb.Cost.Feasible() {
+			p.LatencyCycles = Infeasible
+			p.OverheadInsts = Infeasible
+			return
+		}
+		overhead += tb.Cost.OverheadInsts
+		switch tb.Technique {
+		case Switch:
+			if tb.Cost.LatencyCycles > switchMax {
+				switchMax = tb.Cost.LatencyCycles
+			}
+		case Drain:
+			if tb.Cost.LatencyCycles > drainMax {
+				drainMax = tb.Cost.LatencyCycles
+			}
+		}
+	}
+	p.LatencyCycles = switchMax
+	if drainMax > p.LatencyCycles {
+		p.LatencyCycles = drainMax
+	}
+	p.OverheadInsts = overhead
+}
+
+// MeetsLatency reports whether the whole-SM latency fits the constraint.
+func (p *SMPlan) MeetsLatency(constraintCycles float64) bool {
+	return p.LatencyCycles <= constraintCycles
+}
+
+// Mix counts the plan's thread blocks per technique.
+func (p *SMPlan) Mix() [NumTechniques]int {
+	var mix [NumTechniques]int
+	for _, tb := range p.TBs {
+		mix[tb.Technique]++
+	}
+	return mix
+}
+
+// String renders the plan compactly for traces and tests, e.g.
+// "SM3{tb12:Flush tb13:Drain}".
+func (p *SMPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SM%d{", int(p.SM))
+	for i, tb := range p.TBs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "tb%d:%v", tb.Index, tb.Technique)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Uniform builds an SMPlan that applies a single technique to every
+// resident block of the SM — the shape the single-technique baselines of
+// §4 use. Costs are estimated with the same models Chimera uses so that
+// measured-vs-estimated comparisons stay meaningful, but the plan is
+// returned regardless of feasibility: a baseline has no alternative.
+func Uniform(sm gpu.SMSnapshot, est gpu.KernelEstimate, tech Technique, opts Options) SMPlan {
+	plan := SMPlan{SM: sm.SM}
+	maxExec := MaxExecuted(sm)
+	for _, tb := range sm.TBs {
+		costs := EstimateAll(tb, est, len(sm.TBs), maxExec, opts)
+		plan.TBs = append(plan.TBs, TBPlan{Index: tb.Index, Technique: tech, Cost: costs[tech]})
+	}
+	plan.Aggregate()
+	return plan
+}
+
+// MaxExecuted returns the executed-instruction counter of the SM's
+// most-advanced resident block (0 for an empty SM) — the reference point
+// of the drain overhead estimate.
+func MaxExecuted(sm gpu.SMSnapshot) int64 {
+	var m int64
+	for _, tb := range sm.TBs {
+		if tb.Executed > m {
+			m = tb.Executed
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package preempt
+
+import (
+	"strings"
+	"testing"
+
+	"chimera/internal/gpu"
+	"chimera/internal/units"
+)
+
+func snapshotOf(executed ...int64) gpu.SMSnapshot {
+	sm := gpu.SMSnapshot{SM: 3}
+	for i, e := range executed {
+		sm.TBs = append(sm.TBs, gpu.TBSnapshot{
+			Index: i, Executed: e, RunCycles: units.Cycles(e * 4),
+		})
+	}
+	return sm
+}
+
+func TestAggregateMixed(t *testing.T) {
+	p := SMPlan{
+		SM: 1,
+		TBs: []TBPlan{
+			{Index: 0, Technique: Flush, Cost: Cost{Technique: Flush, LatencyCycles: 0, OverheadInsts: 500}},
+			{Index: 1, Technique: Switch, Cost: Cost{Technique: Switch, LatencyCycles: 20000, OverheadInsts: 1000}},
+			{Index: 2, Technique: Switch, Cost: Cost{Technique: Switch, LatencyCycles: 20000, OverheadInsts: 1000}},
+			{Index: 3, Technique: Drain, Cost: Cost{Technique: Drain, LatencyCycles: 5000, OverheadInsts: 200}},
+		},
+	}
+	p.Aggregate()
+	// Switch latency is the per-SM constant, not summed per block; drain
+	// overlaps; flush is free.
+	if p.LatencyCycles != 20000 {
+		t.Errorf("latency %v, want 20000", p.LatencyCycles)
+	}
+	if p.OverheadInsts != 2700 {
+		t.Errorf("overhead %v, want 2700", p.OverheadInsts)
+	}
+}
+
+func TestAggregateDrainDominates(t *testing.T) {
+	p := SMPlan{TBs: []TBPlan{
+		{Technique: Drain, Cost: Cost{Technique: Drain, LatencyCycles: 90000}},
+		{Technique: Switch, Cost: Cost{Technique: Switch, LatencyCycles: 20000}},
+	}}
+	p.Aggregate()
+	if p.LatencyCycles != 90000 {
+		t.Errorf("latency %v, want drain max 90000", p.LatencyCycles)
+	}
+}
+
+func TestAggregateInfeasiblePoisons(t *testing.T) {
+	p := SMPlan{TBs: []TBPlan{
+		{Technique: Flush, Cost: Cost{Technique: Flush, LatencyCycles: 0, OverheadInsts: 10}},
+		{Technique: Drain, Cost: Cost{Technique: Drain, LatencyCycles: Infeasible, OverheadInsts: Infeasible}},
+	}}
+	p.Aggregate()
+	if p.MeetsLatency(1e300) {
+		t.Error("plan with an infeasible block met an (absurd) latency bound")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	p := SMPlan{SM: 7}
+	p.Aggregate()
+	if p.LatencyCycles != 0 || p.OverheadInsts != 0 {
+		t.Errorf("empty SM should be free to hand over: %+v", p)
+	}
+	if !p.MeetsLatency(0) {
+		t.Error("empty plan must meet any constraint")
+	}
+}
+
+func TestUniformPlans(t *testing.T) {
+	est := testEstimate(true)
+	sm := snapshotOf(1000, 5000, 9000)
+	for _, tech := range Techniques() {
+		p := Uniform(sm, est, tech, relaxed)
+		if len(p.TBs) != 3 {
+			t.Fatalf("%v: plan covers %d blocks", tech, len(p.TBs))
+		}
+		for _, tb := range p.TBs {
+			if tb.Technique != tech {
+				t.Errorf("%v: block %d got %v", tech, tb.Index, tb.Technique)
+			}
+		}
+	}
+	flush := Uniform(sm, est, Flush, relaxed)
+	if flush.LatencyCycles != 0 {
+		t.Errorf("uniform flush latency %v", flush.LatencyCycles)
+	}
+	if flush.OverheadInsts != 15000 {
+		t.Errorf("uniform flush overhead %v, want 15000", flush.OverheadInsts)
+	}
+}
+
+func TestMix(t *testing.T) {
+	p := SMPlan{TBs: []TBPlan{
+		{Technique: Flush}, {Technique: Flush}, {Technique: Drain}, {Technique: Switch},
+	}}
+	mix := p.Mix()
+	if mix[Flush] != 2 || mix[Drain] != 1 || mix[Switch] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+}
+
+func TestMaxExecuted(t *testing.T) {
+	if m := MaxExecuted(snapshotOf(100, 900, 400)); m != 900 {
+		t.Errorf("MaxExecuted = %d", m)
+	}
+	if m := MaxExecuted(gpu.SMSnapshot{}); m != 0 {
+		t.Errorf("empty MaxExecuted = %d", m)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := SMPlan{SM: 3, TBs: []TBPlan{{Index: 12, Technique: Flush}, {Index: 13, Technique: Drain}}}
+	got := p.String()
+	if !strings.Contains(got, "SM3") || !strings.Contains(got, "tb12:Flush") || !strings.Contains(got, "tb13:Drain") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTechniqueStrings(t *testing.T) {
+	if Switch.String() != "Switch" || Drain.String() != "Drain" || Flush.String() != "Flush" {
+		t.Error("technique names wrong")
+	}
+	if Technique(9).String() != "Technique(9)" {
+		t.Error("unknown technique must render")
+	}
+	if Techniques() != [NumTechniques]Technique{Switch, Drain, Flush} {
+		t.Error("Techniques order wrong")
+	}
+}

@@ -1,0 +1,49 @@
+// Package preempt defines the three GPU preemption techniques Chimera
+// collaborates over — context switching, draining and SM flushing — and
+// the per-thread-block cost models of §2.4/§3.2 that predict each
+// technique's preemption latency and throughput overhead.
+//
+// Latencies are estimated in cycles and overheads in warp instructions;
+// using the same units for every technique is what lets Chimera compare
+// them directly (§3.1, last paragraph).
+package preempt
+
+import "fmt"
+
+// Technique is one of the three preemption mechanisms.
+type Technique int
+
+const (
+	// Switch saves the context of running thread blocks to DRAM and
+	// preempts the SM; the blocks resume elsewhere/later after a restore.
+	Switch Technique = iota
+	// Drain stops issuing new thread blocks and waits for the running
+	// ones to finish.
+	Drain
+	// Flush drops the execution of running thread blocks without saving
+	// anything and re-executes them from scratch. Legal only while the
+	// block is idempotent (strictly, or relaxed: before its breach
+	// point).
+	Flush
+
+	// NumTechniques is the count of techniques (the paper's P, §3.3).
+	NumTechniques = 3
+)
+
+// String returns the technique's name as used in the paper's figures.
+func (t Technique) String() string {
+	switch t {
+	case Switch:
+		return "Switch"
+	case Drain:
+		return "Drain"
+	case Flush:
+		return "Flush"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// Techniques lists all techniques in the paper's presentation order.
+func Techniques() [NumTechniques]Technique {
+	return [NumTechniques]Technique{Switch, Drain, Flush}
+}

@@ -1,0 +1,153 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 collisions between different seeds", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if x, y := r.Uint64(), r.Uint64(); x == 0 && y == 0 {
+		t.Error("zero seed produced a dead stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 7; v++ {
+		if seen[v] == 0 {
+			t.Errorf("Intn(7) never produced %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	const want = 4.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.LogNormalMean(want, 0.3)
+		if v <= 0 {
+			t.Fatalf("lognormal produced %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("lognormal mean = %v, want ≈%v", mean, want)
+	}
+}
+
+func TestLogNormalZeroSigmaDeterministic(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10; i++ {
+		if v := r.LogNormalMean(3.5, 0); v != 3.5 {
+			t.Fatalf("sigma=0 lognormal = %v, want exactly 3.5", v)
+		}
+	}
+}
+
+func TestLogNormalMeanNonPositive(t *testing.T) {
+	r := New(10)
+	if v := r.LogNormalMean(0, 0.5); v != 0 {
+		t.Errorf("LogNormalMean(0) = %v, want 0", v)
+	}
+	if v := r.LogNormalMean(-1, 0.5); v != 0 {
+		t.Errorf("LogNormalMean(-1) = %v, want 0", v)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(11)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 collisions between split streams", same)
+	}
+}

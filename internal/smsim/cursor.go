@@ -1,0 +1,85 @@
+package smsim
+
+import "chimera/internal/kernelir"
+
+// cursor streams a kernelir program's dynamic instruction sequence
+// without materializing loop expansions. Repeat counts on instructions
+// are expanded one instruction at a time.
+type cursor struct {
+	frames []frame
+	// rep counts remaining repeats of the current instruction.
+	rep int
+}
+
+// frame is one level of the loop nest being walked.
+type frame struct {
+	body []kernelir.Stmt
+	idx  int // statement index within body
+	iter int // remaining iterations including the current one
+}
+
+// newCursor starts at the top of the program.
+func newCursor(p *kernelir.Program) *cursor {
+	c := &cursor{frames: []frame{{body: p.Body, idx: 0, iter: 1}}}
+	c.descend()
+	return c
+}
+
+// descend moves past exhausted frames and into loops until the cursor
+// rests on an instruction (or the program end).
+func (c *cursor) descend() {
+	for len(c.frames) > 0 {
+		f := &c.frames[len(c.frames)-1]
+		if f.idx >= len(f.body) {
+			// End of this body: next iteration or pop.
+			f.iter--
+			if f.iter > 0 {
+				f.idx = 0
+				continue
+			}
+			c.frames = c.frames[:len(c.frames)-1]
+			if len(c.frames) > 0 {
+				c.frames[len(c.frames)-1].idx++
+			}
+			continue
+		}
+		switch s := f.body[f.idx].(type) {
+		case kernelir.Instr:
+			if c.rep == 0 {
+				c.rep = s.Repeat
+				if c.rep <= 0 {
+					c.rep = 1
+				}
+			}
+			return
+		case kernelir.Loop:
+			if s.Trip <= 0 || len(s.Body) == 0 {
+				f.idx++
+				continue
+			}
+			c.frames = append(c.frames, frame{body: s.Body, iter: s.Trip})
+		}
+	}
+}
+
+// peek returns the current instruction; ok is false at program end.
+func (c *cursor) peek() (kernelir.Instr, bool) {
+	if len(c.frames) == 0 {
+		return kernelir.Instr{}, false
+	}
+	f := &c.frames[len(c.frames)-1]
+	return f.body[f.idx].(kernelir.Instr), true
+}
+
+// advance consumes one dynamic instruction.
+func (c *cursor) advance() {
+	if len(c.frames) == 0 {
+		return
+	}
+	c.rep--
+	if c.rep > 0 {
+		return
+	}
+	c.frames[len(c.frames)-1].idx++
+	c.descend()
+}

@@ -1,0 +1,311 @@
+// Package smsim is a warp-level timing model of a single streaming
+// multiprocessor executing one thread block of a kernelir program.
+//
+// The block-level simulator (internal/engine) advances whole thread
+// blocks at a configured CPI; this package is the layer below it — the
+// GPGPU-Sim-shaped substrate that justifies those CPIs. A thread block
+// is W warps all executing the same program; each cycle the SM issues
+// instructions from ready warps in round-robin (loose greedy-then-oldest)
+// order, subject to SIMT-width occupancy, memory latency with a bounded
+// number of outstanding misses (MSHRs), and intra-block barriers.
+//
+// The model is deliberately small: in-order issue per warp, no
+// instruction cache, no operand collector, uniform memory latency. Those
+// are the same simplifications Chimera's decision statistics are
+// insensitive to — the scheduler only consumes per-block instruction
+// counters and CPI (§3.2) — so the model's job is to produce realistic
+// CPI *relationships* (memory-bound kernels slower than compute-bound
+// ones, occupancy effects), not absolute DRAM timing.
+package smsim
+
+import (
+	"fmt"
+
+	"chimera/internal/kernelir"
+	"chimera/internal/units"
+)
+
+// Config parameterizes the SM pipeline.
+type Config struct {
+	// Warps is the number of warps in the thread block.
+	Warps int
+	// IssueWidth is the number of instructions the SM issues per cycle
+	// across all warps.
+	IssueWidth int
+	// WarpOccupancy is the number of cycles one warp instruction
+	// occupies its issue slot: warp size / SIMT width (32/8 = 4 on the
+	// Table 1 machine).
+	WarpOccupancy int
+	// ALULatency is the result latency of arithmetic instructions.
+	ALULatency int
+	// SharedLatency is the load-use latency of shared-memory accesses.
+	SharedLatency int
+	// MemLatency is the round-trip latency of a global load.
+	MemLatency int
+	// MaxOutstanding bounds concurrent global loads (MSHRs); further
+	// loads stall at issue until a slot frees.
+	MaxOutstanding int
+	// MaxInstsPerWarp truncates execution (0 = run the whole program):
+	// long catalog kernels can be sampled instead of fully executed.
+	MaxInstsPerWarp int64
+}
+
+// DefaultConfig models one Table 1 SM: 8 warps (256 threads), single
+// issue, 4-cycle warp occupancy at SIMT width 8, 400-cycle DRAM loads
+// and 16 MSHRs.
+func DefaultConfig() Config {
+	return Config{
+		Warps:          8,
+		IssueWidth:     1,
+		WarpOccupancy:  4,
+		ALULatency:     8,
+		SharedLatency:  24,
+		MemLatency:     400,
+		MaxOutstanding: 16,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Warps <= 0:
+		return fmt.Errorf("smsim: Warps must be positive")
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("smsim: IssueWidth must be positive")
+	case c.WarpOccupancy <= 0:
+		return fmt.Errorf("smsim: WarpOccupancy must be positive")
+	case c.ALULatency < 0 || c.SharedLatency < 0 || c.MemLatency < 0:
+		return fmt.Errorf("smsim: negative latency")
+	case c.MaxOutstanding <= 0:
+		return fmt.Errorf("smsim: MaxOutstanding must be positive")
+	case c.MaxInstsPerWarp < 0:
+		return fmt.Errorf("smsim: negative MaxInstsPerWarp")
+	}
+	return nil
+}
+
+// Result is the timing outcome of one thread block.
+type Result struct {
+	// Cycles is the wall time of the block on the SM.
+	Cycles units.Cycles
+	// Insts is the number of warp instructions issued.
+	Insts int64
+	// Truncated reports that MaxInstsPerWarp cut execution short.
+	Truncated bool
+	// IssueStallCycles counts cycles where no warp could issue.
+	IssueStallCycles units.Cycles
+	// MemStalls counts issue attempts rejected for MSHR exhaustion.
+	MemStalls int64
+}
+
+// CPI is the block's cycles per warp instruction.
+func (r Result) CPI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Insts)
+}
+
+// warpState is one warp's execution cursor and hazard state.
+type warpState struct {
+	cursor *cursor
+	// block is the thread block the warp belongs to (barriers are
+	// block-scoped).
+	block int
+	// readyAt is the cycle the warp may issue its next instruction
+	// (result hazards modelled as full stalls: in-order, no scoreboard).
+	readyAt int64
+	// atBarrier marks a warp parked at a barrier.
+	atBarrier bool
+	// done marks a warp that exhausted the program.
+	done bool
+	// issued counts instructions this warp has issued.
+	issued int64
+	// pendingLoad, if non-negative, is the completion cycle of the
+	// warp's outstanding global load (one per warp: in-order).
+	pendingLoad int64
+}
+
+// Run executes one thread block of p on the modelled SM and reports its
+// timing.
+func Run(p *kernelir.Program, cfg Config) (Result, error) {
+	return RunBlocks(p, cfg, 1)
+}
+
+// RunBlocks executes nBlocks concurrent thread blocks of p on the
+// modelled SM — the occupancy the kernel actually runs at — and reports
+// aggregate timing. Barriers synchronize warps within their own block
+// only. The per-block CPI at occupancy is nBlocks × Cycles / Insts.
+func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if nBlocks <= 0 {
+		return Result{}, fmt.Errorf("smsim: nBlocks must be positive")
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	warps := make([]*warpState, cfg.Warps*nBlocks)
+	for i := range warps {
+		warps[i] = &warpState{cursor: newCursor(p), block: i / cfg.Warps, pendingLoad: -1}
+	}
+
+	var res Result
+	var now int64
+	outstanding := 0
+	barrierParked := make([]int, nBlocks)
+	rr := 0 // round-robin pointer
+
+	for {
+		// Retire completed loads at the current cycle.
+		for _, w := range warps {
+			if w.pendingLoad >= 0 && w.pendingLoad <= now {
+				w.pendingLoad = -1
+				outstanding--
+			}
+		}
+		// Release a block's barrier once every live warp of the block
+		// reached it (barriers are intra-block, §2.1).
+		live := make([]int, nBlocks)
+		for _, w := range warps {
+			if !w.done {
+				live[w.block]++
+			}
+		}
+		for b := 0; b < nBlocks; b++ {
+			if live[b] > 0 && barrierParked[b] == live[b] {
+				for _, w := range warps {
+					if w.block == b && w.atBarrier {
+						w.atBarrier = false
+						w.cursor.advance()
+					}
+				}
+				barrierParked[b] = 0
+			}
+		}
+
+		// Issue up to IssueWidth instructions from ready warps.
+		issuedThisCycle := 0
+		for scan := 0; scan < len(warps) && issuedThisCycle < cfg.IssueWidth; scan++ {
+			w := warps[(rr+scan)%len(warps)]
+			if w.done || w.atBarrier || w.readyAt > now || w.pendingLoad >= 0 {
+				continue
+			}
+			in, ok := w.cursor.peek()
+			if !ok {
+				w.done = true
+				continue
+			}
+			if cfg.MaxInstsPerWarp > 0 && w.issued >= cfg.MaxInstsPerWarp {
+				w.done = true
+				res.Truncated = true
+				continue
+			}
+			if in.Op == kernelir.Barrier {
+				// The barrier instruction issues (it is part of the
+				// warp-granularity instruction count) and parks the warp.
+				w.atBarrier = true
+				barrierParked[w.block]++
+				w.issued++
+				res.Insts++
+				continue
+			}
+			if isGlobalLoad(in) && outstanding >= cfg.MaxOutstanding {
+				res.MemStalls++
+				continue
+			}
+			// Issue.
+			issuedThisCycle++
+			w.issued++
+			res.Insts++
+			w.readyAt = now + int64(cfg.WarpOccupancy)
+			switch {
+			case isGlobalLoad(in):
+				w.pendingLoad = now + int64(cfg.MemLatency)
+				outstanding++
+			case in.Op == kernelir.Load && in.Space == kernelir.Shared:
+				w.readyAt = now + int64(cfg.SharedLatency)
+			case in.Op == kernelir.Load && in.Space == kernelir.Constant:
+				w.readyAt = now + int64(cfg.SharedLatency)
+			case in.Op == kernelir.Atomic:
+				// Atomics round-trip to memory before the warp proceeds.
+				w.readyAt = now + int64(cfg.MemLatency)
+			case in.Op == kernelir.Store || in.Op == kernelir.Notify:
+				// Fire-and-forget through the store queue.
+			default: // ALU
+				w.readyAt = now + int64(cfg.ALULatency)
+			}
+			w.cursor.advance()
+		}
+		rr = (rr + 1) % len(warps)
+
+		// Termination: every warp done.
+		alive := false
+		for _, w := range warps {
+			if !w.done {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			res.Cycles = units.Cycles(now)
+			return res, nil
+		}
+
+		if issuedThisCycle == 0 {
+			// Fast-forward to the next cycle anything can change.
+			next := int64(-1)
+			consider := func(t int64) {
+				if t > now && (next < 0 || t < next) {
+					next = t
+				}
+			}
+			for _, w := range warps {
+				if w.done {
+					continue
+				}
+				if w.pendingLoad >= 0 {
+					consider(w.pendingLoad)
+				} else if !w.atBarrier {
+					consider(w.readyAt)
+				}
+			}
+			if next < 0 {
+				// No timed event pending. If some block has every live
+				// warp parked at its barrier, the release happens at the
+				// top of the next loop pass without time advancing.
+				parked := make([]int, nBlocks)
+				liveNow := make([]int, nBlocks)
+				for _, w := range warps {
+					if w.atBarrier {
+						parked[w.block]++
+					}
+					if !w.done {
+						liveNow[w.block]++
+					}
+				}
+				releasable := false
+				for b := 0; b < nBlocks; b++ {
+					if liveNow[b] > 0 && parked[b] == liveNow[b] {
+						releasable = true
+					}
+				}
+				if releasable {
+					continue
+				}
+				// Otherwise no barrier can release (a warp finished
+				// early): deadlock in the kernel, not the simulator.
+				return Result{}, fmt.Errorf("smsim: %s: barrier deadlock at cycle %d", p.Name, now)
+			}
+			res.IssueStallCycles += units.Cycles(next - now)
+			now = next
+		} else {
+			now++
+		}
+	}
+}
+
+func isGlobalLoad(in kernelir.Instr) bool {
+	return in.Op == kernelir.Load && in.Space == kernelir.Global
+}

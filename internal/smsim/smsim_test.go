@@ -1,0 +1,329 @@
+package smsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chimera/internal/kernelir"
+)
+
+func cfgFor(t *testing.T) Config {
+	t.Helper()
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func run(t *testing.T, p *kernelir.Program, cfg Config) Result {
+	t.Helper()
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", p.Name, err)
+	}
+	return r
+}
+
+func TestCursorStreamsProgram(t *testing.T) {
+	p := kernelir.NewBuilder("p")
+	p.ALU(2)
+	p.Loop(3, func(b *kernelir.Builder) {
+		b.LoadGVar("a", "i")
+		b.Loop(2, func(b *kernelir.Builder) { b.ALU(1) })
+	})
+	p.StoreG("out", "t")
+	prog := p.Build()
+
+	c := newCursor(prog)
+	var ops []kernelir.Op
+	for {
+		in, ok := c.peek()
+		if !ok {
+			break
+		}
+		ops = append(ops, in.Op)
+		c.advance()
+	}
+	if int64(len(ops)) != prog.InstCount() {
+		t.Fatalf("cursor streamed %d insts, program has %d", len(ops), prog.InstCount())
+	}
+	want := []kernelir.Op{
+		kernelir.ALU, kernelir.ALU,
+		kernelir.Load, kernelir.ALU, kernelir.ALU,
+		kernelir.Load, kernelir.ALU, kernelir.ALU,
+		kernelir.Load, kernelir.ALU, kernelir.ALU,
+		kernelir.Store,
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("stream %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestCursorMatchesInstCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		c := newCursor(p)
+		var n int64
+		for {
+			if _, ok := c.peek(); !ok {
+				break
+			}
+			n++
+			c.advance()
+			if n > 1_000_000 {
+				return false
+			}
+		}
+		return n == p.InstCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllInstructionsIssue(t *testing.T) {
+	p := kernelir.NewBuilder("p")
+	p.Loop(50, func(b *kernelir.Builder) {
+		b.LoadGVar("a", "i")
+		b.ALU(3)
+		b.StoreGVar("b", "i")
+	})
+	prog := p.Build()
+	cfg := cfgFor(t)
+	res := run(t, prog, cfg)
+	if want := prog.InstCount() * int64(cfg.Warps); res.Insts != want {
+		t.Errorf("issued %d, want %d", res.Insts, want)
+	}
+	if res.Truncated {
+		t.Error("unexpected truncation")
+	}
+	if res.Cycles == 0 {
+		t.Error("zero wall time")
+	}
+}
+
+func TestMemoryBoundSlowerThanComputeBound(t *testing.T) {
+	compute := kernelir.NewBuilder("compute")
+	compute.Loop(200, func(b *kernelir.Builder) { b.ALU(4) })
+	memory := kernelir.NewBuilder("memory")
+	memory.Loop(200, func(b *kernelir.Builder) { b.LoadGVar("a", "i"); b.ALU(3) })
+
+	cfg := cfgFor(t)
+	c := run(t, compute.Build(), cfg)
+	m := run(t, memory.Build(), cfg)
+	if m.CPI() <= c.CPI() {
+		t.Errorf("memory-bound CPI %.2f not above compute-bound %.2f", m.CPI(), c.CPI())
+	}
+}
+
+func TestMoreWarpsHideLatency(t *testing.T) {
+	// With more warps the SM overlaps memory latency: CPI per warp
+	// instruction (block progress) improves.
+	p := kernelir.NewBuilder("mem")
+	p.Loop(100, func(b *kernelir.Builder) { b.LoadGVar("a", "i"); b.ALU(2) })
+	prog := p.Build()
+
+	cfg1 := cfgFor(t)
+	cfg1.Warps = 1
+	cfg8 := cfgFor(t)
+	cfg8.Warps = 8
+
+	r1 := run(t, prog, cfg1)
+	r8 := run(t, prog, cfg8)
+	// Same per-warp work; the 8-warp block should take far less than 8×
+	// the single warp's time.
+	if float64(r8.Cycles) > 4*float64(r1.Cycles) {
+		t.Errorf("8 warps took %v vs 1 warp %v: no latency hiding", r8.Cycles, r1.Cycles)
+	}
+}
+
+func TestMSHRLimitThrottles(t *testing.T) {
+	p := kernelir.NewBuilder("streams")
+	p.Loop(100, func(b *kernelir.Builder) { b.LoadGVar("a", "i") })
+	prog := p.Build()
+
+	narrow := cfgFor(t)
+	narrow.MaxOutstanding = 1
+	wide := cfgFor(t)
+	wide.MaxOutstanding = 64
+
+	rNarrow := run(t, prog, narrow)
+	rWide := run(t, prog, wide)
+	if rNarrow.Cycles <= rWide.Cycles {
+		t.Errorf("1 MSHR (%v) not slower than 64 MSHRs (%v)", rNarrow.Cycles, rWide.Cycles)
+	}
+	if rNarrow.MemStalls == 0 {
+		t.Error("no MSHR stalls recorded under a 1-MSHR config")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	p := kernelir.NewBuilder("bar")
+	p.LoadG("a", "t") // 400-cycle load
+	p.Barrier()
+	p.ALU(1)
+	prog := p.Build()
+	cfg := cfgFor(t)
+	res := run(t, prog, cfg)
+	// No warp can pass the barrier before its load returned.
+	if res.Cycles < 400 {
+		t.Errorf("block finished in %v despite a pre-barrier load", res.Cycles)
+	}
+	if want := prog.InstCount() * int64(cfg.Warps); res.Insts != want {
+		t.Errorf("issued %d, want %d (barriers are not issued)", res.Insts, want)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	p := kernelir.NewBuilder("long")
+	p.Loop(10000, func(b *kernelir.Builder) { b.ALU(4) })
+	prog := p.Build()
+	cfg := cfgFor(t)
+	cfg.MaxInstsPerWarp = 100
+	res := run(t, prog, cfg)
+	if !res.Truncated {
+		t.Error("truncation not reported")
+	}
+	if want := int64(100) * int64(cfg.Warps); res.Insts != want {
+		t.Errorf("issued %d, want %d", res.Insts, want)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Warps = 0 },
+		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.WarpOccupancy = 0 },
+		func(c *Config) { c.MemLatency = -1 },
+		func(c *Config) { c.MaxOutstanding = 0 },
+		func(c *Config) { c.MaxInstsPerWarp = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	prog := kernelir.NewBuilder("empty").Build()
+	res := run(t, prog, cfgFor(t))
+	if res.Insts != 0 || res.Cycles != 0 {
+		t.Errorf("empty program: %+v", res)
+	}
+}
+
+// TestCPIFloor: CPI can never beat the issue bandwidth bound
+// (WarpOccupancy / min(Warps, ...) per warp instruction as block
+// aggregate — with IssueWidth 1 and occupancy 4, a block cannot retire
+// faster than 1 instruction per cycle... the per-warp occupancy bounds
+// each warp at 1 inst / WarpOccupancy cycles; the block at IssueWidth
+// insts per cycle.
+func TestCPIFloor(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		if p.InstCount() == 0 {
+			return true
+		}
+		cfg := DefaultConfig()
+		cfg.Warps = r.Intn(8) + 1
+		res, err := Run(p, cfg)
+		if err != nil {
+			return false
+		}
+		// Block-aggregate issue bound:
+		minCycles := res.Insts / int64(cfg.IssueWidth)
+		// Per-warp occupancy bound:
+		perWarp := p.InstCount() * int64(cfg.WarpOccupancy)
+		if perWarp > minCycles {
+			minCycles = perWarp
+		}
+		return int64(res.Cycles) >= minCycles-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomProgram builds small random programs (barrier-free: truncation
+// with barriers is legal but the random generator keeps things simple).
+func randomProgram(r *rand.Rand) *kernelir.Program {
+	b := kernelir.NewBuilder("rand")
+	n := r.Intn(5) + 1
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			b.ALU(r.Intn(4) + 1)
+		case 1:
+			b.LoadG("a", "t")
+		case 2:
+			b.StoreG("b", "t")
+		case 3:
+			trip := r.Intn(6)
+			b.Loop(trip, func(inner *kernelir.Builder) {
+				inner.LoadGVar("c", "i")
+				inner.ALU(r.Intn(3) + 1)
+			})
+		}
+	}
+	return b.Build()
+}
+
+func TestRunBlocksOccupancy(t *testing.T) {
+	// A memory-bound program at higher occupancy hides more latency:
+	// total instructions scale with blocks while wall time grows less
+	// than proportionally (until the issue slot saturates).
+	p := kernelir.NewBuilder("mem")
+	p.Loop(60, func(b *kernelir.Builder) { b.LoadGVar("a", "i"); b.ALU(2) })
+	prog := p.Build()
+	cfg := cfgFor(t)
+	cfg.MaxOutstanding = 64
+
+	one, err := RunBlocks(prog, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunBlocks(prog, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Insts != 4*one.Insts {
+		t.Errorf("4-block insts = %d, want %d", four.Insts, 4*one.Insts)
+	}
+	if float64(four.Cycles) >= 4*float64(one.Cycles) {
+		t.Errorf("no latency hiding at occupancy 4: %v vs %v", four.Cycles, one.Cycles)
+	}
+}
+
+func TestRunBlocksBarriersAreBlockScoped(t *testing.T) {
+	// Barriers only synchronize within a block: two blocks whose warps
+	// park at their own barriers must both release and finish.
+	p := kernelir.NewBuilder("bar")
+	p.LoadG("a", "t")
+	p.Barrier()
+	p.ALU(2)
+	prog := p.Build()
+	cfg := cfgFor(t)
+	res, err := RunBlocks(prog, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := prog.InstCount() * int64(cfg.Warps) * 3; res.Insts != want {
+		t.Errorf("issued %d, want %d", res.Insts, want)
+	}
+}
+
+func TestRunBlocksValidation(t *testing.T) {
+	prog := kernelir.NewBuilder("p").ALU(1).Build()
+	if _, err := RunBlocks(prog, DefaultConfig(), 0); err == nil {
+		t.Error("zero blocks accepted")
+	}
+}

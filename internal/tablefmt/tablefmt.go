@@ -1,0 +1,146 @@
+// Package tablefmt renders the experiment results as aligned plain-text
+// tables, the common output format of the CLI, the examples and the
+// benchmark harness.
+package tablefmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are an
+// error surfaced at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table. Columns are left-aligned for the first column
+// and right-aligned for the rest (numeric convention).
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		if len(row) > len(t.Columns) {
+			return fmt.Errorf("tablefmt: %q: row has %d cells, table has %d columns", t.Title, len(row), len(t.Columns))
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table to a string, panicking on the (structural)
+// errors Render can report — convenient for tests and logs.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a fraction (0..1) as a percentage with one decimal.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// Times formats a ratio as a multiplier, e.g. "5.5x".
+func Times(v float64) string {
+	return fmt.Sprintf("%.1fx", v)
+}
+
+// Us formats a microsecond quantity with one decimal.
+func Us(v float64) string {
+	return fmt.Sprintf("%.1fµs", v)
+}
+
+// WriteJSON encodes tables as a JSON array of {title, note, columns,
+// rows} objects — the machine-readable counterpart of Render for
+// plotting pipelines.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	type jsonTable struct {
+		Title   string     `json:"title"`
+		Note    string     `json:"note,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	out := make([]jsonTable, 0, len(tables))
+	for _, t := range tables {
+		for _, row := range t.Rows {
+			if len(row) > len(t.Columns) {
+				return fmt.Errorf("tablefmt: %q: row has %d cells, table has %d columns", t.Title, len(row), len(t.Columns))
+			}
+		}
+		out = append(out, jsonTable{Title: t.Title, Note: t.Note, Columns: t.Columns, Rows: t.Rows})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,113 @@
+package tablefmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("T", "Name", "Value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	got := tb.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if lines[0] != "== T ==" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header, separator, two rows, trailing blank handled by TrimRight.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.HasSuffix(lines[1], "Value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// All body lines share the header's width.
+	for _, l := range lines[2:] {
+		if len(l) > len(lines[1]) {
+			t.Errorf("line longer than header: %q", l)
+		}
+	}
+}
+
+func TestRenderNote(t *testing.T) {
+	tb := New("T", "A")
+	tb.Note = "hello"
+	tb.AddRow("x")
+	if got := tb.String(); !strings.Contains(got, "note: hello") {
+		t.Errorf("note missing: %q", got)
+	}
+}
+
+func TestRenderMissingCells(t *testing.T) {
+	tb := New("T", "A", "B", "C")
+	tb.AddRow("only")
+	if got := tb.String(); !strings.Contains(got, "only") {
+		t.Errorf("short row dropped: %q", got)
+	}
+}
+
+func TestRenderTooManyCells(t *testing.T) {
+	tb := New("T", "A")
+	tb.AddRow("x", "y")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err == nil {
+		t.Error("over-wide row accepted")
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "A")
+	tb.AddRow("x")
+	if got := tb.String(); strings.Contains(got, "==") {
+		t.Errorf("untitled table rendered a title: %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{F(3.14159, 2), "3.14"},
+		{Pct(0.1234), "12.3%"},
+		{Times(5.55), "5.5x"},
+		{Us(830.44), "830.4µs"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tb := New("T", "A", "B")
+	tb.Note = "n"
+	tb.AddRow("x", "1")
+	var sb strings.Builder
+	if err := WriteJSON(&sb, []*Table{tb}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Title   string     `json:"title"`
+		Note    string     `json:"note"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].Title != "T" || decoded[0].Rows[0][1] != "1" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestWriteJSONRejectsWideRow(t *testing.T) {
+	tb := New("T", "A")
+	tb.AddRow("x", "y")
+	var sb strings.Builder
+	if err := WriteJSON(&sb, []*Table{tb}); err == nil {
+		t.Error("over-wide row accepted")
+	}
+}

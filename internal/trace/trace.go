@@ -1,0 +1,167 @@
+// Package trace records the observable events of a simulation —
+// launches, preemption requests, per-block preemptions, handovers,
+// deadline outcomes — for debugging, visualization and tests. Recording
+// is optional: the engine emits events only when a Recorder is
+// installed.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"chimera/internal/units"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+const (
+	// KernelLaunch marks a kernel instance entering the machine.
+	KernelLaunch Kind = iota
+	// KernelFinish marks a kernel completing its grid.
+	KernelFinish
+	// KernelKill marks a kernel aborted at its deadline.
+	KernelKill
+	// Request marks a preemption request being issued.
+	Request
+	// FlushTB, SaveTB, DrainTB mark one thread block's preemption by
+	// the respective technique (SaveTB at freeze time).
+	FlushTB
+	SaveTB
+	DrainTB
+	// RestoreTB marks a switched block's context streaming back in.
+	RestoreTB
+	// Handover marks an SM completing its preemption and changing owner.
+	Handover
+	// DeadlineMiss marks a periodic-task instance killed at its deadline.
+	DeadlineMiss
+)
+
+// String names the kind as used in dumps.
+func (k Kind) String() string {
+	switch k {
+	case KernelLaunch:
+		return "launch"
+	case KernelFinish:
+		return "finish"
+	case KernelKill:
+		return "kill"
+	case Request:
+		return "request"
+	case FlushTB:
+		return "flush"
+	case SaveTB:
+		return "save"
+	case DrainTB:
+		return "drain"
+	case RestoreTB:
+		return "restore"
+	case Handover:
+		return "handover"
+	case DeadlineMiss:
+		return "deadline-miss"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     units.Cycles
+	Kind   Kind
+	Kernel string // kernel label, when applicable
+	SM     int    // SM id, -1 when not SM-scoped
+	TB     int    // thread-block index, -1 when not block-scoped
+	Detail string
+}
+
+// String renders the event as one dump line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12s  %-13s", e.At, e.Kind)
+	if e.Kernel != "" {
+		s += " " + e.Kernel
+	}
+	if e.SM >= 0 {
+		s += fmt.Sprintf(" sm=%d", e.SM)
+	}
+	if e.TB >= 0 {
+		s += fmt.Sprintf(" tb=%d", e.TB)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder consumes events.
+type Recorder interface {
+	Record(Event)
+}
+
+// Ring is a bounded in-memory Recorder keeping the most recent events.
+// The zero value is unusable; construct with NewRing.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   int64
+	filter  func(Event) bool
+}
+
+// NewRing creates a ring recorder holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// SetFilter installs a predicate; events it rejects are not stored (but
+// still counted in Total).
+func (r *Ring) SetFilter(f func(Event) bool) { r.filter = f }
+
+// Record implements Recorder.
+func (r *Ring) Record(e Event) {
+	r.total++
+	if r.filter != nil && !r.filter(e) {
+		return
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Total is the number of events offered (including filtered ones).
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events in recording order.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events one per line.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counts tallies retained events by kind.
+func (r *Ring) Counts() map[Kind]int {
+	counts := make(map[Kind]int)
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+	}
+	return counts
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{At: 1, Kind: FlushTB, Kernel: "K", SM: i, TB: i})
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if r.Total() != 3 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	for i, e := range events {
+		if e.SM != i {
+			t.Errorf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Record(Event{SM: i})
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	want := []int{4, 5, 6}
+	for i, e := range events {
+		if e.SM != want[i] {
+			t.Errorf("wrapped order: got %d want %d", e.SM, want[i])
+		}
+	}
+	if r.Total() != 7 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(10)
+	r.SetFilter(func(e Event) bool { return e.Kind == Request })
+	r.Record(Event{Kind: Request})
+	r.Record(Event{Kind: FlushTB})
+	if got := len(r.Events()); got != 1 {
+		t.Errorf("filtered events = %d", got)
+	}
+	if r.Total() != 2 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestRingZeroCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Record(Event{Kind: Request})
+	if len(r.Events()) != 1 {
+		t.Error("zero-capacity ring should fall back to capacity 1")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1400, Kind: FlushTB, Kernel: "BS.0", SM: 3, TB: 12, Detail: "wasted=100 insts"}
+	s := e.String()
+	for _, want := range []string{"flush", "BS.0", "sm=3", "tb=12", "wasted=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	minimal := Event{Kind: KernelLaunch, Kernel: "K", SM: -1, TB: -1}
+	if s := minimal.String(); strings.Contains(s, "sm=") || strings.Contains(s, "tb=") {
+		t.Errorf("minimal event rendered scoped fields: %q", s)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KernelLaunch, KernelFinish, KernelKill, Request, FlushTB, SaveTB, DrainTB, RestoreTB, Handover, DeadlineMiss}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d name %q empty or duplicate", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestDumpAndCounts(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: Request, SM: -1, TB: -1})
+	r.Record(Event{Kind: FlushTB, SM: 1, TB: 2})
+	r.Record(Event{Kind: FlushTB, SM: 2, TB: 3})
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Errorf("dump has %d lines", got)
+	}
+	counts := r.Counts()
+	if counts[FlushTB] != 2 || counts[Request] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,68 @@
+// Package units defines the time and size units used throughout the
+// simulator. The GPU modelled is the Fermi-class configuration of the
+// Chimera paper (Table 1): 30 SMs at 1400 MHz with 177.4 GB/s of DRAM
+// bandwidth. All simulation time is kept in integer clock cycles of that
+// core clock so event ordering is exact; conversions to and from
+// microseconds exist only at the configuration and reporting boundaries.
+package units
+
+import "fmt"
+
+// Cycles is a point in time or a duration measured in GPU core clock
+// cycles (1400 MHz in the default configuration).
+type Cycles uint64
+
+// ClockMHz is the SM core clock of the modelled GPU (Table 1).
+const ClockMHz = 1400
+
+// CyclesPerMicrosecond is the number of core cycles in one microsecond.
+const CyclesPerMicrosecond = ClockMHz // 1400 MHz -> 1400 cycles / µs
+
+// FromMicroseconds converts a duration in microseconds to cycles,
+// rounding to the nearest cycle.
+func FromMicroseconds(us float64) Cycles {
+	if us <= 0 {
+		return 0
+	}
+	return Cycles(us*CyclesPerMicrosecond + 0.5)
+}
+
+// Microseconds converts a cycle count to microseconds.
+func (c Cycles) Microseconds() float64 {
+	return float64(c) / CyclesPerMicrosecond
+}
+
+// String renders the duration in microseconds for human consumption.
+func (c Cycles) String() string {
+	return fmt.Sprintf("%.2fµs", c.Microseconds())
+}
+
+// Bytes is a data size in bytes.
+type Bytes uint64
+
+// KB is one kibibyte. Table 2 reports context sizes in kB; the paper uses
+// the conventional 1024-byte kilobyte for register file and shared memory
+// sizes.
+const KB Bytes = 1024
+
+// BandwidthGBs models a sustained memory bandwidth in GB/s (decimal GB,
+// matching the 177.4 GB/s figure of Table 1).
+type BandwidthGBs float64
+
+// TransferCycles returns the number of core cycles needed to move size
+// bytes at bandwidth bw. A zero bandwidth yields the maximum duration so
+// that misconfiguration surfaces as an obviously absurd latency rather
+// than a silent zero.
+func TransferCycles(size Bytes, bw BandwidthGBs) Cycles {
+	if bw <= 0 {
+		return Cycles(1) << 62
+	}
+	bytesPerCycle := float64(bw) * 1e9 / (ClockMHz * 1e6)
+	return Cycles(float64(size)/bytesPerCycle + 0.5)
+}
+
+// TransferMicroseconds returns the time in microseconds to move size
+// bytes at bandwidth bw.
+func TransferMicroseconds(size Bytes, bw BandwidthGBs) float64 {
+	return TransferCycles(size, bw).Microseconds()
+}

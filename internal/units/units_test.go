@@ -1,0 +1,96 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromMicroseconds(t *testing.T) {
+	cases := []struct {
+		us   float64
+		want Cycles
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1400},
+		{15, 21000},
+		{0.5, 700},
+		{1000, 1_400_000},
+	}
+	for _, c := range cases {
+		if got := FromMicroseconds(c.us); got != c.want {
+			t.Errorf("FromMicroseconds(%v) = %d, want %d", c.us, got, c.want)
+		}
+	}
+}
+
+func TestMicrosecondsRoundTrip(t *testing.T) {
+	f := func(us uint16) bool {
+		c := FromMicroseconds(float64(us))
+		return math.Abs(c.Microseconds()-float64(us)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMicrosecondsMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := float64(a)/16, float64(b)/16
+		if x > y {
+			x, y = y, x
+		}
+		return FromMicroseconds(x) <= FromMicroseconds(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	if s := FromMicroseconds(15).String(); s != "15.00µs" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	// Table 2 anchor: 46kB × 2 blocks at the 30-SM share of 177.4 GB/s
+	// is BT.0's published 15.9µs switch time.
+	perSM := BandwidthGBs(177.4 / 30)
+	got := TransferMicroseconds(46*2*KB, perSM)
+	if math.Abs(got-15.9) > 0.1 {
+		t.Errorf("BT.0 switch time = %.2fµs, want ≈15.9µs", got)
+	}
+}
+
+func TestTransferCyclesZeroBandwidth(t *testing.T) {
+	if got := TransferCycles(KB, 0); got < Cycles(1)<<61 {
+		t.Errorf("zero bandwidth should yield an absurdly large latency, got %d", got)
+	}
+	if got := TransferCycles(KB, -1); got < Cycles(1)<<61 {
+		t.Errorf("negative bandwidth should yield an absurdly large latency, got %d", got)
+	}
+}
+
+func TestTransferCyclesZeroSize(t *testing.T) {
+	if got := TransferCycles(0, 5.9); got != 0 {
+		t.Errorf("zero bytes should take zero cycles, got %d", got)
+	}
+}
+
+func TestTransferCyclesProportional(t *testing.T) {
+	f := func(kb uint8) bool {
+		if kb == 0 {
+			return true
+		}
+		one := TransferCycles(KB, 5.9)
+		many := TransferCycles(Bytes(kb)*KB, 5.9)
+		// Within rounding, kb× the size takes kb× the time.
+		diff := float64(many) - float64(kb)*float64(one)
+		return math.Abs(diff) <= float64(kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

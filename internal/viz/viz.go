@@ -1,0 +1,145 @@
+// Package viz renders experiment tables as terminal bar charts — the
+// paper's exhibits are figures, and a grouped horizontal bar chart is
+// usually the closest faithful rendering of their series. The renderer
+// is value-driven: it parses the numeric cells of a tablefmt.Table
+// (percentages, multipliers, microseconds, plain numbers) and scales
+// bars to the table's maximum.
+package viz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chimera/internal/tablefmt"
+)
+
+// ParseCell extracts the numeric value of a table cell: "56.0%" → 56,
+// "5.5x" → 5.5, "830.4µs" → 830.4, "1.90" → 1.9. ok is false for
+// non-numeric cells ("-", "Yes", kernel names...).
+func ParseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	for _, suffix := range []string{"%", "x", "µs", "us", "kB"} {
+		s = strings.TrimSuffix(s, suffix)
+	}
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// bar renders a value as a block bar of at most width cells.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return ""
+	}
+	cells := int(v / max * float64(width))
+	if cells > width {
+		cells = width
+	}
+	if cells == 0 && v > 0 {
+		return "▏"
+	}
+	return strings.Repeat("█", cells)
+}
+
+// TableChart renders a table's numeric columns as grouped horizontal
+// bars, one group per row. ok is false when the table has no chartable
+// numeric columns (it should be shown as a table instead). Columns where
+// fewer than half the rows parse numerically are skipped; rows named
+// "average", "mean" or "geomean" become their own groups like any other.
+func TableChart(t *tablefmt.Table, width int) (string, bool) {
+	if len(t.Columns) < 2 || len(t.Rows) == 0 {
+		return "", false
+	}
+	// Decide which columns are numeric.
+	numeric := make([]bool, len(t.Columns))
+	anyNumeric := false
+	for col := 1; col < len(t.Columns); col++ {
+		parsed := 0
+		for _, row := range t.Rows {
+			if col < len(row) {
+				if _, ok := ParseCell(row[col]); ok {
+					parsed++
+				}
+			}
+		}
+		if parsed*2 >= len(t.Rows) {
+			numeric[col] = true
+			anyNumeric = true
+		}
+	}
+	if !anyNumeric {
+		return "", false
+	}
+	// Global maximum for a shared scale.
+	max := 0.0
+	for _, row := range t.Rows {
+		for col := 1; col < len(row); col++ {
+			if !numeric[col] {
+				continue
+			}
+			if v, ok := ParseCell(row[col]); ok && v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+
+	labelWidth := 0
+	for _, row := range t.Rows {
+		if len(row) > 0 && len(row[0]) > labelWidth {
+			labelWidth = len(row[0])
+		}
+	}
+	seriesWidth := 0
+	for col, isNum := range numeric {
+		if isNum && len(t.Columns[col]) > seriesWidth {
+			seriesWidth = len(t.Columns[col])
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for _, row := range t.Rows {
+		label := ""
+		if len(row) > 0 {
+			label = row[0]
+		}
+		first := true
+		for col := 1; col < len(t.Columns); col++ {
+			if !numeric[col] {
+				continue
+			}
+			cell := ""
+			if col < len(row) {
+				cell = row[col]
+			}
+			v, ok := ParseCell(cell)
+			rowLabel := ""
+			if first {
+				rowLabel = label
+				first = false
+			}
+			if !ok {
+				fmt.Fprintf(&b, "%-*s  %-*s  %s\n", labelWidth, rowLabel, seriesWidth, t.Columns[col], cell)
+				continue
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s  %-*s %s\n",
+				labelWidth, rowLabel, seriesWidth, t.Columns[col],
+				width, bar(v, max, width), cell)
+		}
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String(), true
+}

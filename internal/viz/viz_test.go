@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"chimera/internal/tablefmt"
+)
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"56.0%", 56, true},
+		{"5.5x", 5.5, true},
+		{"830.4µs", 830.4, true},
+		{"830.4us", 830.4, true},
+		{"1.90", 1.9, true},
+		{"24kB", 24, true},
+		{"-", 0, false},
+		{"Yes", 0, false},
+		{"", 0, false},
+		{"BS.0", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseCell(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseCell(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tbl := tablefmt.New("Fig X", "Bench", "Switch", "Chimera")
+	tbl.AddRow("BS", "100.0%", "0.0%")
+	tbl.AddRow("CP", "50.0%", "25.0%")
+	tbl.Note = "n"
+	out, ok := TableChart(tbl, 20)
+	if !ok {
+		t.Fatal("chartable table rejected")
+	}
+	if !strings.Contains(out, "== Fig X ==") || !strings.Contains(out, "note: n") {
+		t.Errorf("chrome missing:\n%s", out)
+	}
+	// The 100% bar must be the full width; the 25% bar a quarter.
+	lines := strings.Split(out, "\n")
+	var full, quarter int
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if strings.Contains(l, "100.0%") {
+			full = n
+		}
+		if strings.Contains(l, "25.0%") {
+			quarter = n
+		}
+	}
+	if full != 20 {
+		t.Errorf("100%% bar has %d cells, want 20", full)
+	}
+	if quarter != 5 {
+		t.Errorf("25%% bar has %d cells, want 5", quarter)
+	}
+}
+
+func TestTableChartSkipsNonNumericColumns(t *testing.T) {
+	tbl := tablefmt.New("T", "Kernel", "Suite", "Drain(µs)")
+	tbl.AddRow("BS.0", "Nvidia SDK", "60.9")
+	tbl.AddRow("BT.0", "Rodinia", "3.5")
+	out, ok := TableChart(tbl, 10)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	if strings.Contains(out, "Rodinia") {
+		t.Errorf("non-numeric column charted:\n%s", out)
+	}
+}
+
+func TestTableChartRejectsTextTables(t *testing.T) {
+	tbl := tablefmt.New("T", "Parameter", "Value")
+	tbl.AddRow("SMs", "many")
+	tbl.AddRow("Clock", "fast")
+	if _, ok := TableChart(tbl, 10); ok {
+		t.Error("text-only table accepted")
+	}
+}
+
+func TestTinyValuesVisible(t *testing.T) {
+	tbl := tablefmt.New("T", "B", "V")
+	tbl.AddRow("a", "100.0%")
+	tbl.AddRow("b", "0.2%")
+	out, _ := TableChart(tbl, 20)
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "0.2%") && !strings.Contains(l, "▏") {
+			t.Errorf("non-zero value rendered invisibly: %q", l)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/engine"
+	"chimera/internal/metrics"
+)
+
+// MultiResult is the outcome of running N benchmarks concurrently — the
+// generalization of the paper's two-process case study (the paper's
+// machinery never assumes two processes; the SM partitioning policy and
+// Algorithm 1 are N-ary by construction).
+type MultiResult struct {
+	Benchmarks []string
+	Policy     string
+	ANTT       float64
+	STP        float64
+	// Requests is the number of preemption requests issued.
+	Requests int
+	// BusyFraction is the machine's SM-busy fraction over the run —
+	// under non-preemptive FCFS, size-bound kernels leave most of it
+	// idle.
+	BusyFraction float64
+}
+
+// RunMulti runs the named benchmarks concurrently under the given
+// policy (serial=true for the FCFS baseline) and computes N-program
+// ANTT/STP against their stand-alone rates.
+func (r *Runner) RunMulti(benches []string, policy engine.Policy, serial bool) (MultiResult, error) {
+	if len(benches) == 0 {
+		return MultiResult{}, fmt.Errorf("workloads: RunMulti with no benchmarks")
+	}
+	singles := make([]float64, len(benches))
+	for i, b := range benches {
+		rate, err := r.SoloRate(b)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		singles[i] = rate
+	}
+	sim := engine.New(engine.Options{
+		Config:         r.Config,
+		Policy:         policy,
+		Constraint:     r.Constraint,
+		Seed:           r.Seed,
+		WarmStats:      r.Warm,
+		Serial:         serial,
+		ContentionBeta: r.Contention,
+	})
+	names := make([]string, len(benches))
+	for i, b := range benches {
+		spec, err := r.cat.Benchmark(b)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		launches, err := Launches(r.cat, spec)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		names[i] = fmt.Sprintf("%s#%d", b, i)
+		sim.AddProcess(engine.ProcessSpec{Name: names[i], Launches: launches, Loop: true})
+	}
+	sim.Run(r.Window)
+
+	progs := make([]metrics.ProgRate, len(benches))
+	for i := range benches {
+		u := sim.ProcessUseful(names[i])
+		if u < 1 {
+			u = 1 // starvation floor, as in RunPair
+		}
+		progs[i] = metrics.ProgRate{
+			Name:   benches[i],
+			Single: singles[i],
+			Multi:  float64(u) / float64(r.Window),
+		}
+	}
+	antt, err := metrics.ANTT(progs)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	stp, err := metrics.STP(progs)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	return MultiResult{
+		Benchmarks:   append([]string(nil), benches...),
+		Policy:       policyName(policy, serial),
+		ANTT:         antt,
+		STP:          stp,
+		Requests:     len(sim.Requests()),
+		BusyFraction: sim.SMBusyFraction(r.Window),
+	}, nil
+}
+
+// MultiLabel renders a benchmark set compactly, e.g. "LUD+HS+SAD".
+func MultiLabel(benches []string) string {
+	return strings.Join(benches, "+")
+}

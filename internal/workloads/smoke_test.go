@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/units"
+)
+
+func TestRunPeriodicSmoke(t *testing.T) {
+	r, err := NewRunner(units.FromMicroseconds(8000), units.FromMicroseconds(15), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunPeriodic("BS", engine.ChimeraPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BS chimera: violations=%.2f overhead=%.3f periods=%d mix=%v", res.ViolationRate, res.Overhead, res.Periods, res.Mix)
+	if res.Periods == 0 {
+		t.Fatal("no periods")
+	}
+}
+
+func TestRunPairSmoke(t *testing.T) {
+	r, err := NewRunner(units.FromMicroseconds(8000), units.FromMicroseconds(30), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := r.RunPair("LUD", "HS", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := r.RunPair("LUD", "HS", engine.ChimeraPolicy{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("FCFS antt=%.2f stp=%.2f; Chimera antt=%.2f stp=%.2f reqs=%d", fcfs.ANTT, fcfs.STP, ch.ANTT, ch.STP, ch.Requests)
+	if ch.ANTT >= fcfs.ANTT {
+		t.Errorf("Chimera ANTT %.2f should beat FCFS %.2f", ch.ANTT, fcfs.ANTT)
+	}
+}

@@ -1,0 +1,332 @@
+// Package workloads assembles the paper's evaluation scenarios from the
+// kernel catalog and the simulation engine: the periodic real-time task
+// scenario of §4.1-§4.3 and the multiprogrammed-pair case study of §4.4,
+// including the non-preemptive FCFS baseline and the stand-alone runs
+// that normalize ANTT/STP.
+package workloads
+
+import (
+	"fmt"
+
+	"chimera/internal/engine"
+	"chimera/internal/gpu"
+	"chimera/internal/kernels"
+	"chimera/internal/metrics"
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+// Launches converts a catalog benchmark into engine launch specs.
+func Launches(cat *kernels.Catalog, b *kernels.Benchmark) ([]engine.LaunchSpec, error) {
+	out := make([]engine.LaunchSpec, 0, len(b.Launches))
+	for _, l := range b.Launches {
+		spec, err := cat.Kernel(l.Label)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, engine.LaunchSpec{Params: spec.Params, Grid: l.Grid})
+	}
+	return out, nil
+}
+
+// Runner executes scenarios with a shared configuration and memoizes the
+// stand-alone rates that every comparison divides by.
+type Runner struct {
+	// Window is the simulated duration of each run.
+	Window units.Cycles
+	// Constraint is the preemption latency bound handed to every
+	// request.
+	Constraint units.Cycles
+	// Seed drives the deterministic RNG.
+	Seed uint64
+	// Warm seeds kernel statistics at launch (steady-state measurement,
+	// the default); clear it to study cold-start estimator behaviour.
+	Warm bool
+	// Contention is the memory-bandwidth contention beta forwarded to
+	// the engine (0 = the paper's methodology).
+	Contention float64
+	// Headroom tightens the bound plans target below the judged
+	// constraint (the §4.1 mitigation for estimation error).
+	Headroom units.Cycles
+	// Config overrides the device configuration (zero value = Table 1).
+	Config gpu.Config
+
+	cat       *kernels.Catalog
+	soloRates map[string]float64
+	periodic  map[string]PeriodicResult
+	pairs     map[string]PairResult
+}
+
+// NewRunner builds a Runner over the shared Table 2 catalog. Window and
+// Constraint must be positive.
+func NewRunner(window, constraint units.Cycles, seed uint64) (*Runner, error) {
+	return NewRunnerWith(kernels.Load(), window, constraint, seed)
+}
+
+// NewRunnerWith builds a Runner over an explicit catalog (e.g. the
+// warp-level-calibrated one).
+func NewRunnerWith(cat *kernels.Catalog, window, constraint units.Cycles, seed uint64) (*Runner, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("workloads: nil catalog")
+	}
+	if window == 0 {
+		return nil, fmt.Errorf("workloads: zero window")
+	}
+	if constraint == 0 {
+		return nil, fmt.Errorf("workloads: zero constraint")
+	}
+	return &Runner{
+		Window:     window,
+		Constraint: constraint,
+		Seed:       seed,
+		Warm:       true,
+		cat:        cat,
+		soloRates:  make(map[string]float64),
+		periodic:   make(map[string]PeriodicResult),
+		pairs:      make(map[string]PairResult),
+	}, nil
+}
+
+// Catalog exposes the kernel catalog in use.
+func (r *Runner) Catalog() *kernels.Catalog { return r.cat }
+
+// SoloRate returns the benchmark's stand-alone progress rate (useful
+// warp instructions per cycle on the whole GPU), memoized per benchmark.
+func (r *Runner) SoloRate(bench string) (float64, error) {
+	if rate, ok := r.soloRates[bench]; ok {
+		return rate, nil
+	}
+	b, err := r.cat.Benchmark(bench)
+	if err != nil {
+		return 0, err
+	}
+	launches, err := Launches(r.cat, b)
+	if err != nil {
+		return 0, err
+	}
+	sim := engine.New(engine.Options{
+		Config:         r.Config,
+		Policy:         engine.ChimeraPolicy{},
+		Constraint:     r.Constraint,
+		Seed:           r.Seed,
+		WarmStats:      r.Warm,
+		ContentionBeta: r.Contention,
+	})
+	sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
+	sim.Run(r.Window)
+	rate := float64(sim.ProcessUseful(bench)) / float64(r.Window)
+	if rate <= 0 {
+		return 0, fmt.Errorf("workloads: %s made no stand-alone progress", bench)
+	}
+	r.soloRates[bench] = rate
+	return rate, nil
+}
+
+// PeriodicSpec returns the §4.1 synthetic real-time task: launched every
+// 1 ms, preempting half of the SMs, executing for 200 µs.
+func PeriodicSpec(numSMs int) engine.PeriodicSpec {
+	return engine.PeriodicSpec{
+		Period: units.FromMicroseconds(1000),
+		Exec:   units.FromMicroseconds(200),
+		SMs:    numSMs / 2,
+	}
+}
+
+// PeriodicResult is one benchmark × policy outcome of the §4.1 scenario.
+type PeriodicResult struct {
+	Benchmark string
+	Policy    string
+	// ViolationRate is the fraction of task instances that missed their
+	// deadline.
+	ViolationRate float64
+	// Overhead is the benchmark's effective-throughput overhead versus
+	// its fair share (§4.1 accounting).
+	Overhead float64
+	// Periods is the number of task instances evaluated.
+	Periods int
+	// Mix counts thread-block preemptions actually executed, by
+	// technique, over all requests (Fig 8c input).
+	Mix [preempt.NumTechniques]int
+	// ForcedRequests counts requests where Algorithm 1 had to fall back
+	// to best-effort SM selection.
+	ForcedRequests int
+}
+
+// RunPeriodic runs one benchmark against the periodic real-time task
+// under the given policy and returns violation and overhead metrics.
+// Results are memoized per (benchmark, policy) so figures sharing the
+// same runs (Fig 6 and Fig 7) pay for them once.
+func (r *Runner) RunPeriodic(bench string, policy engine.Policy) (PeriodicResult, error) {
+	memoKey := bench + "/" + policy.Name()
+	if res, ok := r.periodic[memoKey]; ok {
+		return res, nil
+	}
+	soloRate, err := r.SoloRate(bench)
+	if err != nil {
+		return PeriodicResult{}, err
+	}
+	b, err := r.cat.Benchmark(bench)
+	if err != nil {
+		return PeriodicResult{}, err
+	}
+	launches, err := Launches(r.cat, b)
+	if err != nil {
+		return PeriodicResult{}, err
+	}
+	sim := engine.New(engine.Options{
+		Config:         r.Config,
+		Policy:         policy,
+		Constraint:     r.Constraint,
+		Seed:           r.Seed,
+		WarmStats:      r.Warm,
+		ContentionBeta: r.Contention,
+		Headroom:       r.Headroom,
+	})
+	sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
+	rt := PeriodicSpec(sim.Config().NumSMs)
+	sim.AddPeriodicTask(rt)
+	sim.Run(r.Window)
+
+	res := PeriodicResult{Benchmark: bench, Policy: policy.Name()}
+	// The real-time task is entitled to SMs/NumSMs of the machine for
+	// Exec out of every Period: the benchmark's fair share of SM-time is
+	// the remainder of its stand-alone throughput.
+	solo := soloRate * float64(rt.Period)
+	share := 1 - float64(rt.SMs)/float64(sim.Config().NumSMs)*float64(rt.Exec)/float64(rt.Period)
+	fair := solo * share
+
+	var overheads []float64
+	var violated []bool
+	for _, p := range sim.PeriodRecords() {
+		violated = append(violated, p.Violated)
+		overheads = append(overheads, metrics.PeriodOverhead(solo, fair, float64(p.BenchUseful)))
+	}
+	res.Periods = len(violated)
+	res.ViolationRate = metrics.ViolationRate(violated)
+	res.Overhead = metrics.Mean(overheads)
+	for _, req := range sim.Requests() {
+		mix := req.Mix()
+		for t, n := range mix {
+			res.Mix[t] += n
+		}
+		if req.Forced > 0 {
+			res.ForcedRequests++
+		}
+	}
+	r.periodic[memoKey] = res
+	return res, nil
+}
+
+// PairResult is one benchmark-pair × policy outcome of the §4.4 case
+// study: absolute ANTT and STP (improvements over FCFS are computed by
+// the experiment harness from two PairResults).
+type PairResult struct {
+	A, B   string
+	Policy string
+	ANTT   float64
+	STP    float64
+	// Requests is the number of preemption requests the pair generated.
+	Requests int
+}
+
+// RunPair runs two benchmarks concurrently under the given policy (nil
+// policy + serial=true is the FCFS baseline) and computes ANTT/STP
+// against their stand-alone rates.
+func (r *Runner) RunPair(a, b string, policy engine.Policy, serial bool) (PairResult, error) {
+	memoKey := a + "/" + b + "/" + policyName(policy, serial)
+	if res, ok := r.pairs[memoKey]; ok {
+		return res, nil
+	}
+	rateA, err := r.SoloRate(a)
+	if err != nil {
+		return PairResult{}, err
+	}
+	rateB, err := r.SoloRate(b)
+	if err != nil {
+		return PairResult{}, err
+	}
+	ba, err := r.cat.Benchmark(a)
+	if err != nil {
+		return PairResult{}, err
+	}
+	bb, err := r.cat.Benchmark(b)
+	if err != nil {
+		return PairResult{}, err
+	}
+	la, err := Launches(r.cat, ba)
+	if err != nil {
+		return PairResult{}, err
+	}
+	lb, err := Launches(r.cat, bb)
+	if err != nil {
+		return PairResult{}, err
+	}
+	sim := engine.New(engine.Options{
+		Config:         r.Config,
+		Policy:         policy,
+		Constraint:     r.Constraint,
+		Seed:           r.Seed,
+		WarmStats:      r.Warm,
+		Serial:         serial,
+		ContentionBeta: r.Contention,
+	})
+	// Process names must be unique even for self-pairs (A == B).
+	nameA, nameB := a+"#0", b+"#1"
+	sim.AddProcess(engine.ProcessSpec{Name: nameA, Launches: la, Loop: true})
+	sim.AddProcess(engine.ProcessSpec{Name: nameB, Launches: lb, Loop: true})
+	sim.Run(r.Window)
+
+	// A process that never got the GPU inside the window (FCFS behind a
+	// 20ms kernel) has measured rate zero; floor it at one instruction
+	// per window so its normalized turnaround reflects the starvation
+	// instead of failing the metric.
+	rate := func(name string) float64 {
+		u := sim.ProcessUseful(name)
+		if u < 1 {
+			u = 1
+		}
+		return float64(u) / float64(r.Window)
+	}
+	progs := []metrics.ProgRate{
+		{Name: a, Single: rateA, Multi: rate(nameA)},
+		{Name: b, Single: rateB, Multi: rate(nameB)},
+	}
+	antt, err := metrics.ANTT(progs)
+	if err != nil {
+		return PairResult{}, fmt.Errorf("workloads: %s/%s under %s: %w", a, b, policyName(policy, serial), err)
+	}
+	stp, err := metrics.STP(progs)
+	if err != nil {
+		return PairResult{}, err
+	}
+	res := PairResult{
+		A: a, B: b,
+		Policy:   policyName(policy, serial),
+		ANTT:     antt,
+		STP:      stp,
+		Requests: len(sim.Requests()),
+	}
+	r.pairs[memoKey] = res
+	return res, nil
+}
+
+func policyName(p engine.Policy, serial bool) string {
+	if serial {
+		return "FCFS"
+	}
+	if p == nil {
+		return "none"
+	}
+	return p.Name()
+}
+
+// StandardPolicies returns the four §4 contenders in the paper's
+// presentation order: Switch, Drain, Flush, Chimera.
+func StandardPolicies() []engine.Policy {
+	return []engine.Policy{
+		engine.FixedPolicy{Technique: preempt.Switch},
+		engine.FixedPolicy{Technique: preempt.Drain},
+		engine.FixedPolicy{Technique: preempt.Flush},
+		engine.ChimeraPolicy{},
+	}
+}

@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/kernels"
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+func newTestRunner(t *testing.T, windowUs, constraintUs float64) *Runner {
+	t.Helper()
+	r, err := NewRunner(units.FromMicroseconds(windowUs), units.FromMicroseconds(constraintUs), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(0, units.FromMicroseconds(15), 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewRunner(units.FromMicroseconds(100), 0, 1); err == nil {
+		t.Error("zero constraint accepted")
+	}
+}
+
+func TestLaunchesRejectsUnknownKernel(t *testing.T) {
+	cat := kernels.Load()
+	bad := &kernels.Benchmark{Name: "X", Launches: []kernels.Launch{{Label: "NOPE.0", Grid: 1}}}
+	if _, err := Launches(cat, bad); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestSoloRateMemoized(t *testing.T) {
+	r := newTestRunner(t, 3000, 15)
+	a, err := r.SoloRate("HS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.SoloRate("HS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("memoized solo rate changed: %v vs %v", a, b)
+	}
+	if a <= 0 || a > 240 {
+		t.Errorf("implausible solo rate %v insts/cycle", a)
+	}
+}
+
+func TestPeriodicSpecHalvesTheMachine(t *testing.T) {
+	spec := PeriodicSpec(30)
+	if spec.SMs != 15 {
+		t.Errorf("SMs = %d, want 15", spec.SMs)
+	}
+	if spec.Period != units.FromMicroseconds(1000) || spec.Exec != units.FromMicroseconds(200) {
+		t.Errorf("period/exec = %v/%v", spec.Period, spec.Exec)
+	}
+}
+
+func TestRunPeriodicMemoized(t *testing.T) {
+	r := newTestRunner(t, 4000, 15)
+	a, err := r.RunPeriodic("HS", engine.ChimeraPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunPeriodic("HS", engine.ChimeraPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoized periodic result changed")
+	}
+	if a.Periods == 0 {
+		t.Error("no periods recorded")
+	}
+	if a.Overhead < 0 || a.Overhead > 1 {
+		t.Errorf("overhead %v out of range", a.Overhead)
+	}
+}
+
+func TestChimeraBeatsSwitchOnViolations(t *testing.T) {
+	// On a strictly idempotent benchmark whose switch time exceeds 15µs
+	// (HS: 19.7µs), the switch baseline violates while Chimera flushes.
+	r := newTestRunner(t, 6000, 15)
+	sw, err := r.RunPeriodic("HS", engine.FixedPolicy{Technique: preempt.Switch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := r.RunPeriodic("HS", engine.ChimeraPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ViolationRate >= sw.ViolationRate {
+		t.Errorf("Chimera violations %.2f not better than switch %.2f", ch.ViolationRate, sw.ViolationRate)
+	}
+	if ch.ViolationRate != 0 {
+		t.Errorf("Chimera violated %.2f on idempotent HS", ch.ViolationRate)
+	}
+}
+
+func TestRunPairSelfPair(t *testing.T) {
+	// A benchmark paired with itself must split the machine ~evenly:
+	// ANTT near 2 under FCFS and well below that with preemption.
+	r := newTestRunner(t, 4000, 30)
+	ch, err := r.RunPair("HS", "HS", engine.ChimeraPolicy{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ANTT < 1 || ch.ANTT > 4 {
+		t.Errorf("self-pair ANTT = %v", ch.ANTT)
+	}
+	if ch.STP < 0.5 || ch.STP > 2.01 {
+		t.Errorf("self-pair STP = %v", ch.STP)
+	}
+}
+
+func TestPreemptiveBeatsFCFSWithLongPartner(t *testing.T) {
+	// MUM's 20ms blocks monopolize the GPU under FCFS; any preemptive
+	// policy must improve ANTT for the pair.
+	r := newTestRunner(t, 8000, 30)
+	fcfs, err := r.RunPair("HS", "MUM", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := r.RunPair("HS", "MUM", engine.ChimeraPolicy{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ANTT >= fcfs.ANTT {
+		t.Errorf("Chimera ANTT %.2f not better than FCFS %.2f", ch.ANTT, fcfs.ANTT)
+	}
+	if fcfs.Requests != 0 {
+		t.Errorf("FCFS issued %d preemption requests", fcfs.Requests)
+	}
+}
+
+func TestStandardPolicies(t *testing.T) {
+	ps := StandardPolicies()
+	if len(ps) != 4 {
+		t.Fatalf("%d policies", len(ps))
+	}
+	want := []string{"Switch", "Drain", "Flush", "Chimera"}
+	for i, p := range ps {
+		if p.Name() != want[i] {
+			t.Errorf("policy %d = %s, want %s", i, p.Name(), want[i])
+		}
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	if got := policyName(nil, true); got != "FCFS" {
+		t.Errorf("serial name = %s", got)
+	}
+	if got := policyName(nil, false); got != "none" {
+		t.Errorf("nil policy name = %s", got)
+	}
+	if got := policyName(engine.ChimeraPolicy{}, false); got != "Chimera" {
+		t.Errorf("chimera name = %s", got)
+	}
+}
+
+func TestRunMulti(t *testing.T) {
+	r := newTestRunner(t, 6000, 30)
+	res, err := r.RunMulti([]string{"HS", "SAD", "BT"}, engine.ChimeraPolicy{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.STP <= 0 || res.STP > 3.01 {
+		t.Errorf("3-way STP = %v", res.STP)
+	}
+	if res.ANTT < 1 {
+		t.Errorf("3-way ANTT = %v below 1", res.ANTT)
+	}
+	if res.BusyFraction <= 0 || res.BusyFraction > 1.0001 {
+		t.Errorf("busy fraction = %v", res.BusyFraction)
+	}
+	if res.Policy != "Chimera" || len(res.Benchmarks) != 3 {
+		t.Errorf("result metadata wrong: %+v", res)
+	}
+	if _, err := r.RunMulti(nil, engine.ChimeraPolicy{}, false); err == nil {
+		t.Error("empty benchmark set accepted")
+	}
+}
+
+func TestMultiLabel(t *testing.T) {
+	if got := MultiLabel([]string{"A", "B", "C"}); got != "A+B+C" {
+		t.Errorf("MultiLabel = %q", got)
+	}
+}
