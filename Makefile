@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short cover bench results quick-results fuzz examples vet clean
+.PHONY: all build test short cover bench race results quick-results fuzz examples vet clean
 
 all: build test
 
@@ -23,6 +23,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full test suite under the race detector (the experiment stack fans
+# simulation jobs out over a worker pool).
+race:
+	$(GO) test -race ./...
 
 # Regenerate every paper exhibit at the recorded EXPERIMENTS.md scale.
 results:

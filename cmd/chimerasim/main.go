@@ -16,6 +16,12 @@
 //	-seed N         RNG seed (default 1)
 //	-periodic-us N  simulated µs per periodic-task run
 //	-pair-us N      simulated µs per pairwise run
+//	-j N            run up to N simulations in parallel (0 = GOMAXPROCS)
+//	-progress       live job/cache/ETA ticker on stderr
+//
+// Every experiment is a set of independent deterministic simulations,
+// so -j changes wall-clock only: the tables are byte-identical at any
+// worker count.
 package main
 
 import (
@@ -37,6 +43,8 @@ func main() {
 	periodicUs := flag.Float64("periodic-us", 0, "simulated µs per periodic-task run (0 = preset)")
 	pairUs := flag.Float64("pair-us", 0, "simulated µs per pairwise run (0 = preset)")
 	verbose := flag.Bool("v", false, "print per-experiment timing")
+	workers := flag.Int("j", 0, "max simulations in parallel (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report job progress on stderr")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -57,6 +65,12 @@ func main() {
 	if *pairUs > 0 {
 		scale.PairWindow = chimera.Microseconds(*pairUs)
 		scale.AllPairsWindow = chimera.Microseconds(*pairUs)
+	}
+	scale.Parallelism = *workers
+
+	if *progress {
+		stop := startProgress()
+		defer stop()
 	}
 
 	var names []string
@@ -109,6 +123,41 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chimerasim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// startProgress launches a stderr ticker reporting batch-task progress,
+// cache hits and an ETA extrapolated from throughput so far. It returns
+// a stop function that prints one final summary line.
+func startProgress() func() {
+	start := time.Now()
+	line := func() string {
+		st := chimera.GlobalJobStats()
+		elapsed := time.Since(start)
+		out := fmt.Sprintf("jobs %d/%d (running %d) | simulated %d, cache hits %d",
+			st.TasksDone, st.TasksQueued, st.TasksRunning, st.JobsRun, st.CacheHits)
+		if remaining := st.TasksQueued - st.TasksDone; remaining > 0 && st.TasksDone > 0 {
+			eta := time.Duration(float64(elapsed) / float64(st.TasksDone) * float64(remaining))
+			out += fmt.Sprintf(" | ETA %v", eta.Round(time.Second))
+		}
+		return out
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "[progress] %s\n", line())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		fmt.Fprintf(os.Stderr, "[progress] %s | total %v\n", line(), time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"chimera/internal/experiments"
+	"chimera/internal/simjob"
 	"chimera/internal/tablefmt"
 	"chimera/internal/workloads"
 )
@@ -51,6 +52,19 @@ func RenderTables(w io.Writer, tables []*ResultTable) error {
 func RenderTablesJSON(w io.Writer, tables []*ResultTable) error {
 	return tablefmt.WriteJSON(w, tables)
 }
+
+// Job scheduling -------------------------------------------------------------
+
+// JobStats is a snapshot of simulation-job scheduling activity: batch
+// tasks queued/running/done, simulations executed, cache hits and
+// cumulative simulation wall time. Set Scale.Parallelism to bound how
+// many simulations run at once (0 = GOMAXPROCS); results are identical
+// at any value.
+type JobStats = simjob.Stats
+
+// GlobalJobStats aggregates job activity across every experiment run in
+// the process — what drives chimerasim's -progress ticker.
+func GlobalJobStats() JobStats { return simjob.GlobalStats() }
 
 // Scenario runners -----------------------------------------------------------
 

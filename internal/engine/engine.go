@@ -285,7 +285,11 @@ func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
 	if len(k.pendingQ) != 0 {
 		panic(fmt.Sprintf("engine: %s done with %d queued blocks", k.params.Label, len(k.pendingQ)))
 	}
-	for _, sm := range k.sms {
+	// Free in SMID order: the free list's order decides which physical
+	// SM a later kernel lands on, so map-iteration order here would leak
+	// scheduling nondeterminism into otherwise-seeded runs.
+	for _, id := range sortedSMIDs(k.sms) {
+		sm := k.sms[id]
 		if sm.handover != nil || len(sm.resident) != 0 {
 			panic(fmt.Sprintf("engine: %s done with busy SM%d", k.params.Label, sm.id))
 		}
@@ -307,7 +311,9 @@ func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
 func (s *Simulation) killKernel(k *kernelInstance, now units.Cycles) {
 	k.done = true
 	k.finishedAt = now
-	for _, sm := range k.sms {
+	// SMID order, for the same free-list determinism as kernelFinished.
+	for _, id := range sortedSMIDs(k.sms) {
+		sm := k.sms[id]
 		for _, tb := range append([]*threadBlock(nil), sm.resident...) {
 			tb.sync(now)
 			tb.cancelEvents(&s.q)

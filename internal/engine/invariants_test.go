@@ -134,6 +134,39 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestDeterminismPeriodicDrainTrace is the stronger form: a real
+// multi-kernel benchmark under the drain baseline with the §4.1
+// periodic task, compared on the full preemption-request trace over a
+// long window. Kernel finishes constantly return multi-SM sets to the
+// free list here and drain latencies depend on exactly which SM's
+// blocks are drained, so this catches ordering leaks (e.g.
+// map-iteration order deciding which physical SMs a relaunched kernel
+// lands on) that aggregate counters and short windows survive by
+// chance. Regression test for a free-list ordering bug found via
+// diverging Figure 6 drain columns.
+func TestDeterminismPeriodicDrainTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func() string {
+		sim := New(Options{Policy: FixedPolicy{Technique: preempt.Drain}, Constraint: units.FromMicroseconds(15), Seed: 1, WarmStats: true})
+		sim.AddProcess(ProcessSpec{Name: "BT", Launches: launchesFor(t, "BT"), Loop: true})
+		sim.AddPeriodicTask(PeriodicSpec{Period: units.FromMicroseconds(1000), Exec: units.FromMicroseconds(200), SMs: 15})
+		sim.Run(units.FromMicroseconds(120_000))
+		out := ""
+		for _, r := range sim.Requests() {
+			out += r.At.String() + "/" + r.LatencyCycles.String() + " "
+		}
+		return out + "| useful=" + units.Cycles(sim.ProcessUseful("BT")).String()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i+2, first, again)
+		}
+	}
+}
+
 func TestSeedChangesOutcome(t *testing.T) {
 	run := func(seed uint64) int64 {
 		sim := New(Options{Policy: ChimeraPolicy{}, Constraint: units.FromMicroseconds(15), Seed: seed, WarmStats: true})

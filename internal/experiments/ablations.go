@@ -6,6 +6,7 @@ import (
 	"chimera/internal/metrics"
 	"chimera/internal/tablefmt"
 	"chimera/internal/units"
+	"chimera/internal/workloads"
 )
 
 // Ablations quantifies the design choices DESIGN.md §5 calls out, by
@@ -39,22 +40,43 @@ func Ablations(s Scale) ([]*tablefmt.Table, error) {
 		{"Chimera @5µs + 1µs headroom", engine.ChimeraPolicy{}, true, units.FromMicroseconds(5), units.FromMicroseconds(1)},
 	}
 
-	t := tablefmt.New("Ablations: Chimera design choices (periodic task)",
-		"Variant", "Violations", "Overhead", "Forced req")
-	for _, v := range variants {
+	// One runner per variant on a shared pool; the variant × benchmark
+	// grid is enumerated up front and fanned out flat.
+	pool := s.pool()
+	results := make([][]workloads.PeriodicResult, len(variants))
+	var tasks []func() error
+	for vi, v := range variants {
 		r, err := s.periodicRunner(v.constraint)
 		if err != nil {
 			return nil, err
 		}
 		r.Warm = v.warm
 		r.Headroom = v.headroom
+		r.UsePool(pool)
+		results[vi] = make([]workloads.PeriodicResult, len(names))
+		for bi, bench := range names {
+			vi, bi, bench, policy, r := vi, bi, bench, v.policy, r
+			tasks = append(tasks, func() error {
+				res, err := r.RunPeriodic(bench, policy)
+				if err != nil {
+					return err
+				}
+				results[vi][bi] = res
+				return nil
+			})
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+
+	t := tablefmt.New("Ablations: Chimera design choices (periodic task)",
+		"Variant", "Violations", "Overhead", "Forced req")
+	for vi, v := range variants {
 		var violations, overheads []float64
 		forced := 0
-		for _, bench := range names {
-			res, err := r.RunPeriodic(bench, v.policy)
-			if err != nil {
-				return nil, err
-			}
+		for bi := range names {
+			res := results[vi][bi]
 			violations = append(violations, res.ViolationRate)
 			overheads = append(overheads, res.Overhead)
 			forced += res.ForcedRequests

@@ -16,35 +16,59 @@ import (
 // sizes, idempotence and block independence rather than on the CPI
 // assumptions.
 func Calibrated(s Scale) ([]*tablefmt.Table, error) {
-	runners := map[string]*workloads.Runner{}
-	for name, cat := range map[string]*kernels.Catalog{
-		"Table 2 CPIs":    kernels.Load(),
-		"warp-model CPIs": kernels.LoadCalibrated(),
-	} {
-		r, err := workloads.NewRunnerWith(cat, s.PeriodicWindow/2, Constraint15, s.Seed)
+	models := []struct {
+		name string
+		cat  *kernels.Catalog
+	}{
+		{"Table 2 CPIs", kernels.Load()},
+		{"warp-model CPIs", kernels.LoadCalibrated()},
+	}
+	policies := workloads.StandardPolicies()
+
+	// One runner per timing model on a shared pool; the model × policy ×
+	// benchmark grid is enumerated up front and fanned out flat.
+	pool := s.pool()
+	results := make([][][]workloads.PeriodicResult, len(models))
+	var tasks []func() error
+	for mi, m := range models {
+		r, err := s.newRunnerWith(m.cat, s.PeriodicWindow/2, Constraint15, s.Seed)
 		if err != nil {
 			return nil, err
 		}
-		runners[name] = r
+		r.UsePool(pool)
+		benches := m.cat.BenchmarkNames()
+		results[mi] = make([][]workloads.PeriodicResult, len(policies))
+		for pi, policy := range policies {
+			results[mi][pi] = make([]workloads.PeriodicResult, len(benches))
+			for bi, bench := range benches {
+				mi, pi, bi, bench, policy, r := mi, pi, bi, bench, policy, r
+				tasks = append(tasks, func() error {
+					res, err := r.RunPeriodic(bench, policy)
+					if err != nil {
+						return err
+					}
+					results[mi][pi][bi] = res
+					return nil
+				})
+			}
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
 	}
 
 	t := tablefmt.New("Extension: Fig 6 under warp-level-calibrated CPIs",
 		"Timing model", "Switch", "Drain", "Flush", "Chimera")
-	for _, name := range []string{"Table 2 CPIs", "warp-model CPIs"} {
-		r := runners[name]
+	for mi, m := range models {
 		avgs := make([]float64, 0, 4)
-		for _, policy := range workloads.StandardPolicies() {
+		for pi := range policies {
 			var rates []float64
-			for _, bench := range r.Catalog().BenchmarkNames() {
-				res, err := r.RunPeriodic(bench, policy)
-				if err != nil {
-					return nil, err
-				}
-				rates = append(rates, res.ViolationRate)
+			for bi := range results[mi][pi] {
+				rates = append(rates, results[mi][pi][bi].ViolationRate)
 			}
 			avgs = append(avgs, metrics.Mean(rates))
 		}
-		t.AddRow(name,
+		t.AddRow(m.name,
 			tablefmt.Pct(avgs[0]), tablefmt.Pct(avgs[1]),
 			tablefmt.Pct(avgs[2]), tablefmt.Pct(avgs[3]))
 	}

@@ -2,18 +2,28 @@
 // evaluation (§4) from the simulator: one harness per exhibit, each
 // returning printable tables. The EXPERIMENTS.md document records
 // paper-reported versus measured values for all of them.
+//
+// Each exhibit enumerates its full set of simulation jobs up front and
+// fans them out over an internal/simjob pool, assembling results in
+// enumeration order — the rendered tables are byte-identical at any
+// Parallelism. Exhibits share the process-wide result cache, so runs
+// common to several figures (the §4.1 grid behind Figures 6, 7, 8 and 9;
+// the stand-alone baselines behind every pair exhibit) are simulated
+// once per process.
 package experiments
 
 import (
+	"chimera/internal/kernels"
+	"chimera/internal/simjob"
 	"chimera/internal/units"
 	"chimera/internal/workloads"
 )
 
-// Scale sets the simulated durations of the measurement runs. The paper
-// simulates until one billion instructions per benchmark; the defaults
-// here are scaled down to keep a full reproduction in minutes while
-// leaving enough preemption requests per scenario for stable
-// percentages. QuickScale is for tests.
+// Scale sets the simulated durations of the measurement runs and how the
+// runs are scheduled. The paper simulates until one billion instructions
+// per benchmark; the defaults here are scaled down to keep a full
+// reproduction in minutes while leaving enough preemption requests per
+// scenario for stable percentages. QuickScale is for tests.
 type Scale struct {
 	// PeriodicWindow is the simulated time of each §4.1 run (one
 	// preemption request per millisecond).
@@ -25,6 +35,14 @@ type Scale struct {
 	AllPairsWindow units.Cycles
 	// Seed drives all runs.
 	Seed uint64
+	// Parallelism bounds how many simulations run at once (0 =
+	// GOMAXPROCS). Results are identical at any value; only wall-clock
+	// changes.
+	Parallelism int
+	// Cache overrides the result cache (nil = the process-shared one).
+	// Tests use a private cache to measure scheduling behaviour without
+	// cross-test hits.
+	Cache *simjob.Cache
 }
 
 // DefaultScale is the scale used for the recorded EXPERIMENTS.md
@@ -59,12 +77,37 @@ var (
 	Constraint30 = units.FromMicroseconds(30)
 )
 
+// pool builds the job pool exhibits schedule on.
+func (s Scale) pool() *simjob.Pool {
+	return simjob.NewPool(s.Parallelism, s.Cache)
+}
+
+// newRunner builds a workload runner on the scale's pool with an
+// explicit window, constraint and seed (the general form used by the
+// multi-runner exhibits: seeds, gpusize, calibrated, contention).
+func (s Scale) newRunner(window, constraint units.Cycles, seed uint64) (*workloads.Runner, error) {
+	r, err := workloads.NewRunner(window, constraint, seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.UsePool(s.pool()), nil
+}
+
+// newRunnerWith is newRunner over an explicit kernel catalog.
+func (s Scale) newRunnerWith(cat *kernels.Catalog, window, constraint units.Cycles, seed uint64) (*workloads.Runner, error) {
+	r, err := workloads.NewRunnerWith(cat, window, constraint, seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.UsePool(s.pool()), nil
+}
+
 // periodicRunner builds the §4.1 runner for a given constraint.
 func (s Scale) periodicRunner(constraint units.Cycles) (*workloads.Runner, error) {
-	return workloads.NewRunner(s.PeriodicWindow, constraint, s.Seed)
+	return s.newRunner(s.PeriodicWindow, constraint, s.Seed)
 }
 
 // pairRunner builds the §4.4 runner.
 func (s Scale) pairRunner(window units.Cycles) (*workloads.Runner, error) {
-	return workloads.NewRunner(window, Constraint30, s.Seed)
+	return s.newRunner(window, Constraint30, s.Seed)
 }

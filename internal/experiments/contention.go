@@ -4,6 +4,7 @@ import (
 	"chimera/internal/engine"
 	"chimera/internal/preempt"
 	"chimera/internal/tablefmt"
+	"chimera/internal/workloads"
 )
 
 // contentionBenchmarks spans the memory-intensity range of the suite:
@@ -20,26 +21,54 @@ var contentionBenchmarks = []string{"BS", "KM", "CP", "SAD"}
 // share) and comparing throughput overheads under the context-switch
 // baseline and under Chimera.
 func Contention(s Scale) ([]*tablefmt.Table, error) {
-	t := tablefmt.New("Extension: memory-bandwidth contention from context traffic (@15µs)",
-		"Benchmark", "Switch β=0", "Switch β=1", "Chimera β=0", "Chimera β=1")
 	policies := []engine.Policy{
 		engine.FixedPolicy{Technique: preempt.Switch},
 		engine.ChimeraPolicy{},
 	}
-	for _, bench := range contentionBenchmarks {
+	betas := []float64{0, 1}
+
+	// One runner per beta on a shared pool; the benchmark × policy ×
+	// beta grid is enumerated up front and fanned out flat.
+	pool := s.pool()
+	runners := make([]*workloads.Runner, len(betas))
+	for bi, beta := range betas {
+		r, err := s.periodicRunner(Constraint15)
+		if err != nil {
+			return nil, err
+		}
+		r.Contention = beta
+		runners[bi] = r.UsePool(pool)
+	}
+	results := make([][][]workloads.PeriodicResult, len(contentionBenchmarks))
+	var tasks []func() error
+	for i, bench := range contentionBenchmarks {
+		results[i] = make([][]workloads.PeriodicResult, len(policies))
+		for j, policy := range policies {
+			results[i][j] = make([]workloads.PeriodicResult, len(betas))
+			for k := range betas {
+				i, j, k, bench, policy := i, j, k, bench, policy
+				tasks = append(tasks, func() error {
+					res, err := runners[k].RunPeriodic(bench, policy)
+					if err != nil {
+						return err
+					}
+					results[i][j][k] = res
+					return nil
+				})
+			}
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+
+	t := tablefmt.New("Extension: memory-bandwidth contention from context traffic (@15µs)",
+		"Benchmark", "Switch β=0", "Switch β=1", "Chimera β=0", "Chimera β=1")
+	for i, bench := range contentionBenchmarks {
 		row := []string{bench}
-		for _, policy := range policies {
-			for _, beta := range []float64{0, 1} {
-				r, err := s.periodicRunner(Constraint15)
-				if err != nil {
-					return nil, err
-				}
-				r.Contention = beta
-				res, err := r.RunPeriodic(bench, policy)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, tablefmt.Pct(res.Overhead))
+		for j := range policies {
+			for k := range betas {
+				row = append(row, tablefmt.Pct(results[i][j][k].Overhead))
 			}
 		}
 		t.AddRow(row...)

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"chimera/internal/simjob"
+)
+
+// renderExhibit runs one registered exhibit at quick scale with the
+// given parallelism on a private cache and returns the concatenated
+// rendered tables.
+func renderExhibit(t *testing.T, name string, parallelism int, cache *simjob.Cache) string {
+	t.Helper()
+	s := QuickScale()
+	s.Parallelism = parallelism
+	s.Cache = cache
+	tables, err := Run(name, s)
+	if err != nil {
+		t.Fatalf("%s at parallelism %d: %v", name, parallelism, err)
+	}
+	out := ""
+	for _, tbl := range tables {
+		out += tbl.String()
+	}
+	return out
+}
+
+// TestFig6DeterministicAcrossParallelism is the core guarantee of the
+// job runner: the rendered Figure 6 table is byte-identical whether the
+// job set runs serially or eight-wide. Each run uses a private cache so
+// every simulation genuinely executes under that parallelism.
+func TestFig6DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := renderExhibit(t, "fig6", 1, simjob.NewCache())
+	parallel := renderExhibit(t, "fig6", 8, simjob.NewCache())
+	if serial != parallel {
+		t.Errorf("fig6 differs between parallelism 1 and 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestSeedsDeterministicAcrossRuns runs the seeds exhibit twice at
+// parallelism 8 — once on a fresh cache (every job executes) and once
+// more on the same cache (every job hits) — and requires identical
+// output from all three views. This is the exhibit whose correctness
+// depends hardest on per-run RNG isolation.
+func TestSeedsDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cache := simjob.NewCache()
+	first := renderExhibit(t, "seeds", 8, cache)
+	cached := renderExhibit(t, "seeds", 8, cache)
+	if first != cached {
+		t.Error("seeds output changed on a cache-hit re-run")
+	}
+	fresh := renderExhibit(t, "seeds", 8, simjob.NewCache())
+	if first != fresh {
+		t.Errorf("seeds output changed across independent parallel runs:\n--- first ---\n%s\n--- fresh ---\n%s", first, fresh)
+	}
+}
+
+// TestPairExhibitDeterministicAcrossParallelism covers the §4.4 path
+// (pair jobs and their shared solo baselines) the same way.
+func TestPairExhibitDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := renderExhibit(t, "fig10", 1, simjob.NewCache())
+	parallel := renderExhibit(t, "fig10", 8, simjob.NewCache())
+	if serial != parallel {
+		t.Error("fig10 differs between parallelism 1 and 8")
+	}
+}

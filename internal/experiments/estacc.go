@@ -20,48 +20,84 @@ import (
 // Chimera's rare deadline misses stem from drain misestimation "in the
 // range of few hundred cycles (< 1µs)" — this table shows where this
 // reproduction's estimator errors sit, per policy.
+// estSamples is the per-(policy, benchmark) outcome of one estimator
+// validation run.
+type estSamples struct {
+	errsUs   []float64
+	over     int
+	requests int
+}
+
 func EstimationAccuracy(s Scale) ([]*tablefmt.Table, error) {
 	cat := kernels.Load()
+	benches := cat.BenchmarkNames()
+	policies := workloads.StandardPolicies()
+
+	// These runs sample per-request estimator error rather than scenario
+	// metrics, so they bypass the Runner; the policy × benchmark grid
+	// still fans out over a pool, collected in grid order.
+	pool := s.pool()
+	samples := make([][]estSamples, len(policies))
+	var tasks []func() error
+	for pi, policy := range policies {
+		samples[pi] = make([]estSamples, len(benches))
+		for bi, bench := range benches {
+			pi, bi, bench, policy := pi, bi, bench, policy
+			tasks = append(tasks, func() error {
+				sim := engine.New(engine.Options{
+					Policy:     policy,
+					Constraint: Constraint15,
+					Seed:       s.Seed,
+					WarmStats:  true,
+				})
+				b, err := cat.Benchmark(bench)
+				if err != nil {
+					return err
+				}
+				launches, err := workloads.Launches(cat, b)
+				if err != nil {
+					return err
+				}
+				sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
+				sim.AddPeriodicTask(workloads.PeriodicSpec(sim.Config().NumSMs))
+				// A shorter window suffices: each request contributes a sample.
+				sim.Run(s.PeriodicWindow / 4)
+				out := estSamples{}
+				for _, req := range sim.Requests() {
+					// Skip incomplete requests and ones whose plan carried a
+					// conservative-max estimate (a breached block under a
+					// uniform flush plan has no finite latency estimate).
+					if !req.Completed || req.EstLatencyCycles <= 0 || req.EstLatencyCycles >= preempt.Infeasible {
+						continue
+					}
+					out.requests++
+					est := req.EstLatencyCycles / units.CyclesPerMicrosecond
+					act := req.LatencyCycles.Microseconds()
+					out.errsUs = append(out.errsUs, math.Abs(est-act))
+					if est >= act {
+						out.over++
+					}
+				}
+				samples[pi][bi] = out
+				return nil
+			})
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+
 	t := tablefmt.New("Extension: estimated vs measured preemption latency (@15µs)",
 		"Policy", "Requests", "MeanErr", "P95Err", "MaxErr", "Overest%")
-	for _, policy := range workloads.StandardPolicies() {
+	for pi, policy := range policies {
 		var errsUs []float64
 		over := 0
 		requests := 0
-		for _, bench := range cat.BenchmarkNames() {
-			sim := engine.New(engine.Options{
-				Policy:     policy,
-				Constraint: Constraint15,
-				Seed:       s.Seed,
-				WarmStats:  true,
-			})
-			b, err := cat.Benchmark(bench)
-			if err != nil {
-				return nil, err
-			}
-			launches, err := workloads.Launches(cat, b)
-			if err != nil {
-				return nil, err
-			}
-			sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
-			sim.AddPeriodicTask(workloads.PeriodicSpec(sim.Config().NumSMs))
-			// A shorter window suffices: each request contributes a sample.
-			sim.Run(s.PeriodicWindow / 4)
-			for _, req := range sim.Requests() {
-				// Skip incomplete requests and ones whose plan carried a
-				// conservative-max estimate (a breached block under a
-				// uniform flush plan has no finite latency estimate).
-				if !req.Completed || req.EstLatencyCycles <= 0 || req.EstLatencyCycles >= preempt.Infeasible {
-					continue
-				}
-				requests++
-				est := req.EstLatencyCycles / units.CyclesPerMicrosecond
-				act := req.LatencyCycles.Microseconds()
-				errsUs = append(errsUs, math.Abs(est-act))
-				if est >= act {
-					over++
-				}
-			}
+		for bi := range benches {
+			sm := samples[pi][bi]
+			errsUs = append(errsUs, sm.errsUs...)
+			over += sm.over
+			requests += sm.requests
 		}
 		if len(errsUs) == 0 {
 			t.AddRow(policy.Name(), "0", "-", "-", "-", "-")

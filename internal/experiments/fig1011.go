@@ -22,7 +22,9 @@ type PairSweep struct {
 	Results [][]workloads.PairResult
 }
 
-// RunPairSweep executes the LUD×partner grid.
+// RunPairSweep executes the LUD×partner grid: every (partner, policy)
+// job — the FCFS baseline included — is enumerated up front and fanned
+// out over the runner's pool, then unpacked in grid order.
 func RunPairSweep(r *workloads.Runner) (*PairSweep, error) {
 	cat := kernels.Load()
 	policies := workloads.StandardPolicies()
@@ -31,24 +33,27 @@ func RunPairSweep(r *workloads.Runner) (*PairSweep, error) {
 		sweep.Policies = append(sweep.Policies, p.Name())
 	}
 	for _, bench := range cat.BenchmarkNames() {
-		if bench == "LUD" {
-			continue
+		if bench != "LUD" {
+			sweep.Partners = append(sweep.Partners, bench)
 		}
-		sweep.Partners = append(sweep.Partners, bench)
-		fcfs, err := r.RunPair("LUD", bench, nil, true)
-		if err != nil {
-			return nil, err
-		}
-		sweep.FCFS = append(sweep.FCFS, fcfs)
-		row := make([]workloads.PairResult, 0, len(policies))
+	}
+
+	perPartner := 1 + len(policies) // FCFS baseline + each policy
+	var specs []workloads.PairSpec
+	for _, partner := range sweep.Partners {
+		specs = append(specs, workloads.PairSpec{A: "LUD", B: partner, Serial: true})
 		for _, p := range policies {
-			res, err := r.RunPair("LUD", bench, p, false)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res)
+			specs = append(specs, workloads.PairSpec{A: "LUD", B: partner, Policy: p})
 		}
-		sweep.Results = append(sweep.Results, row)
+	}
+	results, err := r.RunPairsAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range sweep.Partners {
+		chunk := results[i*perPartner : (i+1)*perPartner]
+		sweep.FCFS = append(sweep.FCFS, chunk[0])
+		sweep.Results = append(sweep.Results, chunk[1:])
 	}
 	return sweep, nil
 }
@@ -144,22 +149,26 @@ func AllPairs(s Scale) (*tablefmt.Table, error) {
 	}
 	cat := kernels.Load()
 	names := cat.BenchmarkNames()
-	var anttImps, stpImps []float64
-	pairs := 0
+	// Every unordered pair under FCFS and Chimera, as one flat job set.
+	var specs []workloads.PairSpec
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
-			fcfs, err := r.RunPair(names[i], names[j], nil, true)
-			if err != nil {
-				return nil, err
-			}
-			ch, err := r.RunPair(names[i], names[j], engine.ChimeraPolicy{}, false)
-			if err != nil {
-				return nil, err
-			}
-			anttImps = append(anttImps, fcfs.ANTT/ch.ANTT)
-			stpImps = append(stpImps, (ch.STP-fcfs.STP)/fcfs.STP)
-			pairs++
+			specs = append(specs,
+				workloads.PairSpec{A: names[i], B: names[j], Serial: true},
+				workloads.PairSpec{A: names[i], B: names[j], Policy: engine.ChimeraPolicy{}})
 		}
+	}
+	results, err := r.RunPairsAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	var anttImps, stpImps []float64
+	pairs := 0
+	for k := 0; k < len(results); k += 2 {
+		fcfs, ch := results[k], results[k+1]
+		anttImps = append(anttImps, fcfs.ANTT/ch.ANTT)
+		stpImps = append(stpImps, (ch.STP-fcfs.STP)/fcfs.STP)
+		pairs++
 	}
 	geo, err := metrics.Geomean(anttImps)
 	if err != nil {

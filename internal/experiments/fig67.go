@@ -17,8 +17,10 @@ type PeriodicSweep struct {
 	Results [][]workloads.PeriodicResult
 }
 
-// RunPeriodicSweep executes (or reuses, via the runner's memoization)
-// the full §4.1 grid.
+// RunPeriodicSweep executes (or reuses, via the job cache) the full
+// §4.1 grid: the benchmark × policy job set is enumerated up front and
+// fanned out over the runner's pool, with results collected in grid
+// order regardless of completion order.
 func RunPeriodicSweep(r *workloads.Runner) (*PeriodicSweep, error) {
 	cat := kernels.Load()
 	policies := workloads.StandardPolicies()
@@ -26,17 +28,11 @@ func RunPeriodicSweep(r *workloads.Runner) (*PeriodicSweep, error) {
 	for _, p := range policies {
 		sweep.Policies = append(sweep.Policies, p.Name())
 	}
-	for _, bench := range sweep.Benchmarks {
-		row := make([]workloads.PeriodicResult, 0, len(policies))
-		for _, p := range policies {
-			res, err := r.RunPeriodic(bench, p)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res)
-		}
-		sweep.Results = append(sweep.Results, row)
+	results, err := r.RunPeriodicAll(sweep.Benchmarks, policies)
+	if err != nil {
+		return nil, err
 	}
+	sweep.Results = results
 	return sweep, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"chimera/internal/preempt"
 	"chimera/internal/tablefmt"
 	"chimera/internal/units"
+	"chimera/internal/workloads"
 )
 
 // Fig8Constraints are the preemption latency constraints swept in
@@ -28,20 +29,43 @@ var Fig8Constraints = []units.Cycles{
 // ~19 % floor.
 func Fig8(s Scale) (*tablefmt.Table, error) {
 	cat := kernels.Load()
-	t := tablefmt.New("Figure 8: Impact of preemption latency constraint (Chimera)",
-		"Constraint", "Violations", "Overhead", "Switch", "Drain", "Flush")
-	for _, constraint := range Fig8Constraints {
+	benches := cat.BenchmarkNames()
+
+	// Enumerate the full constraint × benchmark grid up front and fan it
+	// out over one pool (the per-constraint runners share it), then
+	// assemble rows in sweep order.
+	pool := s.pool()
+	results := make([][]workloads.PeriodicResult, len(Fig8Constraints))
+	var tasks []func() error
+	for ci, constraint := range Fig8Constraints {
 		r, err := s.periodicRunner(constraint)
 		if err != nil {
 			return nil, err
 		}
+		r.UsePool(pool)
+		results[ci] = make([]workloads.PeriodicResult, len(benches))
+		for bi, bench := range benches {
+			ci, bi, bench, r := ci, bi, bench, r
+			tasks = append(tasks, func() error {
+				res, err := r.RunPeriodic(bench, engine.ChimeraPolicy{})
+				if err != nil {
+					return err
+				}
+				results[ci][bi] = res
+				return nil
+			})
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+
+	t := tablefmt.New("Figure 8: Impact of preemption latency constraint (Chimera)",
+		"Constraint", "Violations", "Overhead", "Switch", "Drain", "Flush")
+	for ci, constraint := range Fig8Constraints {
 		var violations, overheads []float64
 		var mix [preempt.NumTechniques]int
-		for _, bench := range cat.BenchmarkNames() {
-			res, err := r.RunPeriodic(bench, engine.ChimeraPolicy{})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results[ci] {
 			violations = append(violations, res.ViolationRate)
 			overheads = append(overheads, res.Overhead)
 			for tech, n := range res.Mix {

@@ -24,25 +24,52 @@ var gpuSizes = []int{15, 30, 60}
 // near-zero violations are not an artifact of the 30-SM configuration.
 func GPUSize(s Scale) ([]*tablefmt.Table, error) {
 	cat := kernels.Load()
-	t := tablefmt.New("Extension: Fig 6 across device sizes (@15µs)",
-		"SMs", "Switch", "Drain", "Flush", "Chimera", "TB-preempts")
-	for _, numSMs := range gpuSizes {
+	benches := cat.BenchmarkNames()
+	policies := workloads.StandardPolicies()
+
+	// One runner per device size on a shared pool; the size × policy ×
+	// benchmark grid is enumerated up front and fanned out flat.
+	pool := s.pool()
+	results := make([][][]workloads.PeriodicResult, len(gpuSizes))
+	var tasks []func() error
+	for gi, numSMs := range gpuSizes {
 		cfg := gpu.DefaultConfig()
 		cfg.NumSMs = numSMs
-		r, err := workloads.NewRunner(s.PeriodicWindow/2, Constraint15, s.Seed)
+		r, err := s.newRunner(s.PeriodicWindow/2, Constraint15, s.Seed)
 		if err != nil {
 			return nil, err
 		}
 		r.Config = cfg
+		r.UsePool(pool)
+		results[gi] = make([][]workloads.PeriodicResult, len(policies))
+		for pi, policy := range policies {
+			results[gi][pi] = make([]workloads.PeriodicResult, len(benches))
+			for bi, bench := range benches {
+				gi, pi, bi, bench, policy, r := gi, pi, bi, bench, policy, r
+				tasks = append(tasks, func() error {
+					res, err := r.RunPeriodic(bench, policy)
+					if err != nil {
+						return err
+					}
+					results[gi][pi][bi] = res
+					return nil
+				})
+			}
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+
+	t := tablefmt.New("Extension: Fig 6 across device sizes (@15µs)",
+		"SMs", "Switch", "Drain", "Flush", "Chimera", "TB-preempts")
+	for gi, numSMs := range gpuSizes {
 		avgs := make([]float64, 0, 4)
 		tbPreempts := 0
-		for _, policy := range workloads.StandardPolicies() {
+		for pi, policy := range policies {
 			var rates []float64
-			for _, bench := range cat.BenchmarkNames() {
-				res, err := r.RunPeriodic(bench, policy)
-				if err != nil {
-					return nil, err
-				}
+			for bi := range benches {
+				res := results[gi][pi][bi]
 				rates = append(rates, res.ViolationRate)
 				if policy.Name() == "Chimera" {
 					for _, n := range res.Mix {

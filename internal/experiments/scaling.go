@@ -32,17 +32,22 @@ func Scaling(s Scale) ([]*tablefmt.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// FCFS and Chimera for every set, as one batched job set.
+	var specs []workloads.MultiSpec
+	for _, set := range scalingSets {
+		specs = append(specs,
+			workloads.MultiSpec{Benchmarks: set, Serial: true},
+			workloads.MultiSpec{Benchmarks: set, Policy: engine.ChimeraPolicy{}})
+	}
+	results, err := r.RunMultiAll(specs)
+	if err != nil {
+		return nil, err
+	}
+
 	t := tablefmt.New("Extension: multiprogramming degree beyond 2 (30µs constraint)",
 		"Benchmarks", "N", "FCFS STP", "Chimera STP", "FCFS busy", "Chimera busy", "ANTT gain", "Requests")
-	for _, set := range scalingSets {
-		fcfs, err := r.RunMulti(set, nil, true)
-		if err != nil {
-			return nil, err
-		}
-		ch, err := r.RunMulti(set, engine.ChimeraPolicy{}, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, set := range scalingSets {
+		fcfs, ch := results[2*i], results[2*i+1]
 		// Under FCFS a long kernel can fully starve its partners within
 		// the window; the starvation floor then makes the raw ANTT
 		// ratio astronomical, so the display saturates.

@@ -19,26 +19,49 @@ const seedCount = 5
 // Chimera's zero-violation result is not a lucky draw.
 func Seeds(s Scale) ([]*tablefmt.Table, error) {
 	cat := kernels.Load()
+	benches := cat.BenchmarkNames()
 	policies := workloads.StandardPolicies()
-	t := tablefmt.New("Extension: Fig 6 averages across RNG seeds (@15µs)",
-		"Seed", "Switch", "Drain", "Flush", "Chimera")
 
-	perPolicy := make([][]float64, len(policies))
+	// One runner per seed on a shared pool; the full seed × policy ×
+	// benchmark grid is enumerated up front and fanned out flat.
+	pool := s.pool()
+	results := make([][][]workloads.PeriodicResult, seedCount)
+	var tasks []func() error
 	for i := 0; i < seedCount; i++ {
-		seed := s.Seed + uint64(i)
-		r, err := workloads.NewRunner(s.PeriodicWindow/2, Constraint15, seed)
+		r, err := s.newRunner(s.PeriodicWindow/2, Constraint15, s.Seed+uint64(i))
 		if err != nil {
 			return nil, err
 		}
-		row := []string{fmt.Sprintf("%d", seed)}
+		r.UsePool(pool)
+		results[i] = make([][]workloads.PeriodicResult, len(policies))
 		for j, policy := range policies {
+			results[i][j] = make([]workloads.PeriodicResult, len(benches))
+			for k, bench := range benches {
+				i, j, k, bench, policy, r := i, j, k, bench, policy, r
+				tasks = append(tasks, func() error {
+					res, err := r.RunPeriodic(bench, policy)
+					if err != nil {
+						return err
+					}
+					results[i][j][k] = res
+					return nil
+				})
+			}
+		}
+	}
+	if err := pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+
+	t := tablefmt.New("Extension: Fig 6 averages across RNG seeds (@15µs)",
+		"Seed", "Switch", "Drain", "Flush", "Chimera")
+	perPolicy := make([][]float64, len(policies))
+	for i := 0; i < seedCount; i++ {
+		row := []string{fmt.Sprintf("%d", s.Seed+uint64(i))}
+		for j := range policies {
 			var rates []float64
-			for _, bench := range cat.BenchmarkNames() {
-				res, err := r.RunPeriodic(bench, policy)
-				if err != nil {
-					return nil, err
-				}
-				rates = append(rates, res.ViolationRate)
+			for k := range benches {
+				rates = append(rates, results[i][j][k].ViolationRate)
 			}
 			avg := metrics.Mean(rates)
 			perPolicy[j] = append(perPolicy[j], avg)

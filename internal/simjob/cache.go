@@ -1,0 +1,93 @@
+package simjob
+
+import (
+	"sync"
+	"time"
+)
+
+// Cache memoizes simulation results by Job with singleflight semantics:
+// when several goroutines ask for the same Job concurrently, exactly one
+// executes the simulation and the rest block until its result is ready.
+// Successful results are cached forever (the evaluation's jobs are pure
+// functions of their key); errors are returned to every in-flight waiter
+// but NOT cached, so a transient failure does not poison the key.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Job]*entry
+	stats   counters
+}
+
+// entry is one in-flight or completed computation.
+type entry struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Job]*entry)}
+}
+
+// shared is the process-wide cache: every exhibit of one chimerasim run
+// draws from it, so e.g. the Figure 6 sweep pays for the §4.1 grid once
+// and Figure 7, Figure 8's 15µs row and Figure 9's relaxed-flush column
+// all hit.
+var (
+	sharedOnce sync.Once
+	shared     *Cache
+)
+
+// SharedCache returns the process-wide cache.
+func SharedCache() *Cache {
+	sharedOnce.Do(func() { shared = NewCache() })
+	return shared
+}
+
+// Do returns the memoized result for job, computing it with fn on first
+// use. Concurrent calls for the same job share one execution. fn runs on
+// the caller's goroutine (the Pool provides worker-level parallelism);
+// it must not call Do for the same job recursively.
+func (c *Cache) Do(job Job, fn func() (any, error)) (any, error) {
+	v, err, _, _ := c.doJob(job, fn)
+	return v, err
+}
+
+// doJob is Do plus execution telemetry: executed reports whether this
+// call ran fn (vs. a cache or singleflight hit), and dur its wall time.
+func (c *Cache) doJob(job Job, fn func() (any, error)) (v any, err error, executed bool, dur time.Duration) {
+	c.mu.Lock()
+	if e, ok := c.entries[job]; ok {
+		c.mu.Unlock()
+		c.stats.hit()
+		<-e.done
+		return e.val, e.err, false, 0
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[job] = e
+	c.mu.Unlock()
+
+	start := time.Now()
+	e.val, e.err = fn()
+	dur = time.Since(start)
+	c.stats.ran(dur, e.err != nil)
+	if e.err != nil {
+		// Errors are not cached: drop the entry before waking waiters so
+		// the next Do retries the computation.
+		c.mu.Lock()
+		delete(c.entries, job)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err, true, dur
+}
+
+// Len reports how many results are currently cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats.snapshot() }

@@ -1,0 +1,259 @@
+package simjob
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func job(bench string) Job {
+	return Job{Kind: KindSolo, Benchmarks: bench, Seed: 1}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	c := NewCache()
+	calls := 0
+	fn := func() (any, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do(job("HS"), fn)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.JobsRun != 1 || st.CacheHits != 2 {
+		t.Errorf("stats = %+v, want 1 run / 2 hits", st)
+	}
+}
+
+func TestCacheDistinguishesJobs(t *testing.T) {
+	c := NewCache()
+	for _, k := range []Kind{KindSolo, KindPeriodic} {
+		for _, seed := range []uint64{1, 2} {
+			j := Job{Kind: k, Benchmarks: "HS", Seed: seed}
+			if _, err := c.Do(j, func() (any, error) { return fmt.Sprint(k, seed), nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("cache holds %d entries, want 4 distinct jobs", c.Len())
+	}
+}
+
+// TestCacheSingleflight floods one job with concurrent duplicate
+// submissions and checks the simulation executed exactly once, with
+// every caller observing its value.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 32
+	var wg sync.WaitGroup
+	vals := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(job("LUD"), func() (any, error) {
+				calls.Add(1)
+				<-release // hold the flight open until all waiters queued
+				return "rate", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the waiters pile up behind the single in-flight execution.
+	for c.Stats().CacheHits < waiters-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("simulation executed %d times under %d concurrent submissions, want 1", n, waiters)
+	}
+	for i, v := range vals {
+		if v != "rate" {
+			t.Errorf("waiter %d observed %v", i, v)
+		}
+	}
+}
+
+// TestCacheErrorsNotCached checks a failed job is retried: the error is
+// delivered to in-flight waiters but the key is not poisoned.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("no progress")
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, boom }
+	if _, err := c.Do(job("BS"), fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error result cached (%d entries)", c.Len())
+	}
+	// Second submission re-executes and may now succeed.
+	v, err := c.Do(job("BS"), func() (any, error) { calls++; return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times, want 2 (error not cached)", calls)
+	}
+	if st := c.Stats(); st.Errors != 1 || st.JobsRun != 2 {
+		t.Errorf("stats = %+v, want 1 error / 2 runs", st)
+	}
+}
+
+func TestPoolRunBoundsParallelism(t *testing.T) {
+	p := NewPool(3, NewCache())
+	if p.Parallelism() != 3 {
+		t.Fatalf("parallelism = %d", p.Parallelism())
+	}
+	var running, peak atomic.Int64
+	var tasks []func() error
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, func() error {
+			n := running.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return nil
+		})
+	}
+	if err := p.Run(tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds parallelism 3", peak.Load())
+	}
+	st := p.Stats()
+	if st.TasksQueued != 20 || st.TasksDone != 20 || st.TasksRunning != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPoolRunFirstErrorInTaskOrder(t *testing.T) {
+	p := NewPool(4, NewCache())
+	errA, errB := errors.New("a"), errors.New("b")
+	ran := make([]bool, 4)
+	err := p.Run(
+		func() error { ran[0] = true; time.Sleep(5 * time.Millisecond); return errA },
+		func() error { ran[1] = true; return errB },
+		func() error { ran[2] = true; return nil },
+		func() error { ran[3] = true; return nil },
+	)
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want first error in task order (a)", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("task %d did not run to completion", i)
+		}
+	}
+}
+
+func TestPoolRunRecoversPanics(t *testing.T) {
+	p := NewPool(2, NewCache())
+	err := p.Run(func() error { panic("kaboom") })
+	if err == nil || !contains(err.Error(), "kaboom") {
+		t.Errorf("panic not surfaced as error: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPoolDoNested checks that a task running under a full pool can
+// issue nested Do calls (the periodic-job → solo-baseline dependency)
+// without consuming extra worker slots.
+func TestPoolDoNested(t *testing.T) {
+	p := NewPool(1, NewCache()) // one slot: nested Do must not need a second
+	err := p.Run(func() error {
+		outer, err := p.Do(Job{Kind: KindPeriodic, Benchmarks: "HS"}, func() (any, error) {
+			inner, err := p.Do(Job{Kind: KindSolo, Benchmarks: "HS"}, func() (any, error) {
+				return 2.0, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return inner.(float64) * 2, nil
+		})
+		if err != nil {
+			return err
+		}
+		if outer.(float64) != 4.0 {
+			return fmt.Errorf("outer = %v", outer)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolProgressHook(t *testing.T) {
+	p := NewPool(2, NewCache())
+	var mu sync.Mutex
+	var snaps []Stats
+	p.SetProgress(func(s Stats) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	})
+	if err := p.Run(func() error { return nil }, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) != 2 {
+		t.Fatalf("progress fired %d times, want 2", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.TasksDone < 1 || last.TasksQueued != 2 {
+		t.Errorf("last snapshot = %+v", last)
+	}
+}
+
+func TestGlobalStatsAggregates(t *testing.T) {
+	before := GlobalStats()
+	c := NewCache()
+	_, _ = c.Do(job("aggregate-check"), func() (any, error) { return 1, nil })
+	_, _ = c.Do(job("aggregate-check"), func() (any, error) { return 1, nil })
+	after := GlobalStats()
+	if after.JobsRun-before.JobsRun < 1 || after.CacheHits-before.CacheHits < 1 {
+		t.Errorf("global stats did not advance: before %+v after %+v", before, after)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindSolo: "solo", KindPeriodic: "periodic", KindPair: "pair", KindMulti: "multi", KindCustom: "custom"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package simjob
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of scheduling and cache activity. Pool.Stats
+// reports one pool; GlobalStats aggregates every pool and cache in the
+// process (what the chimerasim -progress ticker displays).
+type Stats struct {
+	// TasksQueued counts batch tasks submitted to Pool.Run.
+	TasksQueued int64
+	// TasksRunning counts batch tasks currently executing.
+	TasksRunning int64
+	// TasksDone counts batch tasks that finished (ok or not).
+	TasksDone int64
+	// JobsRun counts simulations actually executed (cache misses).
+	JobsRun int64
+	// CacheHits counts Cache.Do calls served without executing
+	// (including singleflight waits on an in-flight duplicate).
+	CacheHits int64
+	// Errors counts executed jobs that returned an error.
+	Errors int64
+	// JobTime is the cumulative wall time of executed jobs — at
+	// parallelism N it exceeds elapsed time by up to a factor of N.
+	JobTime time.Duration
+}
+
+// counters is the lock-free mutable form of Stats, embedded in Cache and
+// Pool. Every update is mirrored into the process-wide global counters.
+type counters struct {
+	tasksQueued  atomic.Int64
+	tasksRunning atomic.Int64
+	tasksDone    atomic.Int64
+	jobsRun      atomic.Int64
+	cacheHits    atomic.Int64
+	errors       atomic.Int64
+	jobTimeNs    atomic.Int64
+}
+
+// global aggregates all pools and caches in the process.
+var global counters
+
+func (c *counters) hit() {
+	c.cacheHits.Add(1)
+	if c != &global {
+		global.cacheHits.Add(1)
+	}
+}
+
+func (c *counters) ran(d time.Duration, failed bool) {
+	c.jobsRun.Add(1)
+	c.jobTimeNs.Add(int64(d))
+	if failed {
+		c.errors.Add(1)
+	}
+	if c != &global {
+		global.jobsRun.Add(1)
+		global.jobTimeNs.Add(int64(d))
+		if failed {
+			global.errors.Add(1)
+		}
+	}
+}
+
+func (c *counters) taskQueued(n int64) {
+	c.tasksQueued.Add(n)
+	if c != &global {
+		global.tasksQueued.Add(n)
+	}
+}
+
+func (c *counters) taskStarted() {
+	c.tasksRunning.Add(1)
+	if c != &global {
+		global.tasksRunning.Add(1)
+	}
+}
+
+func (c *counters) taskDone() {
+	c.tasksRunning.Add(-1)
+	c.tasksDone.Add(1)
+	if c != &global {
+		global.tasksRunning.Add(-1)
+		global.tasksDone.Add(1)
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		TasksQueued:  c.tasksQueued.Load(),
+		TasksRunning: c.tasksRunning.Load(),
+		TasksDone:    c.tasksDone.Load(),
+		JobsRun:      c.jobsRun.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		Errors:       c.errors.Load(),
+		JobTime:      time.Duration(c.jobTimeNs.Load()),
+	}
+}
+
+// GlobalStats returns the process-wide aggregate across every pool and
+// cache.
+func GlobalStats() Stats { return global.snapshot() }

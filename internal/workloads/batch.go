@@ -1,0 +1,91 @@
+package workloads
+
+import "chimera/internal/engine"
+
+// Batch APIs: each enumerates its full job set up front, fans it out
+// over the Runner's pool, and assembles results in enumeration order —
+// completion order never shows in the output, so tables built from a
+// batch are byte-identical at any parallelism.
+
+// RunPeriodicAll runs the §4.1 scenario for every benchmark × policy
+// combination and returns results indexed [benchmark][policy] in
+// argument order.
+func (r *Runner) RunPeriodicAll(benches []string, policies []engine.Policy) ([][]PeriodicResult, error) {
+	results := make([][]PeriodicResult, len(benches))
+	var tasks []func() error
+	for i, bench := range benches {
+		results[i] = make([]PeriodicResult, len(policies))
+		for j, policy := range policies {
+			i, j, bench, policy := i, j, bench, policy
+			tasks = append(tasks, func() error {
+				res, err := r.RunPeriodic(bench, policy)
+				if err != nil {
+					return err
+				}
+				results[i][j] = res
+				return nil
+			})
+		}
+	}
+	if err := r.pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// PairSpec names one §4.4 pair run: two benchmarks under a policy (nil
+// policy + Serial for the FCFS baseline).
+type PairSpec struct {
+	A, B   string
+	Policy engine.Policy
+	Serial bool
+}
+
+// RunPairsAll runs every spec and returns results in spec order.
+func (r *Runner) RunPairsAll(specs []PairSpec) ([]PairResult, error) {
+	results := make([]PairResult, len(specs))
+	var tasks []func() error
+	for i, spec := range specs {
+		i, spec := i, spec
+		tasks = append(tasks, func() error {
+			res, err := r.RunPair(spec.A, spec.B, spec.Policy, spec.Serial)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
+	}
+	if err := r.pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MultiSpec names one N-process run.
+type MultiSpec struct {
+	Benchmarks []string
+	Policy     engine.Policy
+	Serial     bool
+}
+
+// RunMultiAll runs every spec and returns results in spec order.
+func (r *Runner) RunMultiAll(specs []MultiSpec) ([]MultiResult, error) {
+	results := make([]MultiResult, len(specs))
+	var tasks []func() error
+	for i, spec := range specs {
+		i, spec := i, spec
+		tasks = append(tasks, func() error {
+			res, err := r.RunMulti(spec.Benchmarks, spec.Policy, spec.Serial)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
+	}
+	if err := r.pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

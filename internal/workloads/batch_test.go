@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/simjob"
+	"chimera/internal/units"
+)
+
+// isolatedRunner builds a runner on a private cache so tests can count
+// exactly which simulations executed.
+func isolatedRunner(t *testing.T, windowUs float64, parallelism int) *Runner {
+	t.Helper()
+	r, err := NewRunner(units.FromMicroseconds(windowUs), units.FromMicroseconds(15), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.UsePool(simjob.NewPool(parallelism, simjob.NewCache()))
+}
+
+// TestConcurrentDuplicateRunsExecuteOnce hammers one periodic scenario
+// from many goroutines: the simulation (and its solo baseline) must
+// execute exactly once, with every caller seeing the identical result.
+func TestConcurrentDuplicateRunsExecuteOnce(t *testing.T) {
+	r := isolatedRunner(t, 3000, 4)
+	const callers = 16
+	results := make([]PeriodicResult, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.RunPeriodic("HS", engine.ChimeraPolicy{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+	// Exactly two simulations ran: the periodic scenario and its nested
+	// solo-rate baseline.
+	if st := r.Pool().Cache().Stats(); st.JobsRun != 2 {
+		t.Errorf("%d simulations executed, want 2 (periodic + solo)", st.JobsRun)
+	}
+}
+
+// TestBatchMatchesSerial checks the fan-out path returns exactly what
+// the serial path computes, in enumeration order.
+func TestBatchMatchesSerial(t *testing.T) {
+	benches := []string{"HS", "SAD", "BT"}
+	policies := StandardPolicies()
+
+	serial := isolatedRunner(t, 3000, 1)
+	parallel := isolatedRunner(t, 3000, 8)
+
+	batch, err := parallel.RunPeriodicAll(benches, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bench := range benches {
+		for j, policy := range policies {
+			want, err := serial.RunPeriodic(bench, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i][j] != want {
+				t.Errorf("%s/%s: batch %+v != serial %+v", bench, policy.Name(), batch[i][j], want)
+			}
+		}
+	}
+}
+
+// TestRunPairsAllOrder checks results come back in spec order with the
+// FCFS baseline and policies interleaved, as the figure harnesses
+// enumerate them.
+func TestRunPairsAllOrder(t *testing.T) {
+	r := isolatedRunner(t, 3000, 4)
+	specs := []PairSpec{
+		{A: "HS", B: "SAD", Serial: true},
+		{A: "HS", B: "SAD", Policy: engine.ChimeraPolicy{}},
+		{A: "HS", B: "HS", Policy: engine.ChimeraPolicy{}},
+	}
+	results, err := r.RunPairsAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("%d results", len(results))
+	}
+	wantPolicies := []string{"FCFS", "Chimera", "Chimera"}
+	for i, res := range results {
+		if res.A != specs[i].A || res.B != specs[i].B || res.Policy != wantPolicies[i] {
+			t.Errorf("result %d = %+v, want spec %+v", i, res, specs[i])
+		}
+	}
+}
+
+// TestRunMultiAllSharesSoloBaselines runs overlapping multi sets and
+// checks the solo baselines were computed once per benchmark.
+func TestRunMultiAllSharesSoloBaselines(t *testing.T) {
+	r := isolatedRunner(t, 3000, 4)
+	specs := []MultiSpec{
+		{Benchmarks: []string{"HS", "SAD"}, Policy: engine.ChimeraPolicy{}},
+		{Benchmarks: []string{"HS", "SAD", "BT"}, Policy: engine.ChimeraPolicy{}},
+	}
+	results, err := r.RunMultiAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Policy != "Chimera" || len(results[1].Benchmarks) != 3 {
+		t.Errorf("results = %+v", results)
+	}
+	// Jobs executed: 2 multi runs + 3 distinct solo baselines (HS, SAD
+	// shared between the sets).
+	if st := r.Pool().Cache().Stats(); st.JobsRun != 5 {
+		t.Errorf("%d simulations executed, want 5 (2 multi + 3 solo)", st.JobsRun)
+	}
+}
+
+// TestErrorResultsRetriedThroughRunner checks an unknown benchmark's
+// error is not cached at the runner level either.
+func TestErrorResultsRetriedThroughRunner(t *testing.T) {
+	r := isolatedRunner(t, 3000, 2)
+	if _, err := r.SoloRate("NOPE"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := r.SoloRate("NOPE"); err == nil {
+		t.Fatal("unknown benchmark accepted on retry")
+	}
+	if st := r.Pool().Cache().Stats(); st.JobsRun != 2 || st.Errors != 2 {
+		t.Errorf("stats = %+v, want both failed attempts executed (errors not cached)", st)
+	}
+	if r.Pool().Cache().Len() != 0 {
+		t.Error("failed job left in cache")
+	}
+}
+
+// TestPolicyKeyDistinguishesAblations guards the cache key against the
+// policy-name collapse: every ablation flag combination must map to a
+// distinct key even where Name() strings could coincide.
+func TestPolicyKeyDistinguishesAblations(t *testing.T) {
+	policies := []engine.Policy{
+		engine.ChimeraPolicy{},
+		engine.ChimeraPolicy{StrictIdempotence: true},
+		engine.ChimeraPolicy{OptimisticCold: true},
+		engine.ChimeraPolicy{CycleBased: true},
+		engine.ChimeraPolicy{PerSMUniform: true},
+		engine.ChimeraPolicy{OptimisticCold: true, CycleBased: true},
+		engine.FixedPolicy{Technique: 0},
+		engine.FixedPolicy{Technique: 2},
+		engine.FixedPolicy{Technique: 2, StrictIdempotence: true},
+		nil,
+	}
+	seen := map[string]int{}
+	for i, p := range policies {
+		k := policyKey(p, false)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("policies %d and %d share key %q", prev, i, k)
+		}
+		seen[k] = i
+	}
+	if k := policyKey(nil, true); k != "FCFS" {
+		t.Errorf("serial key = %q", k)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/metrics"
+	"chimera/internal/simjob"
 )
 
 // MultiResult is the outcome of running N benchmarks concurrently — the
@@ -27,11 +28,23 @@ type MultiResult struct {
 
 // RunMulti runs the named benchmarks concurrently under the given
 // policy (serial=true for the FCFS baseline) and computes N-program
-// ANTT/STP against their stand-alone rates.
+// ANTT/STP against their stand-alone rates. Results are memoized by
+// job identity like every other scenario.
 func (r *Runner) RunMulti(benches []string, policy engine.Policy, serial bool) (MultiResult, error) {
 	if len(benches) == 0 {
 		return MultiResult{}, fmt.Errorf("workloads: RunMulti with no benchmarks")
 	}
+	job := r.job(simjob.KindMulti, MultiLabel(benches), policyKey(policy, serial), serial, 0)
+	v, err := r.pool.Do(job, func() (any, error) {
+		return r.runMulti(benches, policy, serial)
+	})
+	if err != nil {
+		return MultiResult{}, err
+	}
+	return v.(MultiResult), nil
+}
+
+func (r *Runner) runMulti(benches []string, policy engine.Policy, serial bool) (MultiResult, error) {
 	singles := make([]float64, len(benches))
 	for i, b := range benches {
 		rate, err := r.SoloRate(b)

@@ -3,6 +3,16 @@
 // scenario of §4.1-§4.3 and the multiprogrammed-pair case study of §4.4,
 // including the non-preemptive FCFS baseline and the stand-alone runs
 // that normalize ANTT/STP.
+//
+// Every scenario run is routed through an internal/simjob pool: results
+// are memoized by their full Job identity (benchmark, policy, window,
+// constraint, seed, device config, catalog) in a cache shared across the
+// process, with singleflight semantics, so a Runner is safe for
+// concurrent use and the stand-alone baseline of a benchmark is
+// simulated once no matter how many exhibits ask for it. The batch APIs
+// (RunPeriodicAll, RunPairsAll, RunMultiAll) enumerate a full job set
+// and fan it out over the pool's workers while assembling results in
+// enumeration order — output is byte-identical at any parallelism.
 package workloads
 
 import (
@@ -13,6 +23,7 @@ import (
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
 	"chimera/internal/preempt"
+	"chimera/internal/simjob"
 	"chimera/internal/units"
 )
 
@@ -29,8 +40,9 @@ func Launches(cat *kernels.Catalog, b *kernels.Benchmark) ([]engine.LaunchSpec, 
 	return out, nil
 }
 
-// Runner executes scenarios with a shared configuration and memoizes the
-// stand-alone rates that every comparison divides by.
+// Runner executes scenarios with a shared configuration. The
+// configuration fields must be set before the first run; once runs are
+// in flight the Runner may be used from any number of goroutines.
 type Runner struct {
 	// Window is the simulated duration of each run.
 	Window units.Cycles
@@ -51,10 +63,8 @@ type Runner struct {
 	// Config overrides the device configuration (zero value = Table 1).
 	Config gpu.Config
 
-	cat       *kernels.Catalog
-	soloRates map[string]float64
-	periodic  map[string]PeriodicResult
-	pairs     map[string]PairResult
+	cat  *kernels.Catalog
+	pool *simjob.Pool
 }
 
 // NewRunner builds a Runner over the shared Table 2 catalog. Window and
@@ -64,7 +74,8 @@ func NewRunner(window, constraint units.Cycles, seed uint64) (*Runner, error) {
 }
 
 // NewRunnerWith builds a Runner over an explicit catalog (e.g. the
-// warp-level-calibrated one).
+// warp-level-calibrated one). The Runner starts on a GOMAXPROCS-wide
+// pool over the process-shared result cache; UsePool overrides both.
 func NewRunnerWith(cat *kernels.Catalog, window, constraint units.Cycles, seed uint64) (*Runner, error) {
 	if cat == nil {
 		return nil, fmt.Errorf("workloads: nil catalog")
@@ -81,21 +92,59 @@ func NewRunnerWith(cat *kernels.Catalog, window, constraint units.Cycles, seed u
 		Seed:       seed,
 		Warm:       true,
 		cat:        cat,
-		soloRates:  make(map[string]float64),
-		periodic:   make(map[string]PeriodicResult),
-		pairs:      make(map[string]PairResult),
+		pool:       simjob.NewPool(0, nil),
 	}, nil
 }
 
 // Catalog exposes the kernel catalog in use.
 func (r *Runner) Catalog() *kernels.Catalog { return r.cat }
 
+// Pool exposes the job pool scenario runs are scheduled on.
+func (r *Runner) Pool() *simjob.Pool { return r.pool }
+
+// UsePool replaces the Runner's job pool (and with it the result cache
+// and parallelism). Call before the first run; returns r for chaining.
+func (r *Runner) UsePool(p *simjob.Pool) *Runner {
+	if p != nil {
+		r.pool = p
+	}
+	return r
+}
+
+// job builds the cache identity of one scenario run under the Runner's
+// current configuration. Solo runs always execute under the fixed
+// baseline options (Chimera policy, no headroom), so those fields are
+// normalized out of the key to maximize sharing across exhibits.
+func (r *Runner) job(kind simjob.Kind, benches, policy string, serial bool, headroom units.Cycles) simjob.Job {
+	return simjob.Job{
+		Kind:       kind,
+		Benchmarks: benches,
+		Policy:     policy,
+		Serial:     serial,
+		Window:     r.Window,
+		Constraint: r.Constraint,
+		Headroom:   headroom,
+		Seed:       r.Seed,
+		Warm:       r.Warm,
+		Contention: r.Contention,
+		Config:     r.Config,
+		Catalog:    r.cat,
+	}
+}
+
 // SoloRate returns the benchmark's stand-alone progress rate (useful
 // warp instructions per cycle on the whole GPU), memoized per benchmark.
 func (r *Runner) SoloRate(bench string) (float64, error) {
-	if rate, ok := r.soloRates[bench]; ok {
-		return rate, nil
+	v, err := r.pool.Do(r.job(simjob.KindSolo, bench, "", false, 0), func() (any, error) {
+		return r.soloRate(bench)
+	})
+	if err != nil {
+		return 0, err
 	}
+	return v.(float64), nil
+}
+
+func (r *Runner) soloRate(bench string) (float64, error) {
 	b, err := r.cat.Benchmark(bench)
 	if err != nil {
 		return 0, err
@@ -118,7 +167,6 @@ func (r *Runner) SoloRate(bench string) (float64, error) {
 	if rate <= 0 {
 		return 0, fmt.Errorf("workloads: %s made no stand-alone progress", bench)
 	}
-	r.soloRates[bench] = rate
 	return rate, nil
 }
 
@@ -154,13 +202,20 @@ type PeriodicResult struct {
 
 // RunPeriodic runs one benchmark against the periodic real-time task
 // under the given policy and returns violation and overhead metrics.
-// Results are memoized per (benchmark, policy) so figures sharing the
-// same runs (Fig 6 and Fig 7) pay for them once.
+// Results are memoized per job identity so figures sharing the same
+// runs (Fig 6 and Fig 7) pay for them once.
 func (r *Runner) RunPeriodic(bench string, policy engine.Policy) (PeriodicResult, error) {
-	memoKey := bench + "/" + policy.Name()
-	if res, ok := r.periodic[memoKey]; ok {
-		return res, nil
+	job := r.job(simjob.KindPeriodic, bench, policyKey(policy, false), false, r.Headroom)
+	v, err := r.pool.Do(job, func() (any, error) {
+		return r.runPeriodic(bench, policy)
+	})
+	if err != nil {
+		return PeriodicResult{}, err
 	}
+	return v.(PeriodicResult), nil
+}
+
+func (r *Runner) runPeriodic(bench string, policy engine.Policy) (PeriodicResult, error) {
 	soloRate, err := r.SoloRate(bench)
 	if err != nil {
 		return PeriodicResult{}, err
@@ -213,7 +268,6 @@ func (r *Runner) RunPeriodic(bench string, policy engine.Policy) (PeriodicResult
 			res.ForcedRequests++
 		}
 	}
-	r.periodic[memoKey] = res
 	return res, nil
 }
 
@@ -233,10 +287,17 @@ type PairResult struct {
 // policy + serial=true is the FCFS baseline) and computes ANTT/STP
 // against their stand-alone rates.
 func (r *Runner) RunPair(a, b string, policy engine.Policy, serial bool) (PairResult, error) {
-	memoKey := a + "/" + b + "/" + policyName(policy, serial)
-	if res, ok := r.pairs[memoKey]; ok {
-		return res, nil
+	job := r.job(simjob.KindPair, a+"+"+b, policyKey(policy, serial), serial, 0)
+	v, err := r.pool.Do(job, func() (any, error) {
+		return r.runPair(a, b, policy, serial)
+	})
+	if err != nil {
+		return PairResult{}, err
 	}
+	return v.(PairResult), nil
+}
+
+func (r *Runner) runPair(a, b string, policy engine.Policy, serial bool) (PairResult, error) {
 	rateA, err := r.SoloRate(a)
 	if err != nil {
 		return PairResult{}, err
@@ -299,17 +360,16 @@ func (r *Runner) RunPair(a, b string, policy engine.Policy, serial bool) (PairRe
 	if err != nil {
 		return PairResult{}, err
 	}
-	res := PairResult{
+	return PairResult{
 		A: a, B: b,
 		Policy:   policyName(policy, serial),
 		ANTT:     antt,
 		STP:      stp,
 		Requests: len(sim.Requests()),
-	}
-	r.pairs[memoKey] = res
-	return res, nil
+	}, nil
 }
 
+// policyName is the display label used in result tables.
 func policyName(p engine.Policy, serial bool) string {
 	if serial {
 		return "FCFS"
@@ -318,6 +378,19 @@ func policyName(p engine.Policy, serial bool) string {
 		return "none"
 	}
 	return p.Name()
+}
+
+// policyKey uniquely identifies a policy configuration for job caching.
+// Unlike Name it must distinguish every ablation flag combination, so it
+// encodes the policy's concrete type and full field values.
+func policyKey(p engine.Policy, serial bool) string {
+	if serial {
+		return "FCFS"
+	}
+	if p == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%T%+v", p, p)
 }
 
 // StandardPolicies returns the four §4 contenders in the paper's
