@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short cover bench race results quick-results fuzz examples vet clean
+.PHONY: all build test short cover bench race results quick-results fuzz examples vet docs-check clean
 
 all: build test
 
@@ -33,8 +33,17 @@ race:
 results:
 	$(GO) run ./cmd/chimerasim -v all | tee results_full.txt
 
+# Quick pass over every exhibit, also refreshing the canonical trace
+# artifact referenced from EXPERIMENTS.md and docs/observability.md.
 quick-results:
-	$(GO) run ./cmd/chimerasim -quick all
+	$(GO) run ./cmd/chimerasim -quick -trace trace_canonical.json all
+
+# Documentation gates: every example must build, and the observability
+# packages (whose schema docs/observability.md documents) must not
+# export undocumented symbols.
+docs-check:
+	$(GO) build ./examples/...
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics
 
 # Fuzz the kernel-IR parser for 30 seconds.
 fuzz:

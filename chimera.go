@@ -234,11 +234,17 @@ func RunWarpLevel(p *KernelProgram, cfg SMConfig) (SMResult, error) {
 // Tracing --------------------------------------------------------------
 
 // TraceEvent is one recorded simulation occurrence; TraceRecorder
-// consumes them (install via SimOptions.Tracer).
+// consumes them (install via SimOptions.Tracer). TraceSink is a
+// Recorder with a Close step (flush-on-close writers). The event schema
+// is documented in docs/observability.md.
 type (
-	TraceEvent    = trace.Event
-	TraceRecorder = trace.Recorder
-	TraceRing     = trace.Ring
+	TraceEvent      = trace.Event
+	TraceRecorder   = trace.Recorder
+	TraceSink       = trace.Sink
+	TraceRing       = trace.Ring
+	TraceCollector  = trace.Collector
+	TraceWriterSink = trace.WriterSink
+	TraceMulti      = trace.Multi
 )
 
 // Trace event kinds.
@@ -250,6 +256,7 @@ const (
 	TraceFlushTB      = trace.FlushTB
 	TraceSaveTB       = trace.SaveTB
 	TraceDrainTB      = trace.DrainTB
+	TraceSaveDone     = trace.SaveDone
 	TraceRestoreTB    = trace.RestoreTB
 	TraceHandover     = trace.Handover
 	TraceDeadlineMiss = trace.DeadlineMiss
@@ -257,6 +264,20 @@ const (
 
 // NewTraceRing creates a bounded in-memory trace recorder.
 func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// NewTraceCollector creates an unbounded in-memory trace recorder.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// NewTraceWriter creates a sink streaming one formatted event per line
+// to w; Close flushes.
+func NewTraceWriter(w io.Writer) *TraceWriterSink { return trace.NewWriterSink(w) }
+
+// WritePerfettoTrace writes events as Chrome trace-event JSON, openable
+// at ui.perfetto.dev: one track per SM, one per kernel (see
+// docs/observability.md for the mapping).
+func WritePerfettoTrace(w io.Writer, events []TraceEvent) error {
+	return trace.WritePerfetto(w, events)
+}
 
 // ParseKernel reads a kernel program in the textual IR emitted by
 // DisassembleKernel (see cmd/idemscan and examples/idempotence/kernels

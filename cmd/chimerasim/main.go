@@ -18,6 +18,14 @@
 //	-pair-us N      simulated µs per pairwise run
 //	-j N            run up to N simulations in parallel (0 = GOMAXPROCS)
 //	-progress       live job/cache/ETA ticker on stderr
+//	-trace FILE     record a fully-traced §4.1 contention scenario and
+//	                write it as Chrome trace-event JSON (ui.perfetto.dev)
+//	-trace-bench B  background benchmark of the traced scenario
+//	-trace-us N     simulated µs of the traced scenario
+//	-metrics        dump latency histograms and scheduler counters
+//
+// With -trace or -metrics the experiment list may be empty: the command
+// then only records the scenario and/or dumps the metrics registry.
 //
 // Every experiment is a set of independent deterministic simulations,
 // so -j changes wall-clock only: the tables are byte-identical at any
@@ -45,11 +53,15 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-experiment timing")
 	workers := flag.Int("j", 0, "max simulations in parallel (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report job progress on stderr")
+	traceFile := flag.String("trace", "", "write a traced contention scenario as Chrome trace-event JSON to `file`")
+	traceBench := flag.String("trace-bench", "SAD", "background benchmark of the traced scenario")
+	traceUs := flag.Float64("trace-us", 5000, "simulated µs of the traced scenario")
+	metricsOut := flag.Bool("metrics", false, "dump latency histograms and scheduler counters after the run")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *traceFile == "" && !*metricsOut {
 		usage()
 		os.Exit(2)
 	}
@@ -124,6 +136,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	var reg *chimera.MetricsRegistry
+	if *metricsOut {
+		reg = chimera.NewMetricsRegistry()
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, *traceBench, *traceUs, *seed, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "chimerasim: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if reg != nil {
+		chimera.GlobalJobStats().Publish(reg)
+		fmt.Println("== Metrics ==")
+		if err := reg.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "chimerasim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace records one fully-traced §4.1 contention scenario and
+// writes it in the Chrome trace-event format Perfetto opens directly.
+func writeTrace(path, bench string, windowUs float64, seed uint64, reg *chimera.MetricsRegistry) error {
+	rec, err := chimera.RecordScenario(chimera.RecordOptions{
+		Bench:   bench,
+		Window:  chimera.Microseconds(windowUs),
+		Seed:    seed,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := chimera.WritePerfettoTrace(f, rec.Events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %s vs RT for %gµs: %d events, %d requests, %d/%d deadlines missed -> %s (open in ui.perfetto.dev)\n",
+		rec.Bench, windowUs, len(rec.Events), rec.Requests, rec.Violations, rec.Periods, path)
+	return nil
 }
 
 // startProgress launches a stderr ticker reporting batch-task progress,

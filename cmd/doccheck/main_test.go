@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckFlagsUndocumentedExports(t *testing.T) {
+	dir := writePkg(t, `package x
+
+func Exported() {}
+
+type T struct{}
+
+const C = 1
+
+var V int
+
+func unexported() {}
+`)
+	got, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("violations = %v, want 4", got)
+	}
+	for _, want := range []string{"function Exported", "type T", "const C", "var V"} {
+		found := false
+		for _, v := range got {
+			if strings.Contains(v, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing violation for %s in %v", want, got)
+		}
+	}
+}
+
+func TestCheckAcceptsDocumentedAndGrouped(t *testing.T) {
+	dir := writePkg(t, `package x
+
+// Exported does things.
+func Exported() {}
+
+// T is a thing.
+type T struct{}
+
+// Enum values of the thing.
+const (
+	A = iota
+	B
+)
+
+// M is T's method.
+func (T) M() {}
+
+var (
+	// V is documented per spec.
+	V int
+	w int
+)
+`)
+	got, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("false positives: %v", got)
+	}
+}
+
+func TestCheckFlagsUndocumentedMethod(t *testing.T) {
+	dir := writePkg(t, `package x
+
+// T is documented.
+type T struct{}
+
+func (T) M() {}
+`)
+	got, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "method T.M") {
+		t.Errorf("violations = %v, want method T.M", got)
+	}
+}
+
+func TestCheckIgnoresTestFiles(t *testing.T) {
+	dir := writePkg(t, "package x\n")
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"), []byte("package x\n\nfunc Helper() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("test files must be exempt: %v", got)
+	}
+}

@@ -1,9 +1,12 @@
-// Tracing: watch Chimera's decisions happen. A trace recorder is
-// attached to the simulator while a benchmark is preempted by the
-// periodic real-time task; the example prints the event timeline around
-// the first preemption request and a technique summary for the run.
+// Tracing: watch Chimera's decisions happen. A trace recorder and a
+// metrics registry are attached to the simulator while a benchmark is
+// preempted by the periodic real-time task; the example prints the
+// event timeline around the first preemption request, a technique
+// summary, and the preemption-latency histograms. With a second
+// argument the full event stream is also exported as Chrome
+// trace-event JSON, openable in ui.perfetto.dev.
 //
-// Run with: go run ./examples/tracing [benchmark]
+// Run with: go run ./examples/tracing [benchmark [trace.json]]
 package main
 
 import (
@@ -19,14 +22,22 @@ func main() {
 	if len(os.Args) > 1 {
 		bench = os.Args[1]
 	}
+	traceFile := ""
+	if len(os.Args) > 2 {
+		traceFile = os.Args[2]
+	}
 
-	ring := chimera.NewTraceRing(100000)
+	// A collector keeps every event (the shape the Perfetto exporter
+	// wants); the registry accumulates latency histograms alongside.
+	collector := chimera.NewTraceCollector()
+	reg := chimera.NewMetricsRegistry()
 	sim := chimera.NewSimulation(chimera.SimOptions{
 		Policy:     chimera.ChimeraPolicy{},
 		Constraint: chimera.Microseconds(15),
 		Seed:       7,
 		WarmStats:  true,
-		Tracer:     ring,
+		Tracer:     collector,
+		Metrics:    reg,
 	})
 
 	cat := chimera.Catalog()
@@ -47,7 +58,7 @@ func main() {
 	})
 	sim.Run(chimera.Microseconds(5000))
 
-	events := ring.Events()
+	events := collector.Events()
 	fmt.Printf("Recorded %d events over 5ms of %s under Chimera.\n\n", len(events), bench)
 
 	// Show the timeline around the first preemption request.
@@ -71,22 +82,42 @@ func main() {
 	}
 
 	fmt.Println("\nEvent summary:")
-	counts := ring.Counts()
-	summary := []struct {
-		kind  chimera.TraceEvent
-		label string
-	}{
-		{chimera.TraceEvent{Kind: chimera.TraceKernelLaunch}, "kernel launches"},
-		{chimera.TraceEvent{Kind: chimera.TraceKernelFinish}, "kernel completions"},
-		{chimera.TraceEvent{Kind: chimera.TraceRequest}, "preemption requests"},
-		{chimera.TraceEvent{Kind: chimera.TraceFlushTB}, "blocks flushed"},
-		{chimera.TraceEvent{Kind: chimera.TraceDrainTB}, "blocks drained"},
-		{chimera.TraceEvent{Kind: chimera.TraceSaveTB}, "blocks context-saved"},
-		{chimera.TraceEvent{Kind: chimera.TraceRestoreTB}, "blocks restored"},
-		{chimera.TraceEvent{Kind: chimera.TraceHandover}, "SM handovers"},
-		{chimera.TraceEvent{Kind: chimera.TraceDeadlineMiss}, "deadline misses"},
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Kind.String()]++
+	}
+	summary := []struct{ kind, label string }{
+		{chimera.TraceKernelLaunch.String(), "kernel launches"},
+		{chimera.TraceKernelFinish.String(), "kernel completions"},
+		{chimera.TraceRequest.String(), "preemption requests"},
+		{chimera.TraceFlushTB.String(), "blocks flushed"},
+		{chimera.TraceDrainTB.String(), "blocks drained"},
+		{chimera.TraceSaveTB.String(), "blocks context-saved"},
+		{chimera.TraceSaveDone.String(), "context saves done"},
+		{chimera.TraceRestoreTB.String(), "blocks restored"},
+		{chimera.TraceHandover.String(), "SM handovers"},
+		{chimera.TraceDeadlineMiss.String(), "deadline misses"},
 	}
 	for _, row := range summary {
-		fmt.Printf("  %-22s %d\n", row.label, counts[row.kind.Kind])
+		fmt.Printf("  %-22s %d\n", row.label, counts[row.kind])
+	}
+
+	fmt.Println("\nMetrics:")
+	if err := reg.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := chimera.WritePerfettoTrace(f, events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nWrote %s — open it in ui.perfetto.dev.\n", traceFile)
 	}
 }

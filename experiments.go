@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"chimera/internal/experiments"
+	"chimera/internal/metrics"
 	"chimera/internal/simjob"
 	"chimera/internal/tablefmt"
 	"chimera/internal/workloads"
@@ -87,3 +88,33 @@ func NewScenarioRunner(window, constraint Cycles, seed uint64) (*ScenarioRunner,
 // StandardPolicies returns the §4 contenders: Switch, Drain, Flush,
 // Chimera.
 func StandardPolicies() []Policy { return workloads.StandardPolicies() }
+
+// Recording ------------------------------------------------------------------
+
+// RecordOptions configures one fully-traced contention run; Recording
+// is its outcome (the complete event stream plus headline counts).
+type (
+	RecordOptions = workloads.RecordOptions
+	Recording     = workloads.Recording
+)
+
+// RecordScenario executes one §4.1 contention scenario with full
+// tracing (never cached) — the source of `chimerasim -trace` artifacts.
+func RecordScenario(opts RecordOptions) (*Recording, error) {
+	return workloads.Record(opts)
+}
+
+// Metrics --------------------------------------------------------------------
+
+// MetricsRegistry is a named collection of counters and histograms with
+// a deterministic text dump; install via SimOptions.Metrics or
+// RecordOptions.Metrics. MetricsHistogram and MetricsCounter are its
+// entry types.
+type (
+	MetricsRegistry  = metrics.Registry
+	MetricsHistogram = metrics.Histogram
+	MetricsCounter   = metrics.Counter
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }

@@ -15,6 +15,8 @@ import (
 	"chimera/internal/core"
 	"chimera/internal/eventq"
 	"chimera/internal/gpu"
+	"chimera/internal/metrics"
+	"chimera/internal/preempt"
 	"chimera/internal/rng"
 	"chimera/internal/sched"
 	"chimera/internal/trace"
@@ -78,8 +80,12 @@ type Options struct {
 	WarmStats bool
 	// Tracer, when set, receives the simulation's observable events
 	// (launches, requests, per-block preemptions, handovers, deadline
-	// outcomes).
+	// outcomes). The event schema is documented in docs/observability.md.
 	Tracer trace.Recorder
+	// Metrics, when set, receives latency histograms (preemption
+	// latency per technique, deadline slack, SM idle gaps) and
+	// scheduler counters. Nil disables collection at zero cost.
+	Metrics *metrics.Registry
 	// ContentionBeta enables the memory-bandwidth contention extension
 	// (contention.go): context save/restore traffic slows running
 	// blocks by 1 + beta×streams/NumSMs. Zero reproduces the paper's
@@ -112,6 +118,9 @@ type Simulation struct {
 	rebalancing    bool
 	rebalanceAgain bool
 	started        bool
+
+	// m holds the resolved metric handles when Options.Metrics is set.
+	m *simMetrics
 
 	// activeTransfers counts in-flight context save/restore streams for
 	// the contention model.
@@ -171,6 +180,9 @@ func New(opts Options) *Simulation {
 		opts:         opts,
 		statsByLabel: make(map[string]*gpu.KernelStats),
 		rnd:          rng.New(opts.Seed ^ 0xc0ffee),
+	}
+	if opts.Metrics != nil {
+		s.m = newSimMetrics(opts.Metrics)
 	}
 	for i := 0; i < s.cfg.NumSMs; i++ {
 		sm := &smUnit{id: gpu.SMID(i), sim: s}
@@ -298,7 +310,8 @@ func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
 		s.free = append(s.free, sm)
 	}
 	k.sms = make(map[gpu.SMID]*smUnit)
-	s.emit(trace.Event{At: now, Kind: trace.KernelFinish, Kernel: k.params.Label, SM: -1, TB: -1})
+	s.emit(trace.Event{At: now, Kind: trace.KernelFinish, Kernel: k.params.Label, SM: -1, TB: -1,
+		Dur: now - k.launchedAt})
 	s.removeActive(k)
 	if k.process != nil {
 		k.process.advance(now)
@@ -327,7 +340,8 @@ func (s *Simulation) killKernel(k *kernelInstance, now units.Cycles) {
 	}
 	k.sms = make(map[gpu.SMID]*smUnit)
 	k.pendingQ = nil
-	s.emit(trace.Event{At: now, Kind: trace.KernelKill, Kernel: k.params.Label, SM: -1, TB: -1})
+	s.emit(trace.Event{At: now, Kind: trace.KernelKill, Kernel: k.params.Label, SM: -1, TB: -1,
+		Dur: now - k.launchedAt})
 	// Abort preemptions still working on this kernel's behalf.
 	for _, sm := range s.sms {
 		if sm.handover != nil && sm.handover.req.requester == k {
@@ -394,6 +408,9 @@ func (s *Simulation) rebalance(now units.Cycles) {
 		return
 	}
 	s.rebalancing = true
+	if s.m != nil {
+		s.m.rebalances.Add(1)
+	}
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
 			s.dumpState(now)
@@ -577,8 +594,14 @@ func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, n
 		}
 	}
 	s.requests = append(s.requests, rec)
+	s.observeRequestIssued(rec)
+	estLat := units.Cycles(0)
+	if rec.EstLatencyCycles > 0 && rec.EstLatencyCycles < preempt.Infeasible {
+		estLat = units.Cycles(rec.EstLatencyCycles)
+	}
 	s.emit(trace.Event{At: now, Kind: trace.Request, Kernel: victim.params.Label, SM: -1, TB: -1,
-		Detail: fmt.Sprintf("by=%s sms=%d forced=%d", requester.params.Label, rec.NumSMs, rec.Forced)})
+		Other: requester.params.Label, EstLat: estLat,
+		Detail: fmt.Sprintf("sms=%d forced=%d", rec.NumSMs, rec.Forced)})
 	for _, plan := range sel.Plans {
 		s.sms[int(plan.SM)].executePlan(plan, rec, now)
 	}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"strings"
+
+	"chimera/internal/metrics"
+	"chimera/internal/preempt"
+	"chimera/internal/units"
+)
+
+// Observability instrumentation: when Options.Metrics carries a
+// registry, the engine publishes latency distributions and scheduler
+// counters into it at its decision points. With a nil registry every
+// hook is a single pointer check — recording is zero-cost when
+// disabled, matching the tracing contract.
+
+// simMetrics holds the engine's pre-resolved metric handles so the hot
+// path never takes the registry lock.
+type simMetrics struct {
+	// latency is the measured preemption latency of completed requests;
+	// latencyBy splits it by the request's dominant technique.
+	latency   *metrics.Histogram
+	latencyBy [preempt.NumTechniques]*metrics.Histogram
+	// estErr is the signed estimation error (estimated − measured, µs)
+	// of completed requests that carried a finite estimate.
+	estErr *metrics.Histogram
+	// slack is constraint minus acquire latency for periodic-task
+	// instances that met their deadline.
+	slack *metrics.Histogram
+	// idleGap is the idle time between two busy spans of an SM.
+	idleGap *metrics.Histogram
+
+	requests   *metrics.Counter
+	forced     *metrics.Counter
+	misses     *metrics.Counter
+	rebalances *metrics.Counter
+}
+
+// latencyBuckets spans sub-µs drains to the longest catalog drain times
+// (hundreds of µs) in exponential steps.
+var latencyBuckets = metrics.ExpBuckets(0.5, 2, 12)
+
+// errBuckets is symmetric around zero for the signed estimation error.
+var errBuckets = []float64{-8, -4, -2, -1, -0.5, -0.1, 0, 0.1, 0.5, 1, 2, 4, 8}
+
+// newSimMetrics resolves every handle the engine observes through.
+func newSimMetrics(reg *metrics.Registry) *simMetrics {
+	m := &simMetrics{
+		latency: reg.Histogram("preempt/latency_us", "µs", latencyBuckets),
+		estErr:  reg.Histogram("preempt/est_error_us", "µs", errBuckets),
+		slack:   reg.Histogram("deadline/slack_us", "µs", latencyBuckets),
+		idleGap: reg.Histogram("sm/idle_gap_us", "µs", latencyBuckets),
+
+		requests:   reg.Counter("preempt/requests"),
+		forced:     reg.Counter("preempt/forced_requests"),
+		misses:     reg.Counter("deadline/misses"),
+		rebalances: reg.Counter("sched/rebalances"),
+	}
+	for _, t := range preempt.Techniques() {
+		name := "preempt/latency_us/" + strings.ToLower(t.String())
+		m.latencyBy[t] = reg.Histogram(name, "µs", latencyBuckets)
+	}
+	return m
+}
+
+// observeRequestIssued fires once per preemption request at issue time.
+func (s *Simulation) observeRequestIssued(rec *RequestRecord) {
+	if s.m == nil {
+		return
+	}
+	s.m.requests.Add(1)
+	if rec.Forced > 0 {
+		s.m.forced.Add(1)
+	}
+}
+
+// observeRequestComplete fires when the last SM of a request arrives.
+func (s *Simulation) observeRequestComplete(rec *RequestRecord) {
+	if s.m == nil {
+		return
+	}
+	lat := rec.LatencyCycles.Microseconds()
+	s.m.latency.Observe(lat)
+	if tech, ok := rec.Dominant(); ok {
+		s.m.latencyBy[tech].Observe(lat)
+	}
+	if rec.EstLatencyCycles > 0 && rec.EstLatencyCycles < preempt.Infeasible {
+		s.m.estErr.Observe(rec.EstLatencyCycles/units.CyclesPerMicrosecond - lat)
+	}
+}
+
+// observeDeadline fires at every periodic-task deadline check.
+func (s *Simulation) observeDeadline(met bool, slack units.Cycles) {
+	if s.m == nil {
+		return
+	}
+	if met {
+		s.m.slack.Observe(slack.Microseconds())
+	} else {
+		s.m.misses.Add(1)
+	}
+}
+
+// observeIdleGap fires when an SM transitions idle→busy after having
+// been busy before; gap is the idle span's length.
+func (s *Simulation) observeIdleGap(gap units.Cycles) {
+	if s.m == nil {
+		return
+	}
+	s.m.idleGap.Observe(gap.Microseconds())
+}

@@ -134,9 +134,11 @@ func (t *periodicTask) deadlineCheck(k *kernelInstance, idx int, now units.Cycle
 	rec := &t.records[idx]
 	if len(k.sms) >= t.spec.SMs {
 		rec.AcquireLatency = t.acquireLatency(k, now)
+		t.sim.observeDeadline(true, t.sim.opts.Constraint-rec.AcquireLatency)
 		return
 	}
 	rec.Violated = true
+	t.sim.observeDeadline(false, 0)
 	t.sim.emit(trace.Event{At: now, Kind: trace.DeadlineMiss, Kernel: t.spec.Label, SM: -1, TB: -1,
 		Detail: fmt.Sprintf("acquired=%d/%d", len(k.sms), t.spec.SMs)})
 	t.sim.killKernel(k, now)

@@ -46,6 +46,21 @@ type RequestRecord struct {
 // Mix returns the per-technique thread-block preemption counts.
 func (r *RequestRecord) Mix() [preempt.NumTechniques]int { return r.mix }
 
+// Dominant returns the technique that preempted the most thread blocks
+// under this request (ties break toward the cheaper technique, in enum
+// order). ok is false when the request preempted no blocks at all —
+// e.g. every selected SM was already empty.
+func (r *RequestRecord) Dominant() (tech preempt.Technique, ok bool) {
+	best := 0
+	for t, n := range r.mix {
+		if n > best {
+			best = n
+			tech = preempt.Technique(t)
+		}
+	}
+	return tech, best > 0
+}
+
 // Violated reports whether the request failed its latency constraint:
 // either it was killed at the deadline, or it completed late.
 func (r *RequestRecord) Violated() bool {

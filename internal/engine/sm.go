@@ -29,6 +29,12 @@ type smUnit struct {
 	// resident is non-empty).
 	busyCycles units.Cycles
 	busySince  units.Cycles
+
+	// idleSince is the start of the current idle span and everBusy
+	// whether the SM has hosted a block before — together they meter
+	// the between-busy-spans idle gaps for the metrics registry.
+	idleSince units.Cycles
+	everBusy  bool
 }
 
 // noteResidentChange maintains the busy-time account around a resident
@@ -39,8 +45,13 @@ func (sm *smUnit) noteResidentChange(before int, now units.Cycles) {
 	switch {
 	case before == 0 && after > 0:
 		sm.busySince = now
+		if sm.everBusy {
+			sm.sim.observeIdleGap(now - sm.idleSince)
+		}
 	case before > 0 && after == 0:
 		sm.busyCycles += now - sm.busySince
+		sm.idleSince = now
+		sm.everBusy = true
 	}
 }
 
@@ -120,7 +131,11 @@ func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
 		tb.needsRestore = false
 		sm.sim.trackTransfer(now, begin, start)
 		sm.sim.emit(trace.Event{At: now, Kind: trace.RestoreTB, Kernel: k.params.Label,
-			SM: int(sm.id), TB: tb.index, Detail: fmt.Sprintf("resume@%v", start)})
+			SM: int(sm.id), TB: tb.index,
+			Lat:   start - now,
+			Dur:   k.params.TBSwitchCycles(sm.sim.cfg),
+			Bytes: k.params.ContextBytesPerTB,
+			Detail: fmt.Sprintf("resume@%v", start)})
 	}
 	if tb.executed == 0 {
 		// Fresh run (first dispatch or re-execution after a flush).
@@ -210,7 +225,8 @@ func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, now units
 			h.outstanding++
 			k.stats.Preemptions[preempt.Drain]++
 			req.mix[preempt.Drain]++
-			sm.sim.emit(trace.Event{At: now, Kind: trace.DrainTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index})
+			sm.sim.emit(trace.Event{At: now, Kind: trace.DrainTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
+				Insts: tb.executedAt(now), Dur: tb.remainingCycles(now)})
 		case preempt.Switch:
 			tb.sync(now)
 			tb.frozen = true
@@ -220,7 +236,9 @@ func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, now units
 			k.stats.Preemptions[preempt.Switch]++
 			req.mix[preempt.Switch]++
 			sm.sim.emit(trace.Event{At: now, Kind: trace.SaveTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
-				Detail: fmt.Sprintf("at=%d insts", tb.executed)})
+				Insts: tb.executed,
+				Bytes: k.params.ContextBytesPerTB,
+				Dur:   k.params.TBSwitchCycles(sm.sim.cfg)})
 		}
 	}
 
@@ -246,7 +264,7 @@ func (sm *smUnit) flushTB(tb *threadBlock, now units.Cycles, req *RequestRecord)
 		req.mix[preempt.Flush]++
 	}
 	sm.sim.emit(trace.Event{At: now, Kind: trace.FlushTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
-		Detail: fmt.Sprintf("wasted=%d insts", tb.executed)})
+		Insts: tb.executed})
 	tb.cancelEvents(&sm.sim.q)
 	sm.removeResident(tb, now)
 	tb.executed = 0
@@ -263,12 +281,15 @@ func (sm *smUnit) saveComplete(h *handoverState, now units.Cycles) {
 		return
 	}
 	k := sm.kernel
+	saved := units.Bytes(len(h.frozen)) * k.params.ContextBytesPerTB
 	for _, tb := range h.frozen {
 		sm.removeResident(tb, now)
 		tb.needsRestore = true
 		k.requeue(tb)
 	}
 	h.frozen = nil
+	sm.sim.emit(trace.Event{At: now, Kind: trace.SaveDone, Kernel: k.params.Label, SM: int(sm.id), TB: -1,
+		Dur: now - h.req.At, Bytes: saved})
 	h.outstanding--
 	if h.outstanding == 0 {
 		sm.completeHandover(now)
@@ -299,9 +320,13 @@ func (sm *smUnit) completeHandover(now units.Cycles) {
 	delete(victim.sms, sm.id)
 	sm.kernel = nil
 	sm.restoreTail = 0
+	wasComplete := h.req.Completed
 	h.req.smArrived(now)
+	if !wasComplete && h.req.Completed {
+		sm.sim.observeRequestComplete(h.req)
+	}
 	sm.sim.emit(trace.Event{At: now, Kind: trace.Handover, Kernel: victim.params.Label, SM: int(sm.id), TB: -1,
-		Detail: "to=" + h.req.Requester})
+		Other: h.req.Requester, Lat: now - h.req.At})
 	to := h.req.requester
 	if to != nil && !to.done {
 		sm.sim.assignSM(sm, to, now)
@@ -320,6 +345,7 @@ func (sm *smUnit) cancelHandover(now units.Cycles) {
 		return
 	}
 	h.cancelled = true
+	h.req.Killed = true
 	sm.handover = nil
 	for _, tb := range h.frozen {
 		tb.frozen = false

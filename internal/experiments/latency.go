@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chimera/internal/metrics"
+	"chimera/internal/preempt"
+	"chimera/internal/tablefmt"
+	"chimera/internal/workloads"
+)
+
+// latencyExhibitBuckets are the fixed histogram bounds every latency
+// distribution in this exhibit uses: exponential from 0.5 µs past the
+// longest catalog drains, so two runs with identical outcomes render
+// byte-identical percentiles.
+var latencyExhibitBuckets = metrics.ExpBuckets(0.5, 2, 12)
+
+// PreemptionLatency reproduces the Table-4-flavoured view the paper
+// discusses in §4.1 prose: the distribution of measured preemption
+// latencies per technique at the 15 µs constraint, aggregated over every
+// benchmark of the suite, plus Chimera's latency split by the dominant
+// technique its plans chose. It consumes the same §4.1 sweep as Figures
+// 6 and 7 (cache-shared), reading the per-request Outcomes kept inside
+// each memoized PeriodicResult.
+func PreemptionLatency(s Scale) ([]*tablefmt.Table, error) {
+	r, err := s.periodicRunner(Constraint15)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := RunPeriodicSweep(r)
+	if err != nil {
+		return nil, err
+	}
+	return []*tablefmt.Table{
+		latencyByPolicyTable(sweep),
+		chimeraByTechniqueTable(sweep),
+	}, nil
+}
+
+// latencyStats accumulates one row of the distribution tables.
+type latencyStats struct {
+	hist     *metrics.Histogram
+	requests int
+	killed   int
+}
+
+func newLatencyStats(name string) *latencyStats {
+	return &latencyStats{hist: metrics.NewHistogram(name, "µs", latencyExhibitBuckets)}
+}
+
+// add folds one request outcome in: completed requests contribute their
+// measured latency, killed ones only the kill count (their latency is
+// censored at the deadline).
+func (ls *latencyStats) add(o workloads.RequestOutcome) {
+	ls.requests++
+	if o.Killed {
+		ls.killed++
+	}
+	if o.Completed {
+		ls.hist.Observe(o.LatencyUs)
+	}
+}
+
+// row renders the stats as table cells after the leading label.
+func (ls *latencyStats) row(label string) []string {
+	h := ls.hist
+	if h.Count() == 0 {
+		return []string{label, fmt.Sprint(ls.requests), "-", "-", "-", "-", "-",
+			tablefmt.Pct(killRate(ls))}
+	}
+	return []string{
+		label,
+		fmt.Sprint(ls.requests),
+		tablefmt.Us(h.Mean()),
+		tablefmt.Us(h.Quantile(0.50)),
+		tablefmt.Us(h.Quantile(0.90)),
+		tablefmt.Us(h.Quantile(0.99)),
+		tablefmt.Us(h.Max()),
+		tablefmt.Pct(killRate(ls)),
+	}
+}
+
+func killRate(ls *latencyStats) float64 {
+	if ls.requests == 0 {
+		return 0
+	}
+	return float64(ls.killed) / float64(ls.requests)
+}
+
+// latencyByPolicyTable aggregates every benchmark's request outcomes per
+// policy.
+func latencyByPolicyTable(sweep *PeriodicSweep) *tablefmt.Table {
+	t := tablefmt.New("Preemption latency distribution @15µs constraint",
+		"Policy", "Requests", "Mean", "P50", "P90", "P99", "Max", "Killed")
+	for j, policy := range sweep.Policies {
+		ls := newLatencyStats("latency/" + policy)
+		for i := range sweep.Benchmarks {
+			for _, o := range sweep.Results[i][j].Outcomes {
+				ls.add(o)
+			}
+		}
+		t.AddRow(ls.row(policy)...)
+	}
+	t.Note = "measured handover latency of completed requests over the full suite; killed requests are censored at the 15µs deadline"
+	return t
+}
+
+// chimeraByTechniqueTable splits Chimera's requests by the dominant
+// technique of each executed plan — the per-request view behind the
+// paper's claim that Chimera meets the bound by falling back from drain
+// to flush/switch exactly where draining would run long.
+func chimeraByTechniqueTable(sweep *PeriodicSweep) *tablefmt.Table {
+	t := tablefmt.New("Chimera latency by dominant technique @15µs",
+		"Technique", "Requests", "Mean", "P50", "P90", "P99", "Max", "Killed")
+	chimera := -1
+	for j, policy := range sweep.Policies {
+		if policy == "Chimera" {
+			chimera = j
+		}
+	}
+	if chimera < 0 {
+		t.Note = "Chimera policy not in sweep"
+		return t
+	}
+	byTech := make([]*latencyStats, preempt.NumTechniques)
+	for _, tech := range preempt.Techniques() {
+		byTech[tech] = newLatencyStats("latency/chimera/" + tech.String())
+	}
+	none := newLatencyStats("latency/chimera/none")
+	for i := range sweep.Benchmarks {
+		for _, o := range sweep.Results[i][chimera].Outcomes {
+			if o.HasTechnique {
+				byTech[o.Technique].add(o)
+			} else {
+				none.add(o)
+			}
+		}
+	}
+	for _, tech := range preempt.Techniques() {
+		t.AddRow(byTech[tech].row(tech.String())...)
+	}
+	if none.requests > 0 {
+		t.AddRow(none.row("(no blocks)")...)
+	}
+	t.Note = "dominant = technique preempting the most thread blocks in the request's plan; (no blocks) = selected SMs were already empty"
+	return t
+}

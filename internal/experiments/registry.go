@@ -36,6 +36,7 @@ var registry = map[string]Runner{
 	"fig10":      one(Fig10),
 	"fig11":      one(Fig11),
 	"allpairs":   one(AllPairs),
+	"latency":    PreemptionLatency,
 	"ablation":   Ablations,
 	"contention": Contention,
 	"scaling":    Scaling,
@@ -58,7 +59,7 @@ func one(f func(Scale) (*tablefmt.Table, error)) Runner {
 // Names lists the registered experiments in a stable order matching the
 // paper's presentation.
 func Names() []string {
-	preferred := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds"}
+	preferred := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds"}
 	seen := make(map[string]bool, len(preferred))
 	var names []string
 	for _, n := range preferred {

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram("lat", "µs", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 3, 7, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 35 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	if h.Min() != 0.5 || h.Max() != 20 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 5 {
+		t.Fatalf("buckets %d/%d", len(bounds), len(counts))
+	}
+	want := []uint64{1, 1, 2, 1, 1} // (..1] (1..2] (2..4] (4..8] overflow
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("q", "µs", LinearBuckets(1, 1, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%10) + 0.5)
+	}
+	if q := h.Quantile(0); q != h.Min() {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Errorf("q1 = %v", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Errorf("median = %v, want ≈5", med)
+	}
+	// Quantiles must be monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantile %v = %v below %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	h := NewHistogram("o", "µs", []float64{1})
+	h.Observe(100)
+	h.Observe(200)
+	if q := h.Quantile(0.9); q != 200 {
+		t.Errorf("overflow quantile = %v, want exact max", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("e", "µs", []float64{1})
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	if !strings.Contains(h.String(), "no observations") {
+		t.Errorf("empty render = %q", h.String())
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram("bad", "µs", bounds)
+		}()
+	}
+}
+
+func TestHistogramRenderDeterministic(t *testing.T) {
+	render := func(values []float64) string {
+		h := NewHistogram("lat", "µs", ExpBuckets(0.5, 2, 8))
+		for _, v := range values {
+			h.Observe(v)
+		}
+		return h.String()
+	}
+	a := render([]float64{0.2, 3, 3, 40, 7})
+	b := render([]float64{40, 3, 7, 0.2, 3}) // same multiset, shuffled
+	if a != b {
+		t.Errorf("render depends on observation order:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"lat: n=5", "p50=", "max=40µs", "#"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("render missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(10, 5, 3)
+	if lin[0] != 10 || lin[1] != 15 || lin[2] != 20 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 2, 4)
+	if exp[3] != 8 {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("a", "µs", []float64{1, 2})
+	h2 := r.Histogram("a", "ms", []float64{9})
+	if h1 != h2 {
+		t.Error("same name must return the same histogram")
+	}
+	if h2.Unit() != "µs" {
+		t.Error("later unit/bounds must be ignored")
+	}
+	c1 := r.Counter("c")
+	c1.Add(2)
+	if r.Counter("c").Value() != 2 {
+		t.Error("same name must return the same counter")
+	}
+}
+
+func TestRegistryRenderSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z/count").Set(1)
+	r.Counter("a/count").Set(2)
+	r.Histogram("m/lat", "µs", []float64{1}).Observe(0.5)
+	r.Histogram("b/lat", "µs", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for name, after := range map[string]string{
+		"a/count": "z/count",
+		"b/lat":   "m/lat",
+		"z/count": "b/lat", // counters before histograms
+	} {
+		if strings.Index(out, name) >= strings.Index(out, after) {
+			t.Errorf("%q must render before %q:\n%s", name, after, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Histogram("h", "µs", []float64{1, 2, 4}).Observe(float64(j % 5))
+				r.Counter("c").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Histogram("h", "µs", []float64{1, 2, 4}).Count(); got != 8000 {
+		t.Errorf("histogram count = %d", got)
+	}
+}

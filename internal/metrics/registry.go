@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically adjustable integer metric. It is safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Set overwrites the counter's value (used when mirroring an external
+// snapshot, e.g. the simjob scheduler's totals, into a registry).
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a named collection of Counters and Histograms with a
+// deterministic text dump: entries render sorted by name regardless of
+// creation or observation order. The zero value is unusable; construct
+// with NewRegistry. A nil *Registry is a valid "disabled" registry for
+// the engine — producers must check for nil before observing.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	counters map[string]*Counter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string]*Histogram),
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Histogram returns the named histogram, creating it with the given
+// unit and bounds on first use. Later calls with the same name return
+// the existing histogram and ignore unit/bounds.
+func (r *Registry) Histogram(name, unit string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(name, unit, bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Histograms returns the registered histograms sorted by name.
+func (r *Registry) Histograms() []*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Histogram, len(names))
+	for i, n := range names {
+		out[i] = r.hists[n]
+	}
+	return out
+}
+
+// Render writes the registry: counters first (sorted by name), then
+// every histogram's Render block, separated by blank lines.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	counters := make([]*Counter, len(cnames))
+	for i, n := range cnames {
+		counters[i] = r.counters[n]
+	}
+	r.mu.Unlock()
+
+	width := 0
+	for _, n := range cnames {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for i, n := range cnames {
+		if _, err := fmt.Fprintf(w, "%-*s  %d\n", width, n, counters[i].Value()); err != nil {
+			return err
+		}
+	}
+	needSep := len(cnames) > 0
+	for _, h := range r.Histograms() {
+		if needSep {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		needSep = true
+		if err := h.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package simjob
 import (
 	"sync/atomic"
 	"time"
+
+	"chimera/internal/metrics"
 )
 
 // Stats is a snapshot of scheduling and cache activity. Pool.Stats
@@ -102,3 +104,16 @@ func (c *counters) snapshot() Stats {
 // GlobalStats returns the process-wide aggregate across every pool and
 // cache.
 func GlobalStats() Stats { return global.snapshot() }
+
+// Publish mirrors the snapshot into a metrics registry as simjob/*
+// counters (job time in milliseconds), so a single Registry.Render shows
+// scheduler activity next to the engine's own metrics.
+func (s Stats) Publish(reg *metrics.Registry) {
+	reg.Counter("simjob/tasks_queued").Set(s.TasksQueued)
+	reg.Counter("simjob/tasks_running").Set(s.TasksRunning)
+	reg.Counter("simjob/tasks_done").Set(s.TasksDone)
+	reg.Counter("simjob/jobs_run").Set(s.JobsRun)
+	reg.Counter("simjob/cache_hits").Set(s.CacheHits)
+	reg.Counter("simjob/errors").Set(s.Errors)
+	reg.Counter("simjob/job_time_ms").Set(s.JobTime.Milliseconds())
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"chimera/internal/units"
+)
+
+// Perfetto / Chrome trace-event export.
+//
+// WritePerfetto renders a recorded event stream as Chrome trace-event
+// JSON (the "JSON Array Format" every Chrome-lineage trace viewer
+// reads); the file opens directly in ui.perfetto.dev or
+// chrome://tracing. The mapping, documented in docs/observability.md:
+//
+//   - process "kernels" (pid 1): one track per kernel label. Each
+//     launch..finish/kill pair becomes a complete slice; preemption
+//     requests and deadline misses appear as instants on the victim's
+//     track.
+//   - process "SMs" (pid 2): one track per SM id. Handover events
+//     become "preempt" slices spanning request-to-handover, SaveDone
+//     becomes a "save" slice, RestoreTB a "restore" slice, DrainTB a
+//     "drain" slice over the block's predicted remaining execution,
+//     and FlushTB/SaveTB become instants.
+//
+// Timestamps are microseconds of simulated time (the trace-event "ts"
+// unit). Output is deterministic for a given event slice.
+
+// process ids of the two track groups in the exported trace.
+const (
+	perfettoPidKernels = 1
+	perfettoPidSMs     = 2
+)
+
+// perfettoEvent is one trace-event JSON object. Field order (and
+// encoding/json's sorted map keys for Args) keep the output
+// byte-deterministic.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   perfettoUs     `json:"ts"`
+	Dur  *perfettoUs    `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+
+	// rank breaks start/duration ties when sorting: a preemption span
+	// must precede the equal-length technique slices it encloses so
+	// viewers nest them under it. Not marshalled.
+	rank int
+}
+
+// perfettoUs is a microsecond timestamp marshalled in plain fixed
+// notation (no exponent), which both viewers and diffs read well.
+type perfettoUs float64
+
+// MarshalJSON implements json.Marshaler.
+func (u perfettoUs) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.FormatFloat(float64(u), 'f', -1, 64)), nil
+}
+
+// usOf converts cycles to the export's microsecond timebase.
+func usOf(c units.Cycles) perfettoUs { return perfettoUs(c.Microseconds()) }
+
+// durOf converts a cycle duration to a "dur" field value.
+func durOf(c units.Cycles) *perfettoUs {
+	d := usOf(c)
+	return &d
+}
+
+// openLaunch tracks a kernel launch awaiting its finish/kill event.
+type openLaunch struct {
+	at     units.Cycles
+	detail string
+}
+
+// WritePerfetto exports events as Chrome trace-event JSON, one track
+// per SM plus a track per kernel label. Events must be in recording
+// order (what any Recorder in this package was fed); the writer is
+// otherwise stateless and the output is byte-deterministic.
+func WritePerfetto(w io.Writer, events []Event) error {
+	// Track assignment: kernels get tids in order of first appearance,
+	// SMs use their hardware id.
+	kernelTid := make(map[string]int)
+	var kernelOrder []string
+	tidFor := func(label string) int {
+		if tid, ok := kernelTid[label]; ok {
+			return tid
+		}
+		tid := len(kernelOrder) + 1
+		kernelTid[label] = tid
+		kernelOrder = append(kernelOrder, label)
+		return tid
+	}
+	maxSM := -1
+	var maxTs units.Cycles
+	for _, e := range events {
+		if e.Kernel != "" {
+			tidFor(e.Kernel)
+		}
+		if e.SM > maxSM {
+			maxSM = e.SM
+		}
+		if e.At > maxTs {
+			maxTs = e.At
+		}
+	}
+
+	var out []perfettoEvent
+	emit := func(e perfettoEvent) { out = append(out, e) }
+
+	open := make(map[string]openLaunch)
+	for _, e := range events {
+		switch e.Kind {
+		case KernelLaunch:
+			open[e.Kernel] = openLaunch{at: e.At, detail: e.Detail}
+		case KernelFinish, KernelKill:
+			launch, ok := open[e.Kernel]
+			if !ok {
+				continue // finish of a kernel launched before recording began
+			}
+			delete(open, e.Kernel)
+			result := "finish"
+			if e.Kind == KernelKill {
+				result = "killed"
+			}
+			args := map[string]any{"result": result}
+			if launch.detail != "" {
+				args["launch"] = launch.detail
+			}
+			emit(perfettoEvent{
+				Name: e.Kernel, Ph: "X", Ts: usOf(launch.at), Dur: durOf(e.At - launch.at),
+				Pid: perfettoPidKernels, Tid: kernelTid[e.Kernel], Args: args,
+			})
+		case Request:
+			args := map[string]any{"by": e.Other}
+			if e.EstLat > 0 {
+				args["est_us"] = float64(usOf(e.EstLat))
+			}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			emit(perfettoEvent{
+				Name: "request by " + e.Other, Ph: "i", Ts: usOf(e.At),
+				Pid: perfettoPidKernels, Tid: kernelTid[e.Kernel], S: "t", Args: args,
+			})
+		case DeadlineMiss:
+			emit(perfettoEvent{
+				Name: "deadline-miss", Ph: "i", Ts: usOf(e.At),
+				Pid: perfettoPidKernels, Tid: kernelTid[e.Kernel], S: "p",
+				Args: map[string]any{"detail": e.Detail},
+			})
+		case Handover:
+			ev := perfettoEvent{
+				Name: fmt.Sprintf("preempt %s→%s", e.Kernel, e.Other),
+				Pid:  perfettoPidSMs, Tid: e.SM, rank: -1,
+				Args: map[string]any{"victim": e.Kernel, "to": e.Other},
+			}
+			if e.Lat > 0 {
+				ev.Ph, ev.Ts, ev.Dur = "X", usOf(e.At-e.Lat), durOf(e.Lat)
+				ev.Args["lat_us"] = float64(usOf(e.Lat))
+			} else {
+				ev.Ph, ev.Ts, ev.S = "i", usOf(e.At), "t"
+			}
+			emit(ev)
+		case SaveDone:
+			ev := perfettoEvent{
+				Name: "save " + e.Kernel, Pid: perfettoPidSMs, Tid: e.SM,
+				Args: map[string]any{},
+			}
+			if e.Bytes > 0 {
+				ev.Args["bytes"] = uint64(e.Bytes)
+			}
+			if e.Dur > 0 {
+				ev.Ph, ev.Ts, ev.Dur = "X", usOf(e.At-e.Dur), durOf(e.Dur)
+			} else {
+				ev.Ph, ev.Ts, ev.S = "i", usOf(e.At), "t"
+			}
+			emit(ev)
+		case RestoreTB:
+			ev := perfettoEvent{
+				Name: fmt.Sprintf("restore %s#%d", e.Kernel, e.TB),
+				Pid:  perfettoPidSMs, Tid: e.SM,
+				Args: map[string]any{"tb": e.TB},
+			}
+			if e.Bytes > 0 {
+				ev.Args["bytes"] = uint64(e.Bytes)
+			}
+			if e.Lat > 0 {
+				ev.Ph, ev.Ts, ev.Dur = "X", usOf(e.At), durOf(e.Lat)
+			} else {
+				ev.Ph, ev.Ts, ev.S = "i", usOf(e.At), "t"
+			}
+			emit(ev)
+		case DrainTB:
+			ev := perfettoEvent{
+				Name: fmt.Sprintf("drain %s#%d", e.Kernel, e.TB),
+				Pid:  perfettoPidSMs, Tid: e.SM,
+				Args: map[string]any{"tb": e.TB, "executed": e.Insts},
+			}
+			if e.Dur > 0 {
+				ev.Ph, ev.Ts, ev.Dur = "X", usOf(e.At), durOf(e.Dur)
+			} else {
+				ev.Ph, ev.Ts, ev.S = "i", usOf(e.At), "t"
+			}
+			emit(ev)
+		case FlushTB:
+			emit(perfettoEvent{
+				Name: fmt.Sprintf("flush %s#%d", e.Kernel, e.TB), Ph: "i",
+				Ts: usOf(e.At), Pid: perfettoPidSMs, Tid: e.SM, S: "t",
+				Args: map[string]any{"tb": e.TB, "wasted": e.Insts},
+			})
+		case SaveTB:
+			emit(perfettoEvent{
+				Name: fmt.Sprintf("freeze %s#%d", e.Kernel, e.TB), Ph: "i",
+				Ts: usOf(e.At), Pid: perfettoPidSMs, Tid: e.SM, S: "t",
+				Args: map[string]any{"tb": e.TB, "saved": e.Insts},
+			})
+		}
+	}
+	// Kernels still running when recording stopped: close their slices
+	// at the last observed timestamp so the track renders.
+	for _, label := range kernelOrder {
+		launch, ok := open[label]
+		if !ok {
+			continue
+		}
+		args := map[string]any{"result": "truncated"}
+		if launch.detail != "" {
+			args["launch"] = launch.detail
+		}
+		emit(perfettoEvent{
+			Name: label, Ph: "X", Ts: usOf(launch.at), Dur: durOf(maxTs - launch.at),
+			Pid: perfettoPidKernels, Tid: kernelTid[label], Args: args,
+		})
+	}
+
+	// Viewers nest same-start slices by emission order: sort by start
+	// time, then longer slices first so an enclosing span precedes its
+	// children; instants (no dur) sort last at their timestamp.
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Ts != out[b].Ts {
+			return out[a].Ts < out[b].Ts
+		}
+		da, db := perfettoUs(-1), perfettoUs(-1)
+		if out[a].Dur != nil {
+			da = *out[a].Dur
+		}
+		if out[b].Dur != nil {
+			db = *out[b].Dur
+		}
+		if da != db {
+			return da > db
+		}
+		return out[a].rank < out[b].rank
+	})
+
+	// Metadata events first: process and thread names for every track.
+	meta := []perfettoEvent{
+		{Name: "process_name", Ph: "M", Pid: perfettoPidKernels, Args: map[string]any{"name": "kernels"}},
+		{Name: "process_sort_index", Ph: "M", Pid: perfettoPidKernels, Args: map[string]any{"sort_index": 0}},
+		{Name: "process_name", Ph: "M", Pid: perfettoPidSMs, Args: map[string]any{"name": "SMs"}},
+		{Name: "process_sort_index", Ph: "M", Pid: perfettoPidSMs, Args: map[string]any{"sort_index": 1}},
+	}
+	for i, label := range kernelOrder {
+		meta = append(meta, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: perfettoPidKernels, Tid: i + 1,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for sm := 0; sm <= maxSM; sm++ {
+		meta = append(meta, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: perfettoPidSMs, Tid: sm,
+			Args: map[string]any{"name": fmt.Sprintf("SM%d", sm)},
+		})
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	all := append(meta, out...)
+	for i, ev := range all {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(all)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

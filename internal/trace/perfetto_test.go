@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chimera/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a hand-built stream exercising every event kind the
+// exporter maps, in the nondecreasing-At order the engine guarantees.
+func goldenEvents() []Event {
+	us := units.FromMicroseconds
+	return []Event{
+		{At: 0, Kind: KernelLaunch, Kernel: "BG", SM: -1, TB: -1, Detail: "grid=60"},
+		{At: 0, Kind: KernelLaunch, Kernel: "RT", SM: -1, TB: -1},
+		{At: us(1), Kind: Request, Kernel: "BG", SM: -1, TB: -1, Other: "RT", EstLat: us(9), Detail: "sms=2 forced=0"},
+		{At: us(1), Kind: DrainTB, Kernel: "BG", SM: 0, TB: 2, Insts: 500, Dur: us(6)},
+		{At: us(1), Kind: SaveTB, Kernel: "BG", SM: 1, TB: 3, Insts: 250, Bytes: 16 * units.KB, Dur: us(4)},
+		{At: us(1), Kind: FlushTB, Kernel: "BG", SM: 1, TB: 4, Insts: 120},
+		{At: us(5), Kind: SaveDone, Kernel: "BG", SM: 1, TB: -1, Dur: us(4), Bytes: 16 * units.KB},
+		{At: us(5), Kind: Handover, Kernel: "BG", SM: 1, TB: -1, Other: "RT", Lat: us(4)},
+		{At: us(7), Kind: Handover, Kernel: "BG", SM: 0, TB: -1, Other: "RT", Lat: us(6)},
+		{At: us(12), Kind: RestoreTB, Kernel: "BG", SM: 5, TB: 3, Lat: us(4), Dur: us(4), Bytes: 16 * units.KB},
+		{At: us(15), Kind: DeadlineMiss, Kernel: "RT", SM: -1, TB: -1, Detail: "acquired=1/2"},
+		{At: us(15), Kind: KernelKill, Kernel: "RT", SM: -1, TB: -1, Dur: us(15)},
+		// BG never finishes: the exporter must close its slice as truncated.
+	}
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perfetto output diverged from golden file; run with -update and review the diff.\ngot:\n%s", buf.String())
+	}
+}
+
+// perfettoDoc mirrors the export's envelope for validation.
+type perfettoDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWritePerfettoIsValidTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var lastTs float64 = -1
+	sawTruncated, sawKilled := false, false
+	kernelThreads := map[int]string{}
+	smThreads := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				name, _ := e.Args["name"].(string)
+				if e.Pid == perfettoPidKernels {
+					kernelThreads[e.Tid] = name
+				} else {
+					smThreads[e.Tid] = name
+				}
+			}
+		case "X":
+			if e.Dur == nil {
+				t.Errorf("complete slice %q without dur", e.Name)
+			}
+			if e.Ts < lastTs {
+				t.Errorf("slice %q at ts=%v after ts=%v", e.Name, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+			if r, _ := e.Args["result"].(string); r == "truncated" {
+				sawTruncated = true
+			} else if r == "killed" {
+				sawKilled = true
+			}
+		case "i":
+			if e.S == "" {
+				t.Errorf("instant %q without scope", e.Name)
+			}
+			if e.Ts < lastTs {
+				t.Errorf("instant %q at ts=%v after ts=%v", e.Name, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		default:
+			t.Errorf("unexpected phase %q on %q", e.Ph, e.Name)
+		}
+	}
+	if kernelThreads[1] != "BG" || kernelThreads[2] != "RT" {
+		t.Errorf("kernel tracks = %v", kernelThreads)
+	}
+	if smThreads[0] != "SM0" || smThreads[5] != "SM5" {
+		t.Errorf("SM tracks = %v, want SM0..SM5", smThreads)
+	}
+	if !sawTruncated {
+		t.Error("open kernel BG was not closed as truncated")
+	}
+	if !sawKilled {
+		t.Error("killed kernel RT not marked")
+	}
+}
+
+func TestWritePerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Collector is an unbounded in-memory Sink retaining every event in
+// emission order — the input shape WritePerfetto consumes. Unlike Ring
+// it never drops, so it is the right recorder for bounded runs that
+// will be exported; prefer Ring for long-lived or unbounded recordings.
+type Collector struct {
+	events []Event
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record implements Recorder.
+func (c *Collector) Record(e Event) { c.events = append(c.events, e) }
+
+// Close implements Sink; it is a no-op for the in-memory collector.
+func (c *Collector) Close() error { return nil }
+
+// Len reports the number of retained events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Events returns the retained events in emission order. The returned
+// slice is the collector's backing store; callers must not mutate it
+// while still recording.
+func (c *Collector) Events() []Event { return c.events }
+
+// WriterSink streams each event to an io.Writer as one dump line (the
+// Event.String format), buffered. Errors are sticky: the first write
+// error stops further output and is reported by Close and Err.
+type WriterSink struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriterSink creates a streaming text sink over w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{bw: bufio.NewWriter(w)}
+}
+
+// Record implements Recorder.
+func (s *WriterSink) Record(e Event) {
+	if s.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintln(s.bw, e.String()); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error encountered, if any.
+func (s *WriterSink) Err() error { return s.err }
+
+// Close flushes the buffer and returns the first error encountered.
+func (s *WriterSink) Close() error {
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Multi is a Sink broadcasting every event to each member in order —
+// a tee for recording to a ring and a stream (or a file) at once.
+type Multi []Recorder
+
+// Record implements Recorder.
+func (m Multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// Close closes every member that is a Sink and returns the first error.
+func (m Multi) Close() error {
+	var first error
+	for _, r := range m {
+		if s, ok := r.(Sink); ok {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"chimera/internal/units"
+)
+
+func TestCollectorRetainsEverything(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 1000; i++ {
+		c.Record(Event{At: 1, SM: i, TB: -1})
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i, e := range c.Events() {
+		if e.SM != i {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+}
+
+func TestWriterSinkStreamsLines(t *testing.T) {
+	var sb strings.Builder
+	s := NewWriterSink(&sb)
+	s.Record(Event{Kind: Request, Kernel: "A", SM: -1, TB: -1})
+	s.Record(Event{Kind: Handover, Kernel: "A", Other: "B", SM: 3, TB: -1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Errorf("wrote %d lines:\n%s", got, out)
+	}
+	if !strings.Contains(out, "peer=B") {
+		t.Errorf("handover line missing peer: %s", out)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterSinkStickyError(t *testing.T) {
+	s := NewWriterSink(&failWriter{n: 8})
+	for i := 0; i < 10_000; i++ { // enough to overflow the bufio buffer
+		s.Record(Event{Kind: Request, Kernel: "K", SM: -1, TB: -1})
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close must report the write error")
+	}
+	if s.Err() == nil {
+		t.Error("Err must report the write error")
+	}
+}
+
+func TestMultiTeesAndCloses(t *testing.T) {
+	ring := NewRing(2)
+	col := NewCollector()
+	var sb strings.Builder
+	ws := NewWriterSink(&sb)
+	m := Multi{ring, col, ws}
+	for i := 0; i < 3; i++ {
+		m.Record(Event{At: units.Cycles(i), Kind: FlushTB, Kernel: "K", SM: i, TB: i})
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 3 {
+		t.Errorf("collector saw %d events", col.Len())
+	}
+	if len(ring.Events()) != 2 {
+		t.Errorf("ring retained %d events", len(ring.Events()))
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Errorf("writer flushed %d lines", got)
+	}
+}

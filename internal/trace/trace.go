@@ -2,7 +2,18 @@
 // launches, preemption requests, per-block preemptions, handovers,
 // deadline outcomes — for debugging, visualization and tests. Recording
 // is optional: the engine emits events only when a Recorder is
-// installed.
+// installed, and pays nothing when none is.
+//
+// Events carry typed payloads (technique progress, estimated and
+// measured latencies, bytes moved, instructions wasted) and are emitted
+// in nondecreasing At order; the full schema, its ordering guarantees
+// and the Perfetto export mapping are documented in
+// docs/observability.md.
+//
+// Consumers implement Recorder (or the closeable Sink). The package
+// ships four: Ring (bounded in-memory), Collector (unbounded
+// in-memory), WriterSink (streaming text) and Multi (a tee). An event
+// stream renders to Chrome/Perfetto trace JSON via WritePerfetto.
 package trace
 
 import (
@@ -24,11 +35,19 @@ const (
 	KernelKill
 	// Request marks a preemption request being issued.
 	Request
-	// FlushTB, SaveTB, DrainTB mark one thread block's preemption by
-	// the respective technique (SaveTB at freeze time).
+	// FlushTB marks one thread block dropped by SM flushing: its
+	// progress is discarded and the block re-executes from scratch.
 	FlushTB
+	// SaveTB marks one thread block frozen for context switching; its
+	// context begins streaming out at this cycle.
 	SaveTB
+	// DrainTB marks one thread block left to run to completion under
+	// SM draining, with its slot unfilled.
 	DrainTB
+	// SaveDone marks the completion of an SM's context save: every
+	// frozen block's state has streamed out and the blocks re-enter
+	// their kernel's pending queue.
+	SaveDone
 	// RestoreTB marks a switched block's context streaming back in.
 	RestoreTB
 	// Handover marks an SM completing its preemption and changing owner.
@@ -54,6 +73,8 @@ func (k Kind) String() string {
 		return "save"
 	case DrainTB:
 		return "drain"
+	case SaveDone:
+		return "save-done"
 	case RestoreTB:
 		return "restore"
 	case Handover:
@@ -64,13 +85,44 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. At, Kind, Kernel, SM and TB are
+// always meaningful; the payload fields below them are optional and
+// hold their zero value when not applicable to the kind (the per-kind
+// population rules are tabulated in docs/observability.md).
 type Event struct {
-	At     units.Cycles
-	Kind   Kind
-	Kernel string // kernel label, when applicable
-	SM     int    // SM id, -1 when not SM-scoped
-	TB     int    // thread-block index, -1 when not block-scoped
+	// At is the emission cycle. Within one recording, events arrive in
+	// nondecreasing At order.
+	At units.Cycles
+	// Kind classifies the event.
+	Kind Kind
+	// Kernel is the subject kernel's label, when applicable.
+	Kernel string
+	// SM is the SM id, -1 when the event is not SM-scoped.
+	SM int
+	// TB is the thread-block index, -1 when not block-scoped.
+	TB int
+
+	// Other is the counterpart kernel label: the requester on Request
+	// and Handover events.
+	Other string
+	// EstLat is the estimated preemption latency attached to a Request
+	// (what the policy believed when deciding).
+	EstLat units.Cycles
+	// Lat is a measured latency: time since the request on Handover,
+	// time until resumption (queueing plus transfer) on RestoreTB.
+	Lat units.Cycles
+	// Dur is the modelled duration of the event's operation: the
+	// context-transfer time on SaveTB/SaveDone/RestoreTB, the predicted
+	// remaining execution of a DrainTB block, the kernel's lifetime on
+	// KernelFinish/KernelKill.
+	Dur units.Cycles
+	// Insts counts warp instructions: discarded progress on FlushTB,
+	// saved progress on SaveTB, executed-so-far on DrainTB.
+	Insts int64
+	// Bytes is the context volume moved on SaveTB/SaveDone/RestoreTB.
+	Bytes units.Bytes
+
+	// Detail carries any remaining human-readable context.
 	Detail string
 }
 
@@ -86,18 +138,49 @@ func (e Event) String() string {
 	if e.TB >= 0 {
 		s += fmt.Sprintf(" tb=%d", e.TB)
 	}
+	if e.Other != "" {
+		s += " peer=" + e.Other
+	}
+	if e.EstLat > 0 {
+		s += " est=" + e.EstLat.String()
+	}
+	if e.Lat > 0 {
+		s += " lat=" + e.Lat.String()
+	}
+	if e.Dur > 0 {
+		s += " dur=" + e.Dur.String()
+	}
+	if e.Insts > 0 {
+		s += fmt.Sprintf(" insts=%d", e.Insts)
+	}
+	if e.Bytes > 0 {
+		s += fmt.Sprintf(" bytes=%d", e.Bytes)
+	}
 	if e.Detail != "" {
 		s += " " + e.Detail
 	}
 	return s
 }
 
-// Recorder consumes events.
+// Recorder consumes events as the simulation emits them. Record is
+// called synchronously from the engine's event loop, so implementations
+// must be cheap; expensive processing belongs after the run.
 type Recorder interface {
+	// Record consumes one event.
 	Record(Event)
 }
 
-// Ring is a bounded in-memory Recorder keeping the most recent events.
+// Sink is a Recorder with a lifecycle: streaming sinks buffer output
+// and must be Closed to flush it. Purely in-memory sinks (Ring,
+// Collector) implement Close as a no-op.
+type Sink interface {
+	Recorder
+	// Close flushes and releases the sink. The sink must not be
+	// recorded to afterwards.
+	Close() error
+}
+
+// Ring is a bounded in-memory Sink keeping the most recent events.
 // The zero value is unusable; construct with NewRing.
 type Ring struct {
 	buf     []Event
@@ -132,6 +215,9 @@ func (r *Ring) Record(e Event) {
 		r.wrapped = true
 	}
 }
+
+// Close implements Sink; it is a no-op for the in-memory ring.
+func (r *Ring) Close() error { return nil }
 
 // Total is the number of events offered (including filtered ones).
 func (r *Ring) Total() int64 { return r.total }

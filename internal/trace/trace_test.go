@@ -80,7 +80,7 @@ func TestEventString(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	kinds := []Kind{KernelLaunch, KernelFinish, KernelKill, Request, FlushTB, SaveTB, DrainTB, RestoreTB, Handover, DeadlineMiss}
+	kinds := []Kind{KernelLaunch, KernelFinish, KernelKill, Request, FlushTB, SaveTB, DrainTB, SaveDone, RestoreTB, Handover, DeadlineMiss}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

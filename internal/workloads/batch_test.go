@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestConcurrentDuplicateRunsExecuteOnce(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 1; i < callers; i++ {
-		if results[i] != results[0] {
+		if !reflect.DeepEqual(results[i], results[0]) {
 			t.Fatalf("caller %d saw a different result", i)
 		}
 	}
@@ -72,7 +73,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if batch[i][j] != want {
+			if !reflect.DeepEqual(batch[i][j], want) {
 				t.Errorf("%s/%s: batch %+v != serial %+v", bench, policy.Name(), batch[i][j], want)
 			}
 		}

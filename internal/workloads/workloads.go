@@ -198,6 +198,31 @@ type PeriodicResult struct {
 	// ForcedRequests counts requests where Algorithm 1 had to fall back
 	// to best-effort SM selection.
 	ForcedRequests int
+	// Outcomes holds one entry per preemption request, in issue order —
+	// the raw material for latency-distribution exhibits. Because it
+	// lives in the memoized result, histograms built from it survive the
+	// job cache (unlike a live metrics registry, which only sees runs
+	// that actually execute).
+	Outcomes []RequestOutcome
+}
+
+// RequestOutcome is the distilled per-request measurement kept inside a
+// cached PeriodicResult.
+type RequestOutcome struct {
+	// EstLatencyUs is Chimera's predicted worst per-SM latency (µs);
+	// zero when the policy produced no finite estimate.
+	EstLatencyUs float64
+	// LatencyUs is the measured handover latency (µs); meaningful only
+	// when Completed.
+	LatencyUs float64
+	// Completed reports every requested SM arrived; Killed that the
+	// request was aborted at the requester's deadline.
+	Completed bool
+	Killed    bool
+	// Technique is the request's dominant preemption technique (valid
+	// when HasTechnique; requests that preempted no blocks have none).
+	Technique    preempt.Technique
+	HasTechnique bool
 }
 
 // RunPeriodic runs one benchmark against the periodic real-time task
@@ -267,6 +292,16 @@ func (r *Runner) runPeriodic(bench string, policy engine.Policy) (PeriodicResult
 		if req.Forced > 0 {
 			res.ForcedRequests++
 		}
+		out := RequestOutcome{
+			LatencyUs: req.LatencyCycles.Microseconds(),
+			Completed: req.Completed,
+			Killed:    req.Killed,
+		}
+		if req.EstLatencyCycles > 0 && req.EstLatencyCycles < preempt.Infeasible {
+			out.EstLatencyUs = req.EstLatencyCycles / units.CyclesPerMicrosecond
+		}
+		out.Technique, out.HasTechnique = req.Dominant()
+		res.Outcomes = append(res.Outcomes, out)
 	}
 	return res, nil
 }

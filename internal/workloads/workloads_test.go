@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"reflect"
 	"testing"
 
 	"chimera/internal/engine"
@@ -73,7 +74,7 @@ func TestRunPeriodicMemoized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Error("memoized periodic result changed")
 	}
 	if a.Periods == 0 {
