@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short cover bench race results quick-results fuzz examples vet docs-check clean
+.PHONY: all build test short cover bench race results quick-results fuzz examples vet docs-check serve-smoke clean
 
 all: build test
 
@@ -39,11 +39,18 @@ quick-results:
 	$(GO) run ./cmd/chimerasim -quick -trace trace_canonical.json all
 
 # Documentation gates: every example must build, and the observability
-# packages (whose schema docs/observability.md documents) must not
-# export undocumented symbols.
+# and server packages (whose APIs docs/observability.md and
+# docs/server.md document) must not export undocumented symbols.
 docs-check:
 	$(GO) build ./examples/...
-	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client
+
+# End-to-end service smoke: boot chimerad on a random port, drive the
+# full client path (submit, poll, cancel, scrape /metrics), then SIGTERM
+# and assert a graceful drain. See docs/server.md.
+serve-smoke:
+	$(GO) build -o bin/chimerad ./cmd/chimerad
+	$(GO) run ./cmd/servesmoke -bin bin/chimerad
 
 # Fuzz the kernel-IR parser for 30 seconds.
 fuzz:

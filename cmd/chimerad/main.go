@@ -1,0 +1,107 @@
+// Command chimerad serves the Chimera simulator over HTTP: scenario
+// jobs are submitted as JSON, deduplicated through the shared result
+// cache, executed on a bounded worker pool with per-job deadlines and
+// priorities, and observable live via /metrics (Prometheus), SSE job
+// progress and Perfetto trace export. The API is documented in
+// docs/server.md.
+//
+// Usage:
+//
+//	chimerad [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT  listen address (default 127.0.0.1:8080; :0 picks a
+//	                 free port, printed on stdout as "chimerad listening
+//	                 on ADDR")
+//	-workers N       concurrent job executors (default 2)
+//	-queue N         admission queue capacity; beyond it submissions get
+//	                 429 + Retry-After (default 64)
+//	-cache N         LRU cap on cached simulation results (0 = unbounded)
+//	-timeout D       default per-job deadline (default 60s)
+//
+// SIGINT/SIGTERM start a graceful drain: admission stops (503), queued
+// and running jobs finish, then the process exits 0. A second signal —
+// or a drain exceeding -drain-grace — cancels outstanding jobs first.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chimera/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random free port)")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	queueCap := flag.Int("queue", 64, "admission queue capacity")
+	cacheCap := flag.Int("cache", 0, "LRU cap on cached simulation results (0 = unbounded)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "graceful-drain budget before outstanding jobs are cancelled")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queueCap, *cacheCap, *timeout, *drainGrace); err != nil {
+		fmt.Fprintf(os.Stderr, "chimerad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the service and blocks until a shutdown signal has been
+// fully drained.
+func run(addr string, workers, queueCap, cacheCap int, timeout, drainGrace time.Duration) error {
+	svc := server.New(server.Config{
+		Workers:        workers,
+		QueueCap:       queueCap,
+		CacheCap:       cacheCap,
+		DefaultTimeout: timeout,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The load generator and the smoke test discover a :0 port from this
+	// line; keep its shape stable.
+	fmt.Printf("chimerad listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "chimerad: %v: draining (second signal cancels)\n", sig)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	go func() {
+		<-sigs
+		cancel()
+	}()
+
+	// Stop accepting connections, then drain the job queue.
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), drainGrace)
+	defer httpCancel()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "chimerad: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "chimerad: drain cut short: %v\n", err)
+	}
+	fmt.Println("chimerad drained")
+	return nil
+}

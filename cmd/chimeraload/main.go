@@ -1,0 +1,150 @@
+// Command chimeraload is a closed-loop load generator for chimerad: -c
+// concurrent clients each submit a job, wait for it to finish, and
+// immediately submit the next, until -n jobs have completed. It then
+// prints a latency table (p50/p95/p99, mean, max) and a throughput
+// summary.
+//
+// Usage:
+//
+//	chimeraload -addr HOST:PORT [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT  chimerad address (required)
+//	-n N             total jobs to run (default 200)
+//	-c N             concurrent closed-loop clients (default 8)
+//	-kind K          scenario kind: solo, periodic or pair (default solo)
+//	-bench B         benchmark (default SAD)
+//	-bench-b B       second benchmark for pair jobs (default MUM)
+//	-window-us N     simulated µs per job (default 100)
+//	-distinct        vary each job's seed so every job simulates
+//	                 (default true; -distinct=false measures the cache)
+//
+// Every job uses seed base+i when -distinct, so the server's result
+// cache cannot collapse the run; with -distinct=false all jobs share
+// one identity and the run measures dedup latency instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chimera/internal/metrics"
+	"chimera/internal/server"
+	"chimera/internal/server/client"
+)
+
+func main() {
+	addr := flag.String("addr", "", "chimerad address (host:port, required)")
+	n := flag.Int("n", 200, "total jobs to run")
+	conc := flag.Int("c", 8, "concurrent closed-loop clients")
+	kind := flag.String("kind", server.KindSolo, "scenario kind (solo, periodic, pair)")
+	bench := flag.String("bench", "SAD", "benchmark")
+	benchB := flag.String("bench-b", "MUM", "second benchmark for pair jobs")
+	windowUs := flag.Float64("window-us", 100, "simulated µs per job")
+	distinct := flag.Bool("distinct", true, "vary each job's seed so every job simulates")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "chimeraload: -addr is required")
+		os.Exit(2)
+	}
+	if err := run(*addr, *n, *conc, *kind, *bench, *benchB, *windowUs, *distinct); err != nil {
+		fmt.Fprintf(os.Stderr, "chimeraload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the closed loop and prints the report.
+func run(addr string, n, conc int, kind, bench, benchB string, windowUs float64, distinct bool) error {
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > n {
+		conc = n
+	}
+	c := client.New("http://" + addr)
+	ctx := context.Background()
+
+	// Service latency in milliseconds through the repo's own fixed-bucket
+	// histogram (the same estimator behind the engine's latency exhibits).
+	hist := metrics.NewHistogram("load/latency_ms", "ms", metrics.ExpBuckets(0.25, 1.5, 32))
+	var (
+		next    atomic.Int64
+		deduped atomic.Int64
+		failed  atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, conc)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				spec := server.JobSpec{
+					Kind:     kind,
+					Bench:    bench,
+					WindowUs: windowUs,
+					Seed:     1,
+				}
+				if kind == server.KindPair {
+					spec.BenchB = benchB
+				}
+				if distinct {
+					spec.Seed = uint64(i + 1)
+				}
+				t0 := time.Now()
+				st, err := c.SubmitWait(ctx, spec)
+				if err != nil {
+					errs[w] = fmt.Errorf("job %d: %w", i, err)
+					failed.Add(1)
+					continue
+				}
+				lat := time.Since(t0)
+				switch st.State {
+				case server.StateDone:
+					if st.Deduped {
+						deduped.Add(1)
+					}
+					hist.Observe(float64(lat) / float64(time.Millisecond))
+				default:
+					failed.Add(1)
+					errs[w] = fmt.Errorf("job %d finished %s: %s", i, st.State, st.Error)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	completed := hist.Count()
+	fmt.Printf("chimeraload: %d jobs (%s %s, %gµs window) over %d clients in %v\n",
+		n, kind, bench, windowUs, conc, elapsed.Round(time.Millisecond))
+	fmt.Printf("  completed: %d   failed: %d   deduped: %d   throughput: %.1f jobs/s\n",
+		completed, failed.Load(), deduped.Load(), float64(completed)/elapsed.Seconds())
+	if completed > 0 {
+		fmt.Println("  latency(ms)  p50        p95        p99        mean       max")
+		fmt.Printf("               %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
+			hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99),
+			hist.Mean(), hist.Max())
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if completed == 0 {
+		return fmt.Errorf("no job completed")
+	}
+	return nil
+}

@@ -23,9 +23,12 @@
 //	-trace-bench B  background benchmark of the traced scenario
 //	-trace-us N     simulated µs of the traced scenario
 //	-metrics        dump latency histograms and scheduler counters
+//	-metrics-prom   dump the metrics registry in Prometheus text format
+//	                (the same renderer as chimerad's /metrics endpoint)
 //
-// With -trace or -metrics the experiment list may be empty: the command
-// then only records the scenario and/or dumps the metrics registry.
+// With -trace, -metrics or -metrics-prom the experiment list may be
+// empty: the command then only records the scenario and/or dumps the
+// metrics registry.
 //
 // Every experiment is a set of independent deterministic simulations,
 // so -j changes wall-clock only: the tables are byte-identical at any
@@ -57,11 +60,12 @@ func main() {
 	traceBench := flag.String("trace-bench", "SAD", "background benchmark of the traced scenario")
 	traceUs := flag.Float64("trace-us", 5000, "simulated µs of the traced scenario")
 	metricsOut := flag.Bool("metrics", false, "dump latency histograms and scheduler counters after the run")
+	metricsProm := flag.Bool("metrics-prom", false, "dump the metrics registry in Prometheus text format (same renderer as chimerad /metrics)")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 && *traceFile == "" && !*metricsOut {
+	if len(args) == 0 && *traceFile == "" && !*metricsOut && !*metricsProm {
 		usage()
 		os.Exit(2)
 	}
@@ -138,7 +142,7 @@ func main() {
 	}
 
 	var reg *chimera.MetricsRegistry
-	if *metricsOut {
+	if *metricsOut || *metricsProm {
 		reg = chimera.NewMetricsRegistry()
 	}
 	if *traceFile != "" {
@@ -149,10 +153,18 @@ func main() {
 	}
 	if reg != nil {
 		chimera.GlobalJobStats().Publish(reg)
-		fmt.Println("== Metrics ==")
-		if err := reg.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "chimerasim: metrics: %v\n", err)
-			os.Exit(1)
+		if *metricsOut {
+			fmt.Println("== Metrics ==")
+			if err := reg.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "chimerasim: metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsProm {
+			if err := reg.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "chimerasim: metrics: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

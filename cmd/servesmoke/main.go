@@ -1,0 +1,183 @@
+// Command servesmoke is the end-to-end smoke test behind `make
+// serve-smoke`: it boots a real chimerad on a random port, drives the
+// full client path — submit, poll to completion, fetch the result,
+// cancel a second job, scrape /metrics — then sends SIGTERM and
+// verifies the daemon drains gracefully (exit 0). Any failure exits
+// non-zero with a diagnostic.
+//
+// Usage:
+//
+//	servesmoke -bin ./chimerad
+//
+// Flags:
+//
+//	-bin PATH     chimerad binary to boot (required)
+//	-timeout D    overall smoke budget (default 2m)
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"chimera/internal/server"
+	"chimera/internal/server/client"
+)
+
+func main() {
+	bin := flag.String("bin", "", "chimerad binary to boot (required)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall smoke budget")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *bin); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+// run executes the whole smoke sequence against one daemon instance.
+func run(ctx context.Context, bin string) error {
+	cmd := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "16", "-cache", "64")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("boot %s: %w", bin, err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The daemon prints "chimerad listening on ADDR" once the socket is
+	// bound; everything after that is drain chatter.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "chimerad listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("daemon never announced its address")
+	}
+	fmt.Printf("servesmoke: daemon up at %s\n", addr)
+	drained := make(chan bool, 1)
+	go func() {
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "chimerad drained") {
+				drained <- true
+				return
+			}
+		}
+		drained <- false
+	}()
+
+	c := client.New("http://" + addr)
+
+	// Submit a small periodic job and poll it to completion.
+	st, err := c.Submit(ctx, server.JobSpec{Kind: server.KindPeriodic, Bench: "SAD", WindowUs: 2000})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fin, err := c.Await(ctx, st.ID, 25*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("await %s: %w", st.ID, err)
+	}
+	if fin.State != server.StateDone {
+		return fmt.Errorf("job %s finished %s: %s", st.ID, fin.State, fin.Error)
+	}
+	payload, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return fmt.Errorf("result %s: %w", st.ID, err)
+	}
+	var res server.JobResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return fmt.Errorf("result payload: %w", err)
+	}
+	if res.Periodic == nil || res.Periodic.Periods == 0 {
+		return fmt.Errorf("periodic job evaluated no periods: %+v", res)
+	}
+	fmt.Printf("servesmoke: job %s done, %d periods, violation rate %.3f\n",
+		st.ID, res.Periodic.Periods, res.Periodic.ViolationRate)
+
+	// Cancel a long-running job and confirm the engine stopped.
+	long, err := c.Submit(ctx, server.JobSpec{Kind: server.KindPeriodic, Bench: "SAD", WindowUs: 60e6})
+	if err != nil {
+		return fmt.Errorf("submit long: %w", err)
+	}
+	if err := c.Cancel(ctx, long.ID); err != nil {
+		return fmt.Errorf("cancel %s: %w", long.ID, err)
+	}
+	if fin, err = c.Await(ctx, long.ID, 25*time.Millisecond); err != nil {
+		return fmt.Errorf("await cancelled %s: %w", long.ID, err)
+	}
+	if fin.State != server.StateCanceled {
+		return fmt.Errorf("cancelled job finished %s", fin.State)
+	}
+	fmt.Printf("servesmoke: job %s cancelled\n", long.ID)
+
+	// Scrape metrics and sanity-check the counters this run must have
+	// produced.
+	metricsText, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range []string{
+		"chimera_server_jobs_submitted 2",
+		"chimera_server_jobs_completed 1",
+		"chimera_simjob_jobs_run",
+		"chimera_server_job_latency_ms_bucket",
+	} {
+		if !strings.Contains(metricsText, want) {
+			return fmt.Errorf("metrics scrape missing %q", want)
+		}
+	}
+	fmt.Println("servesmoke: metrics scrape ok")
+
+	// Graceful drain: SIGTERM, then the process must print its drained
+	// marker and exit 0. The pipe must be fully read before cmd.Wait —
+	// Wait closes it and would discard a still-buffered marker line.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	var sawDrain bool
+	select {
+	case sawDrain = <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("daemon did not drain after SIGTERM")
+	}
+	if !sawDrain {
+		return fmt.Errorf("daemon exited without draining")
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
+		}
+	case <-ctx.Done():
+		return fmt.Errorf("daemon did not exit after SIGTERM")
+	}
+	fmt.Println("servesmoke: graceful drain ok")
+	return nil
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"chimera/internal/metrics"
+	"chimera/internal/preempt"
+	"chimera/internal/trace"
+	"chimera/internal/units"
+)
+
+// recorderFunc adapts a function to trace.Recorder for test hooks.
+type recorderFunc func(trace.Event)
+
+func (f recorderFunc) Record(e trace.Event) { f(e) }
+
+// cancelOn runs a contention scenario under the given policy and cancels
+// the context from inside the event loop the moment an event of kind k
+// is emitted. It returns the simulation and the RunContext error.
+func cancelOn(t *testing.T, policy Policy, k trace.Kind) (*Simulation, error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := metrics.NewRegistry()
+	var sim *Simulation
+	seen := false
+	sim = New(Options{
+		Policy:     policy,
+		Constraint: units.FromMicroseconds(15),
+		Seed:       1,
+		WarmStats:  true,
+		Metrics:    reg,
+		Tracer: recorderFunc(func(e trace.Event) {
+			if e.Kind == k && !seen {
+				seen = true
+				cancel()
+			}
+		}),
+	})
+	sim.AddProcess(ProcessSpec{Name: "bench", Launches: launchesFor(t, "SAD"), Loop: true})
+	sim.AddPeriodicTask(PeriodicSpec{
+		Period: units.FromMicroseconds(1000),
+		Exec:   units.FromMicroseconds(200),
+		SMs:    sim.Config().NumSMs / 2,
+	})
+	err := sim.RunContext(ctx, units.FromMicroseconds(5000))
+	if !seen {
+		t.Fatalf("scenario never emitted a %v event; cannot exercise that cancel point", k)
+	}
+	if got := reg.Counter("sim/canceled_runs").Value(); got != 1 {
+		t.Errorf("sim/canceled_runs = %d, want 1", got)
+	}
+	return sim, err
+}
+
+// TestCancelLeavesNothingBehind is the cancellation-hygiene regression
+// test: aborting a run mid-drain and mid-save must leave no pending
+// events in the queue and no extra goroutines, and must report
+// context.Canceled.
+func TestCancelLeavesNothingBehind(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy Policy
+		kind   trace.Kind
+	}{
+		// Drain preemption in flight: the draining block's completion
+		// event is pending when the run is abandoned.
+		{"mid-drain", FixedPolicy{Technique: preempt.Drain}, trace.DrainTB},
+		// Context save in flight: the SaveDone event is pending.
+		{"mid-save", FixedPolicy{Technique: preempt.Switch}, trace.SaveTB},
+		// Restore in flight under the full policy.
+		{"mid-restore", ChimeraPolicy{}, trace.RestoreTB},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			sim, err := cancelOn(t, tc.policy, tc.kind)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext error = %v, want context.Canceled", err)
+			}
+			if n := sim.Pending(); n != 0 {
+				t.Errorf("%d events still pending after cancel, want 0", n)
+			}
+			// The engine is synchronous: a cancelled run must not have
+			// spawned anything. Allow the runtime a moment to retire
+			// unrelated background goroutines before comparing.
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				runtime.Gosched()
+				time.Sleep(time.Millisecond)
+			}
+			if after := runtime.NumGoroutine(); after > before {
+				t.Errorf("goroutines grew from %d to %d across a cancelled run", before, after)
+			}
+		})
+	}
+}
+
+// TestCancelBeforeRunStopsImmediately: a context cancelled before
+// RunContext dispatches anything aborts without simulating.
+func TestCancelBeforeRunStopsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sim := New(Options{
+		Policy:     ChimeraPolicy{},
+		Constraint: units.FromMicroseconds(15),
+		Seed:       1,
+		WarmStats:  true,
+	})
+	sim.AddProcess(ProcessSpec{Name: "bench", Launches: launchesFor(t, "SAD"), Loop: true})
+	if err := sim.RunContext(ctx, units.FromMicroseconds(1000)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := sim.Pending(); n != 0 {
+		t.Fatalf("%d events pending after pre-cancelled run", n)
+	}
+	if got := sim.ProcessIssued("bench"); got != 0 {
+		t.Fatalf("pre-cancelled run issued %d instructions, want 0", got)
+	}
+}
+
+// TestRunContextCompletesWithoutCancel: an uncancelled RunContext is
+// byte-for-byte the old Run path.
+func TestRunContextCompletesWithoutCancel(t *testing.T) {
+	build := func() *Simulation {
+		sim := New(Options{
+			Policy:     ChimeraPolicy{},
+			Constraint: units.FromMicroseconds(15),
+			Seed:       7,
+			WarmStats:  true,
+		})
+		sim.AddProcess(ProcessSpec{Name: "bench", Launches: launchesFor(t, "SAD"), Loop: true})
+		return sim
+	}
+	a, b := build(), build()
+	a.Run(units.FromMicroseconds(2000))
+	if err := b.RunContext(context.Background(), units.FromMicroseconds(2000)); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if ua, ub := a.ProcessUseful("bench"), b.ProcessUseful("bench"); ua != ub {
+		t.Fatalf("Run and RunContext diverge: useful %d vs %d", ua, ub)
+	}
+}

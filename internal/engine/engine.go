@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -620,6 +621,19 @@ func sortedSMIDs(m map[gpu.SMID]*smUnit) []gpu.SMID {
 // Run starts every process at cycle 0 and executes events until the
 // window closes. It may be called once.
 func (s *Simulation) Run(window units.Cycles) {
+	_ = s.RunContext(context.Background(), window)
+}
+
+// RunContext is Run with cooperative cancellation: the engine polls
+// ctx.Done() at event-pop granularity, so an abandoned run stops within
+// one event of the cancellation. A cancelled run returns ctx.Err(),
+// clears every pending event (the queue is verifiably empty afterwards —
+// see Pending) and skips the end-of-window accounting: its partial
+// metrics must not be read as a full window's. The engine runs entirely
+// on the calling goroutine, so cancellation leaks nothing. Each
+// cancellation increments the sim/canceled_runs counter when
+// Options.Metrics is set. It may be called once.
+func (s *Simulation) RunContext(ctx context.Context, window units.Cycles) error {
 	if s.started {
 		panic("engine: Run called twice")
 	}
@@ -630,7 +644,13 @@ func (s *Simulation) Run(window units.Cycles) {
 	if s.periodic != nil {
 		s.periodic.arm()
 	}
-	s.q.RunUntil(window)
+	if _, cancelled := s.q.RunUntilDone(window, ctx.Done()); cancelled {
+		s.q.Clear()
+		if s.m != nil {
+			s.m.canceled.Add(1)
+		}
+		return ctx.Err()
+	}
 	// Commit in-flight progress so throughput accounting covers the
 	// whole window.
 	for _, sm := range s.sms {
@@ -641,7 +661,13 @@ func (s *Simulation) Run(window units.Cycles) {
 	if s.periodic != nil {
 		s.periodic.finalize(window)
 	}
+	return nil
 }
+
+// Pending reports how many simulation events are still queued. After a
+// cancelled RunContext it is zero — the cancellation cleanup guarantee
+// the server's leak tests pin down.
+func (s *Simulation) Pending() int { return s.q.Len() }
 
 // Now returns the current simulation time.
 func (s *Simulation) Now() units.Cycles { return s.q.Now() }

@@ -34,6 +34,10 @@ type simMetrics struct {
 	forced     *metrics.Counter
 	misses     *metrics.Counter
 	rebalances *metrics.Counter
+	// canceled counts runs abandoned through RunContext cancellation —
+	// the observable signal that a server-side cancel actually stopped
+	// the engine.
+	canceled *metrics.Counter
 }
 
 // latencyBuckets spans sub-µs drains to the longest catalog drain times
@@ -55,6 +59,7 @@ func newSimMetrics(reg *metrics.Registry) *simMetrics {
 		forced:     reg.Counter("preempt/forced_requests"),
 		misses:     reg.Counter("deadline/misses"),
 		rebalances: reg.Counter("sched/rebalances"),
+		canceled:   reg.Counter("sim/canceled_runs"),
 	}
 	for _, t := range preempt.Techniques() {
 		name := "preempt/latency_us/" + strings.ToLower(t.String())

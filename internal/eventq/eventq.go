@@ -89,8 +89,26 @@ func (q *Queue) Step() bool {
 // simulation clock is left at the fire time of the last dispatched event
 // (or advanced to limit if nothing remained before it).
 func (q *Queue) RunUntil(limit units.Cycles) int {
-	n := 0
+	n, _ := q.RunUntilDone(limit, nil)
+	return n
+}
+
+// RunUntilDone is RunUntil with cooperative cancellation: before every
+// event dispatch it polls done (a context's Done channel; nil disables
+// the check) and stops as soon as it is closed. It returns the number of
+// events dispatched and whether the run was cancelled. On cancellation
+// the clock stays at the last dispatched event's time — it is NOT
+// advanced to limit — and pending events remain queued; callers that
+// abandon the simulation should follow up with Clear.
+func (q *Queue) RunUntilDone(limit units.Cycles, done <-chan struct{}) (n int, cancelled bool) {
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return n, true
+			default:
+			}
+		}
 		e := q.peek()
 		if e == nil || e.At > limit {
 			break
@@ -101,7 +119,18 @@ func (q *Queue) RunUntil(limit units.Cycles) int {
 	if q.now < limit {
 		q.now = limit
 	}
-	return n
+	return n, false
+}
+
+// Clear cancels and discards every pending event, leaving the queue
+// empty at the current time. It is the cleanup step of an abandoned
+// (cancelled) simulation: no callback fires, no event survives.
+func (q *Queue) Clear() {
+	for _, e := range q.heap {
+		e.staled = true
+		e.index = -1
+	}
+	q.heap = nil
 }
 
 // Run dispatches events until the queue is empty and returns the number

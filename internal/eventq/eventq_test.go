@@ -220,3 +220,67 @@ func TestCancelProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRunUntilDoneCancels(t *testing.T) {
+	var q Queue
+	done := make(chan struct{})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		at := units.Cycles(i * 10)
+		q.Schedule(at, func(now units.Cycles) {
+			fired++
+			if fired == 3 {
+				close(done) // cancel mid-run
+			}
+		})
+	}
+	n, cancelled := q.RunUntilDone(1000, done)
+	if !cancelled {
+		t.Fatal("expected cancellation")
+	}
+	if n != 3 || fired != 3 {
+		t.Fatalf("dispatched %d events (fired %d), want 3", n, fired)
+	}
+	if q.Now() != 20 {
+		t.Fatalf("clock advanced to %v after cancel, want 20 (not the limit)", q.Now())
+	}
+	if q.Len() != 7 {
+		t.Fatalf("pending after cancel = %d, want 7", q.Len())
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("pending after Clear = %d, want 0", q.Len())
+	}
+	// A cleared queue is still usable at the current time.
+	ran := false
+	q.Schedule(q.Now()+5, func(units.Cycles) { ran = true })
+	if n, cancelled := q.RunUntilDone(1000, nil); n != 1 || cancelled || !ran {
+		t.Fatalf("post-Clear run: n=%d cancelled=%v ran=%v", n, cancelled, ran)
+	}
+}
+
+func TestRunUntilDoneNilDoneMatchesRunUntil(t *testing.T) {
+	var a, b Queue
+	countA, countB := 0, 0
+	for i := 0; i < 5; i++ {
+		at := units.Cycles(i)
+		a.Schedule(at, func(units.Cycles) { countA++ })
+		b.Schedule(at, func(units.Cycles) { countB++ })
+	}
+	na := a.RunUntil(100)
+	nb, cancelled := b.RunUntilDone(100, nil)
+	if cancelled || na != nb || countA != countB || a.Now() != b.Now() {
+		t.Fatalf("RunUntilDone(nil) diverges from RunUntil: %d/%d events, now %v/%v", nb, na, b.Now(), a.Now())
+	}
+}
+
+func TestRunUntilDoneAlreadyCancelled(t *testing.T) {
+	var q Queue
+	done := make(chan struct{})
+	close(done)
+	q.Schedule(1, func(units.Cycles) { t.Fatal("event fired after pre-cancel") })
+	n, cancelled := q.RunUntilDone(100, done)
+	if n != 0 || !cancelled {
+		t.Fatalf("n=%d cancelled=%v, want 0/true", n, cancelled)
+	}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for a Registry: the one
+// renderer behind both the chimerad /metrics endpoint and the
+// chimerasim -metrics-prom flag, so scrape output and CLI dumps can
+// never drift apart.
+//
+// Internal metric names use "/" as a namespace separator
+// ("preempt/latency_us"); Prometheus names allow only
+// [a-zA-Z_:][a-zA-Z0-9_:]*, so names are sanitized (every illegal rune
+// becomes "_") and prefixed with "chimera_". Counters render as counter
+// samples; histograms render with the standard cumulative
+// ..._bucket{le="..."} / ..._sum / ..._count triple. Output is sorted by
+// exposition name and fully deterministic for a given registry state.
+
+// promPrefix namespaces every exported sample.
+const promPrefix = "chimera_"
+
+// promName sanitizes an internal metric name into a legal Prometheus
+// metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promPrefix)
+	for _, r := range name {
+		switch {
+		// Digits are legal anywhere here: the prefix guarantees the
+		// name never starts with one.
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value the way Prometheus clients expect:
+// shortest round-trip decimal, "+Inf" for the overflow bound.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every counter and histogram in the Prometheus
+// text exposition format, sorted by metric name. Counters become
+// counter-typed samples; histograms become cumulative bucket series plus
+// _sum and _count. The output is deterministic: same registry state,
+// same bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type sample struct {
+		name string
+		c    *Counter
+		h    *Histogram
+	}
+	samples := make([]sample, 0, len(r.counters)+len(r.hists))
+	for n, c := range r.counters {
+		samples = append(samples, sample{name: n, c: c})
+	}
+	for n, h := range r.hists {
+		samples = append(samples, sample{name: n, h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+
+	for _, s := range samples {
+		name := promName(s.name)
+		if s.c != nil {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writePromHistogram(w, name, s.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram as cumulative buckets plus
+// sum and count.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	bounds, counts := h.Buckets()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}

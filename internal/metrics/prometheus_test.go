@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promRegistry builds the registry the golden file pins down: a mix of
+// counters and histograms with name characters needing sanitation,
+// empty and populated distributions, and overflow observations.
+func promRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("preempt/requests").Add(42)
+	reg.Counter("sim/canceled_runs") // zero-valued counters still render
+	reg.Counter("simjob/cache_hits").Set(7)
+
+	lat := reg.Histogram("preempt/latency_us", "µs", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 7.5, 100} { // 100 overflows
+		lat.Observe(v)
+	}
+	reg.Histogram("deadline/slack_us", "µs", []float64{10, 20}) // no observations
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WritePrometheus drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := promRegistry().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := promRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 6 observations total, one beyond the last bound.
+	for _, want := range []string{
+		`chimera_preempt_latency_us_bucket{le="1"} 1`,
+		`chimera_preempt_latency_us_bucket{le="2"} 3`,
+		`chimera_preempt_latency_us_bucket{le="4"} 4`,
+		`chimera_preempt_latency_us_bucket{le="8"} 5`,
+		`chimera_preempt_latency_us_bucket{le="+Inf"} 6`,
+		`chimera_preempt_latency_us_count 6`,
+		"# TYPE chimera_preempt_requests counter",
+		"chimera_sim_canceled_runs 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"preempt/latency_us": "chimera_preempt_latency_us",
+		"a-b.c d":            "chimera_a_b_c_d",
+		"9lives":             "chimera_9lives",
+		"µs":                 "chimera__s",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"chimera/internal/engine"
+	"chimera/internal/kernels"
+	"chimera/internal/preempt"
+	"chimera/internal/simjob"
+	"chimera/internal/workloads"
+)
+
+// Wire types of the chimerad HTTP/JSON API. The full route reference,
+// including error codes and the SSE event format, lives in
+// docs/server.md; the typed client in internal/server/client speaks
+// exactly these shapes.
+
+// Scenario kinds accepted in JobSpec.Kind.
+const (
+	// KindSolo measures one benchmark's stand-alone progress rate.
+	KindSolo = "solo"
+	// KindPeriodic runs a benchmark against the §4.1 periodic real-time
+	// task and reports violation/overhead metrics.
+	KindPeriodic = "periodic"
+	// KindPair runs two benchmarks concurrently (§4.4) and reports
+	// ANTT/STP.
+	KindPair = "pair"
+)
+
+// Policy names accepted in JobSpec.Policy.
+const (
+	// PolicyChimera is Algorithm 1 — the default.
+	PolicyChimera = "chimera"
+	// PolicySwitch, PolicyDrain and PolicyFlush are the single-technique
+	// baselines.
+	PolicySwitch = "switch"
+	// PolicyDrain drains every block (see PolicySwitch).
+	PolicyDrain = "drain"
+	// PolicyFlush flushes idempotent blocks (see PolicySwitch).
+	PolicyFlush = "flush"
+	// PolicyFCFS is the non-preemptive serial baseline (pair jobs only).
+	PolicyFCFS = "fcfs"
+)
+
+// JobSpec is one simulation-job submission. Zero values take server
+// defaults (policy "chimera", window 1000 µs, constraint 15 µs, seed 1).
+type JobSpec struct {
+	// Kind is the scenario family: "solo", "periodic" or "pair".
+	Kind string `json:"kind"`
+	// Bench is the catalog benchmark (the background benchmark for
+	// periodic jobs, the first process for pair jobs).
+	Bench string `json:"bench"`
+	// BenchB is the second process of a pair job.
+	BenchB string `json:"bench_b,omitempty"`
+	// Policy executes preemption requests: "chimera" (default),
+	// "switch", "drain", "flush", or "fcfs" (pair jobs only).
+	Policy string `json:"policy,omitempty"`
+	// WindowUs is the simulated duration in microseconds.
+	WindowUs float64 `json:"window_us,omitempty"`
+	// ConstraintUs is the preemption latency bound in microseconds.
+	ConstraintUs float64 `json:"constraint_us,omitempty"`
+	// Seed drives the simulation's deterministic RNG.
+	Seed uint64 `json:"seed,omitempty"`
+	// Priority orders admission: higher-priority jobs dequeue first;
+	// ties dequeue in submission order.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMs bounds the job's total service time (queue wait plus
+	// execution); past it the run is cancelled and the job fails with
+	// "deadline exceeded". Zero uses the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Trace records the full event stream (periodic jobs only). Traced
+	// jobs always execute — a trace is a side effect the result cache
+	// cannot replay — and serve Perfetto JSON at /jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// normalize fills defaulted fields in place.
+func (j *JobSpec) normalize() {
+	if j.Policy == "" {
+		j.Policy = PolicyChimera
+	}
+	if j.WindowUs == 0 {
+		j.WindowUs = 1000
+	}
+	if j.ConstraintUs == 0 {
+		j.ConstraintUs = 15
+	}
+	if j.Seed == 0 {
+		j.Seed = 1
+	}
+}
+
+// parsePolicy maps a JobSpec policy name onto an engine policy; serial
+// reports the FCFS baseline (nil policy, serial execution).
+func parsePolicy(name string) (p engine.Policy, serial bool, err error) {
+	switch name {
+	case PolicyChimera:
+		return engine.ChimeraPolicy{}, false, nil
+	case PolicySwitch:
+		return engine.FixedPolicy{Technique: preempt.Switch}, false, nil
+	case PolicyDrain:
+		return engine.FixedPolicy{Technique: preempt.Drain}, false, nil
+	case PolicyFlush:
+		return engine.FixedPolicy{Technique: preempt.Flush}, false, nil
+	case PolicyFCFS:
+		return nil, true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// validate checks a normalized spec against the catalog and the API's
+// structural rules. It returns a client-facing error.
+func (j *JobSpec) validate(cat *kernels.Catalog) error {
+	switch j.Kind {
+	case KindSolo, KindPeriodic, KindPair:
+	default:
+		return fmt.Errorf("unknown kind %q (want solo, periodic or pair)", j.Kind)
+	}
+	if j.Bench == "" {
+		return fmt.Errorf("bench is required")
+	}
+	if _, err := cat.Benchmark(j.Bench); err != nil {
+		return fmt.Errorf("unknown bench %q", j.Bench)
+	}
+	if j.Kind == KindPair {
+		if j.BenchB == "" {
+			return fmt.Errorf("bench_b is required for pair jobs")
+		}
+		if _, err := cat.Benchmark(j.BenchB); err != nil {
+			return fmt.Errorf("unknown bench_b %q", j.BenchB)
+		}
+	} else if j.BenchB != "" {
+		return fmt.Errorf("bench_b is only valid for pair jobs")
+	}
+	_, serial, err := parsePolicy(j.Policy)
+	if err != nil {
+		return err
+	}
+	if serial && j.Kind != KindPair {
+		return fmt.Errorf("policy %q is only valid for pair jobs", PolicyFCFS)
+	}
+	if j.WindowUs < 0 || j.ConstraintUs < 0 {
+		return fmt.Errorf("window_us and constraint_us must be positive")
+	}
+	if j.TimeoutMs < 0 {
+		return fmt.Errorf("timeout_ms must not be negative")
+	}
+	if j.Trace && j.Kind != KindPeriodic {
+		return fmt.Errorf("trace is only supported for periodic jobs")
+	}
+	return nil
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// The job lifecycle: queued → running → one of the terminal states.
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: executing on a worker.
+	StateRunning JobState = "running"
+	// StateDone: completed successfully; the result is available.
+	StateDone JobState = "done"
+	// StateFailed: completed with an error (including deadline
+	// exceeded).
+	StateFailed JobState = "failed"
+	// StateCanceled: cancelled by DELETE or an abandoned wait=1 request
+	// before completing.
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the API view of one job. Result is populated only on
+// terminal done jobs; Stats snapshots the server's simjob pool when the
+// status was rendered (the payload of SSE progress frames).
+type JobStatus struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// State is the lifecycle phase at render time.
+	State JobState `json:"state"`
+	// Spec echoes the normalized submission.
+	Spec JobSpec `json:"spec"`
+	// Deduped reports the job completed without executing a new
+	// simulation: its result came from the cache or from a concurrent
+	// identical run (singleflight).
+	Deduped bool `json:"deduped,omitempty"`
+	// Error carries the failure or cancellation message.
+	Error string `json:"error,omitempty"`
+	// Result is the deterministic result payload (state "done" only).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Stats is the server job-pool activity snapshot, included in SSE
+	// progress frames.
+	Stats *simjob.Stats `json:"stats,omitempty"`
+	// SubmittedAt, StartedAt and FinishedAt timestamp the lifecycle
+	// (RFC 3339; zero values omitted).
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// JobResult is the deterministic result payload served at
+// /jobs/{id}/result: exactly one of the kind-specific fields is set.
+// Two submissions of the same scenario marshal to byte-identical
+// payloads — the dedup guarantee the server's tests pin down.
+type JobResult struct {
+	// Kind echoes the scenario kind.
+	Kind string `json:"kind"`
+	// SoloRate is the stand-alone progress rate (solo jobs).
+	SoloRate float64 `json:"solo_rate,omitempty"`
+	// Periodic is the §4.1 outcome (periodic jobs).
+	Periodic *workloads.PeriodicResult `json:"periodic,omitempty"`
+	// Pair is the §4.4 outcome (pair jobs).
+	Pair *workloads.PairResult `json:"pair,omitempty"`
+	// Trace summarizes a traced run (periodic jobs with trace: true).
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo summarizes the recording of a traced periodic job; the full
+// Perfetto export streams from /jobs/{id}/trace.
+type TraceInfo struct {
+	// Events is the number of recorded trace events.
+	Events int `json:"events"`
+	// Periods and Violations count real-time task instances and their
+	// deadline misses.
+	Periods int `json:"periods"`
+	// Violations is the number of missed deadlines (see Periods).
+	Violations int `json:"violations"`
+	// Requests counts preemption requests issued.
+	Requests int `json:"requests"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}

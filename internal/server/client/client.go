@@ -1,0 +1,323 @@
+// Package client is the typed Go client for the chimerad HTTP API
+// (internal/server): submission, status, results, cancellation, SSE-free
+// polling and metrics scraping, with retry and exponential backoff on
+// transient failures.
+//
+// Retry policy: idempotent requests (GET, DELETE) are retried on
+// transport errors and on 429/503 responses. POST submissions are
+// retried only on 429/503 — responses that prove the server did NOT
+// admit the job — and never after any other response or a transport
+// error, where the submission may already have committed. Backoff is
+// exponential with full jitter and honors Retry-After.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"chimera/internal/server"
+)
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+}
+
+// Error renders the status and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("chimerad: %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one chimerad base URL. The zero value is not usable;
+// construct with New. A Client is safe for concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	max   int
+	delay time.Duration
+	sleep func(context.Context, time.Duration) error
+	rnd   func() float64
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithMaxAttempts bounds the total tries per request (default 4).
+func WithMaxAttempts(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.max = n
+		}
+	}
+}
+
+// WithBaseDelay sets the first backoff step (default 100 ms); step i
+// waits roughly BaseDelay·2^i, full-jittered into [d/2, d].
+func WithBaseDelay(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.delay = d
+		}
+	}
+}
+
+// WithSleep substitutes the inter-attempt wait — tests inject a
+// recording fake. The function must honor ctx cancellation.
+func WithSleep(fn func(ctx context.Context, d time.Duration) error) Option {
+	return func(c *Client) { c.sleep = fn }
+}
+
+// WithRand substitutes the jitter source (a func in [0,1)).
+func WithRand(fn func() float64) Option {
+	return func(c *Client) { c.rnd = fn }
+}
+
+// New builds a client for the given base URL ("http://host:port").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:  base,
+		hc:    &http.Client{Timeout: 5 * time.Minute},
+		max:   4,
+		delay: 100 * time.Millisecond,
+		rnd:   rand.Float64,
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// backoff computes the jittered wait before attempt+1 (attempt is
+// 0-based), preferring the server's Retry-After when present.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	d := c.delay << uint(attempt)
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+			if d == 0 {
+				d = c.delay
+			}
+		}
+	}
+	// Full jitter into [d/2, d] keeps retries spread out while retaining
+	// the exponential envelope.
+	half := d / 2
+	return half + time.Duration(c.rnd()*float64(half))
+}
+
+// retriableStatus reports whether a response status signals a transient
+// condition that is safe to retry for any method: the server refused to
+// take the request at all.
+func retriableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// do issues one request, retrying per the package policy.
+// retryTransport additionally retries transport-level failures — set
+// only for idempotent methods.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, retryTransport bool) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.max; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if !retryTransport || ctx.Err() != nil {
+				return nil, err
+			}
+			if err := c.sleep(ctx, c.backoff(attempt, "")); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if retriableStatus(resp.StatusCode) && attempt < c.max-1 {
+			retryAfter := resp.Header.Get("Retry-After")
+			lastErr = decodeError(resp)
+			if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("chimerad: giving up after %d attempts: %w", c.max, lastErr)
+}
+
+// decodeError drains a non-2xx response into an APIError.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// decodeInto decodes a 2xx JSON response, or returns the APIError.
+func decodeInto(resp *http.Response, v any) error {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit posts one job spec and returns the admitted job's status.
+// Retries only on 429/503 (the server provably did not admit the job).
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	return c.submit(ctx, spec, "")
+}
+
+// SubmitWait posts one job spec with ?wait=1: the call blocks until the
+// job is terminal and returns its final status.
+func (c *Client) SubmitWait(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	return c.submit(ctx, spec, "?wait=1")
+}
+
+// submit implements Submit and SubmitWait.
+func (c *Client) submit(ctx context.Context, spec server.JobSpec, query string) (server.JobStatus, error) {
+	var st server.JobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/api/v1/jobs"+query, body, false)
+	if err != nil {
+		return st, err
+	}
+	return st, decodeInto(resp, &st)
+}
+
+// Status fetches one job's current status.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, true)
+	if err != nil {
+		return st, err
+	}
+	return st, decodeInto(resp, &st)
+}
+
+// List fetches every retained job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]server.JobStatus, error) {
+	var out []server.JobStatus
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return out, decodeInto(resp, &out)
+}
+
+// Result fetches a done job's raw result payload (the deterministic
+// JobResult JSON).
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Trace streams a traced job's Perfetto JSON into w.
+func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/trace", nil, true)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Cancel requests cancellation of one job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, true)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Metrics scrapes /metrics and returns the Prometheus text body.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, true)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Await polls a job's status every interval until it reaches a terminal
+// state (or ctx is cancelled).
+func (c *Client) Await(ctx context.Context, id string, interval time.Duration) (server.JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, interval); err != nil {
+			return st, err
+		}
+	}
+}

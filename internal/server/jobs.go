@@ -1,0 +1,382 @@
+package server
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chimera/internal/trace"
+	"chimera/internal/units"
+	"chimera/internal/workloads"
+)
+
+// job is the server-side record of one submission. The immutable
+// identity fields are set at admission; the mutable lifecycle fields are
+// guarded by mu. done closes exactly once, when the job reaches a
+// terminal state.
+type job struct {
+	id       string
+	seq      int64
+	spec     JobSpec
+	priority int
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	dedup     bool
+	result    []byte
+	events    []trace.Event
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// index is the job's position in the admission heap (-1 once
+	// popped); maintained by jobHeap.
+	index int
+}
+
+// status renders the job's API view. It never includes pool stats;
+// the SSE path decorates the snapshot itself.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Deduped:     j.dedup,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if j.state == StateDone {
+		st.Result = json.RawMessage(j.result)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// jobHeap orders admitted jobs by descending priority, then ascending
+// submission sequence (FIFO within a priority class). It implements
+// container/heap.Interface.
+type jobHeap []*job
+
+// Len reports the number of queued jobs.
+func (h jobHeap) Len() int { return len(h) }
+
+// Less orders by priority (higher first), then submission order.
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+
+// Swap exchanges two heap slots and fixes their back-indices.
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].index = a
+	h[b].index = b
+}
+
+// Push appends a job (heap.Interface contract).
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+
+// Pop removes the last slot (heap.Interface contract).
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}
+
+// Submission errors mapped to HTTP statuses by the handlers.
+var (
+	// errQueueFull rejects a submission when the admission queue is at
+	// capacity (429 + Retry-After).
+	errQueueFull = errors.New("server: admission queue full")
+	// errClosed rejects a submission during shutdown (503).
+	errClosed = errors.New("server: shutting down")
+)
+
+// submit admits one normalized, validated spec: it assigns an ID,
+// starts the job's deadline clock, and queues it for the workers.
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMs > 0 {
+		timeout = time.Duration(spec.TimeoutMs) * time.Millisecond
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if s.queue.Len() >= s.cfg.QueueCap {
+		s.cRejected.Add(1)
+		return nil, errQueueFull
+	}
+	s.seq++
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &job{
+		id:        fmt.Sprintf("j%d", s.seq),
+		seq:       s.seq,
+		spec:      spec,
+		priority:  spec.Priority,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	heap.Push(&s.queue, j)
+	s.cSubmitted.Add(1)
+	s.gQueueDepth.Set(int64(s.queue.Len()))
+	s.trimHistoryLocked()
+	s.cond.Signal()
+	return j, nil
+}
+
+// trimHistoryLocked drops the oldest terminal jobs once the history
+// exceeds its cap, so a long-lived daemon's job table stays bounded.
+// Callers hold s.mu.
+func (s *Server) trimHistoryLocked() {
+	const historyCap = 1024
+	if len(s.order) <= historyCap {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - historyCap
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j.status().State.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// lookup returns the job by ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained job's status in submission order.
+func (s *Server) list() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// cancelJob requests cancellation. A queued job transitions to
+// canceled immediately (the worker that later pops it skips it); a
+// running job has its context cancelled and reaches the canceled state
+// when the engine aborts. Terminal jobs are left untouched. It reports
+// whether the call changed anything.
+func (s *Server) cancelJob(j *job) bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.errMsg = context.Canceled.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		s.cCanceled.Add(1)
+		close(j.done)
+		return true
+	case StateRunning:
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// worker is one admission-queue consumer: it pops the highest-priority
+// queued job, executes it, and repeats until the server is closed and
+// the queue is drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		s.gQueueDepth.Set(int64(s.queue.Len()))
+		s.mu.Unlock()
+
+		j.mu.Lock()
+		if j.state != StateQueued {
+			// Cancelled while queued; already terminal.
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		res, executed, events, err := s.execute(j.ctx, j.spec)
+		s.finish(j, res, executed, events, err)
+	}
+}
+
+// execute runs one spec to completion (or cancellation) and returns the
+// result, whether a simulation actually executed (false = result cache
+// or singleflight dedup), and any recorded trace events.
+func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, executed bool, events []trace.Event, err error) {
+	policy, serial, err := parsePolicy(spec.Policy)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	window := units.FromMicroseconds(spec.WindowUs)
+	constraint := units.FromMicroseconds(spec.ConstraintUs)
+
+	if spec.Trace {
+		rec, err := workloads.RecordContext(ctx, workloads.RecordOptions{
+			Bench:      spec.Bench,
+			Window:     window,
+			Constraint: constraint,
+			Seed:       spec.Seed,
+			Policy:     policy,
+			Metrics:    s.reg,
+		})
+		if err != nil {
+			return nil, true, nil, err
+		}
+		return &JobResult{
+			Kind: spec.Kind,
+			Trace: &TraceInfo{
+				Events:     len(rec.Events),
+				Periods:    rec.Periods,
+				Violations: rec.Violations,
+				Requests:   rec.Requests,
+			},
+		}, true, rec.Events, nil
+	}
+
+	runner, err := workloads.NewRunnerWith(s.catalog, window, constraint, spec.Seed)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	runner.Metrics = s.reg
+	runner.UsePool(s.pool)
+
+	switch spec.Kind {
+	case KindSolo:
+		rate, ran, err := runner.SoloRateCtx(ctx, spec.Bench)
+		if err != nil {
+			return nil, ran, nil, err
+		}
+		return &JobResult{Kind: spec.Kind, SoloRate: rate}, ran, nil, nil
+	case KindPeriodic:
+		pr, ran, err := runner.RunPeriodicCtx(ctx, spec.Bench, policy)
+		if err != nil {
+			return nil, ran, nil, err
+		}
+		return &JobResult{Kind: spec.Kind, Periodic: &pr}, ran, nil, nil
+	case KindPair:
+		pr, ran, err := runner.RunPairCtx(ctx, spec.Bench, spec.BenchB, policy, serial)
+		if err != nil {
+			return nil, ran, nil, err
+		}
+		return &JobResult{Kind: spec.Kind, Pair: &pr}, ran, nil, nil
+	default:
+		return nil, false, nil, fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+}
+
+// finish records a job's outcome, updates the server counters, releases
+// the deadline timer, and wakes every waiter.
+func (s *Server) finish(j *job, res *JobResult, executed bool, events []trace.Event, err error) {
+	var payload []byte
+	if err == nil {
+		payload, err = json.Marshal(res)
+	}
+
+	now := time.Now()
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = now
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = payload
+		j.dedup = !executed
+		j.events = events
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = context.Canceled.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = "deadline exceeded"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state, dedup := j.state, j.dedup
+	latency := now.Sub(j.submitted)
+	j.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		s.cCompleted.Add(1)
+		if dedup {
+			s.cDeduped.Add(1)
+		}
+	case StateCanceled:
+		s.cCanceled.Add(1)
+	default:
+		s.cFailed.Add(1)
+	}
+	s.hLatency.Observe(float64(latency) / float64(time.Millisecond))
+	j.cancel()
+	close(j.done)
+}

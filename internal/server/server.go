@@ -1,0 +1,398 @@
+// Package server implements chimerad's HTTP/JSON simulation service: a
+// bounded worker pool with priority admission control over the simjob
+// result cache, per-job deadlines and cooperative cancellation threaded
+// down to the engine event loop, and live observability (Prometheus
+// /metrics, SSE job progress, Perfetto trace export).
+//
+// The API surface is documented in docs/server.md; the wire types live
+// in api.go and are shared with the typed client in
+// internal/server/client.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"chimera/internal/kernels"
+	"chimera/internal/metrics"
+	"chimera/internal/simjob"
+	"chimera/internal/trace"
+)
+
+// Config parameterizes a Server. The zero value is usable: it yields
+// two workers, a 64-deep admission queue, an uncapped result cache, a
+// 60 s default job deadline and the shared Table 2 catalog.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// rejected with 429 (default 64).
+	QueueCap int
+	// CacheCap caps the simjob result cache entry count (LRU eviction);
+	// 0 leaves the cache unbounded.
+	CacheCap int
+	// DefaultTimeout bounds jobs that set no timeout_ms (default 60 s).
+	DefaultTimeout time.Duration
+	// SSEInterval spaces SSE progress frames (default 250 ms).
+	SSEInterval time.Duration
+	// Catalog overrides the kernel catalog (default kernels.Load()).
+	Catalog *kernels.Catalog
+	// Registry receives the server's and the engines' metrics (default:
+	// a fresh registry, exposed via Registry()).
+	Registry *metrics.Registry
+}
+
+// Server is the chimerad service core: admission queue, workers, job
+// table and HTTP handlers. Create with New, mount Handler on an
+// http.Server, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	catalog *kernels.Catalog
+	reg     *metrics.Registry
+	cache   *simjob.Cache
+	pool    *simjob.Pool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  jobHeap
+	jobs   map[string]*job
+	order  []string
+	seq    int64
+	closed bool
+	wg     sync.WaitGroup
+
+	cSubmitted  *metrics.Counter
+	cCompleted  *metrics.Counter
+	cFailed     *metrics.Counter
+	cCanceled   *metrics.Counter
+	cRejected   *metrics.Counter
+	cDeduped    *metrics.Counter
+	gQueueDepth *metrics.Counter
+	hLatency    *metrics.Histogram
+}
+
+// latencyBoundsMs buckets the job service-time histogram (milliseconds).
+var latencyBoundsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.SSEInterval <= 0 {
+		cfg.SSEInterval = 250 * time.Millisecond
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = kernels.Load()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	cache := simjob.NewCache()
+	cache.SetLimit(cfg.CacheCap)
+	s := &Server{
+		cfg:     cfg,
+		catalog: cfg.Catalog,
+		reg:     cfg.Registry,
+		cache:   cache,
+		// The simjob pool bounds engine parallelism independently of the
+		// worker count; jobs run on worker goroutines, so size it to them.
+		pool: simjob.NewPool(cfg.Workers, cache),
+		jobs: make(map[string]*job),
+
+		cSubmitted:  cfg.Registry.Counter("server/jobs_submitted"),
+		cCompleted:  cfg.Registry.Counter("server/jobs_completed"),
+		cFailed:     cfg.Registry.Counter("server/jobs_failed"),
+		cCanceled:   cfg.Registry.Counter("server/jobs_canceled"),
+		cRejected:   cfg.Registry.Counter("server/jobs_rejected"),
+		cDeduped:    cfg.Registry.Counter("server/jobs_deduped"),
+		gQueueDepth: cfg.Registry.Counter("server/queue_depth"),
+		hLatency:    cfg.Registry.Histogram("server/job_latency_ms", "ms", latencyBoundsMs),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the metrics registry the server reports into.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Pool exposes the simjob pool jobs execute on (its Stats feed the SSE
+// progress frames).
+func (s *Server) Pool() *simjob.Pool { return s.pool }
+
+// Shutdown stops admission and waits for queued and running jobs to
+// drain. If ctx expires first every outstanding job is cancelled, the
+// (now fast) drain is awaited, and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		all := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			all = append(all, j)
+		}
+		s.mu.Unlock()
+		for _, j := range all {
+			s.cancelJob(j)
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits one job (202 + status). ?wait=1 blocks until the
+// job is terminal and returns its final status (200); abandoning a
+// waited request cancels the job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	spec.normalize()
+	if err := spec.validate(s.catalog); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+
+	j, err := s.submit(spec)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, errClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.done:
+			writeJSON(w, http.StatusOK, j.status())
+		case <-r.Context().Done():
+			// The submitter walked away; nobody is left to claim the
+			// result, so stop the run.
+			s.cancelJob(j)
+			<-j.done
+		}
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleList returns every retained job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.list())
+}
+
+// handleStatus returns one job's status; with Accept: text/event-stream
+// it streams SSE progress frames until the job is terminal.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamStatus(w, r, j)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// streamStatus serves the SSE progress stream for one job: a "status"
+// event (JobStatus JSON with live pool stats) every SSEInterval and on
+// every state change, then a final "done" event with the terminal
+// status.
+func (s *Server) streamStatus(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, st JobStatus) bool {
+		payload, err := json.Marshal(st)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	tick := time.NewTicker(s.cfg.SSEInterval)
+	defer tick.Stop()
+	for {
+		st := j.status()
+		if st.State.Terminal() {
+			emit("done", st)
+			return
+		}
+		stats := s.pool.Stats()
+		st.Stats = &stats
+		if !emit("status", st) {
+			return
+		}
+		select {
+		case <-j.done:
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCancel cancels one job. 202 when the cancellation was accepted,
+// 409 when the job is already terminal.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !s.cancelJob(j) {
+		writeError(w, http.StatusConflict, "job already %s", j.status().State)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleResult serves a completed job's deterministic result payload.
+// 409 until the job is terminal; failed and canceled jobs get their
+// error.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(st.Result)
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusConflict, "job %s: %s", st.State, st.Error)
+	default:
+		writeError(w, http.StatusConflict, "job still %s", st.State)
+	}
+}
+
+// handleTrace streams a traced job's Perfetto/Chrome trace-event JSON.
+// 404 when the job recorded no trace, 409 until it is done.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict, "job still %s", st.State)
+		return
+	}
+	j.mu.Lock()
+	events := j.events
+	j.mu.Unlock()
+	if !j.spec.Trace || st.State != StateDone {
+		writeError(w, http.StatusNotFound, "job has no trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = trace.WritePerfetto(w, events)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format, refreshing the job-pool gauges first.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.pool.Stats().Publish(s.reg)
+	s.mu.Lock()
+	s.gQueueDepth.Set(int64(s.queue.Len()))
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleHealthz reports liveness ("ok", or 503 while shutting down).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,606 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer boots a server with small limits and an httptest
+// frontend, and tears both down at test end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// postJob submits a spec and decodes the response status.
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec, query string) (JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// await polls a job until it is terminal.
+func await(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became terminal", id)
+	return JobStatus{}
+}
+
+// fetchResult reads /result's raw payload.
+func fetchResult(t *testing.T, ts *httptest.Server, id string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, resp.StatusCode
+}
+
+// shortSpec is a fast solo scenario (small window keeps tests quick).
+func shortSpec() JobSpec {
+	return JobSpec{Kind: KindSolo, Bench: "SAD", WindowUs: 100}
+}
+
+func TestSubmitAndResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	st, code := postJob(t, ts, shortSpec(), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", code)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+	fin := await(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", fin.State, fin.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindSolo || res.SoloRate <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	body, code := fetchResult(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result: got %d", code)
+	}
+	if !bytes.Equal(bytes.TrimSpace(body), []byte(fin.Result)) {
+		t.Fatalf("result body %q != status result %q", body, fin.Result)
+	}
+}
+
+// TestConcurrentDedup is the ISSUE acceptance check: the same scenario
+// submitted twice concurrently yields byte-identical result payloads
+// and executes at most one periodic simulation (singleflight), with the
+// second submission marked deduped.
+func TestConcurrentDedup(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	spec := JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 2000}
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, code := postJob(t, ts, spec, "")
+			if code != http.StatusAccepted {
+				t.Errorf("submit %d: got %d", i, code)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	bodies := make([][]byte, 2)
+	for i, id := range ids {
+		fin := await(t, ts, id)
+		if fin.State != StateDone {
+			t.Fatalf("job %s finished %s (%s)", id, fin.State, fin.Error)
+		}
+		body, code := fetchResult(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("result %s: got %d", id, code)
+		}
+		bodies[i] = body
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("result payloads differ:\n%s\n%s", bodies[0], bodies[1])
+	}
+
+	// The periodic run (and its solo baseline) must have executed once:
+	// 2 jobs run total, and at least one submission was deduped.
+	stats := s.Pool().Stats()
+	if stats.JobsRun != 2 {
+		t.Fatalf("JobsRun = %d, want 2 (solo baseline + periodic)", stats.JobsRun)
+	}
+	if s.reg.Counter("server/jobs_deduped").Value() != 1 {
+		t.Fatalf("jobs_deduped = %d, want 1", s.reg.Counter("server/jobs_deduped").Value())
+	}
+}
+
+// TestCancelRunningJob is the ISSUE acceptance check: client-side
+// cancellation stops the engine mid-run (observable via the
+// sim/canceled_runs counter) and frees the worker slot for new work.
+func TestCancelRunningJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	// A huge window would run for a long time if not cancelled.
+	st, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 60e6}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d", code)
+	}
+	// Wait until it is actually running.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: got %d", resp.StatusCode)
+	}
+
+	fin := await(t, ts, st.ID)
+	if fin.State != StateCanceled {
+		t.Fatalf("job finished %s, want canceled", fin.State)
+	}
+	if n := s.reg.Counter("sim/canceled_runs").Value(); n < 1 {
+		t.Fatalf("sim/canceled_runs = %d, want >= 1", n)
+	}
+
+	// The single worker must be free again: a short job completes.
+	st2, code := postJob(t, ts, shortSpec(), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("post-cancel submit: got %d", code)
+	}
+	if fin := await(t, ts, st2.ID); fin.State != StateDone {
+		t.Fatalf("post-cancel job finished %s (%s)", fin.State, fin.Error)
+	}
+
+	// A second DELETE on a terminal job conflicts.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel: got %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	// Occupy the worker with a long job and the queue with another.
+	first, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 60e6}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: got %d", code)
+	}
+	// Wait for the worker to pick up the first job so the queue is empty.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	second, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "MUM", WindowUs: 60e6}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2: got %d", code)
+	}
+
+	body, err := json.Marshal(JobSpec{Kind: KindSolo, Bench: "ST", WindowUs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Clean up the long jobs so shutdown stays fast.
+	for _, id := range []string{first.ID, second.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		await(t, ts, id)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 60e6, TimeoutMs: 50}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d", code)
+	}
+	fin := await(t, ts, st.ID)
+	if fin.State != StateFailed || fin.Error != "deadline exceeded" {
+		t.Fatalf("job finished %s (%q), want failed/deadline exceeded", fin.State, fin.Error)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []string{
+		`{"kind":"solo"}`,                                  // missing bench
+		`{"kind":"nope","bench":"SAD"}`,                    // bad kind
+		`{"kind":"solo","bench":"NOPE"}`,                   // unknown bench
+		`{"kind":"solo","bench":"SAD","policy":"fcfs"}`,    // fcfs non-pair
+		`{"kind":"pair","bench":"SAD"}`,                    // missing bench_b
+		`{"kind":"solo","bench":"SAD","bench_b":"MUM"}`,    // bench_b non-pair
+		`{"kind":"solo","bench":"SAD","trace":true}`,       // trace non-periodic
+		`{"kind":"solo","bench":"SAD","unknown_field":1}`,  // strict decoding
+		`{"kind":"solo","bench":"SAD","timeout_ms":-1}`,    // negative timeout
+		`{"kind":"solo","bench":"SAD","policy":"mystery"}`, // unknown policy
+		`{"kind":"periodic","bench":"SAD","window_us":-1}`, // negative window
+	}
+	for _, body := range cases {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: got %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestWaitSubmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, code := postJob(t, ts, shortSpec(), "?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("wait submit: got %d, want 200", code)
+	}
+	if st.State != StateDone {
+		t.Fatalf("waited job state = %s (%s)", st.State, st.Error)
+	}
+	if len(st.Result) == 0 {
+		t.Fatal("waited job carries no result")
+	}
+}
+
+func TestSSEProgress(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SSEInterval: 20 * time.Millisecond})
+	st, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 5000}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d", code)
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var sawDone bool
+	var last JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+				t.Fatalf("bad SSE payload: %v", err)
+			}
+			if event == "done" {
+				sawDone = true
+			}
+		}
+	}
+	if !sawDone {
+		t.Fatal("SSE stream ended without a done event")
+	}
+	if last.State != StateDone {
+		t.Fatalf("final SSE state = %s (%s)", last.State, last.Error)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 3000, Trace: true}, "?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("submit: got %d", code)
+	}
+	if st.State != StateDone {
+		t.Fatalf("traced job finished %s (%s)", st.State, st.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Events == 0 {
+		t.Fatalf("traced job result has no trace info: %+v", res)
+	}
+	if st.Deduped {
+		t.Fatal("traced job must never be deduped")
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: got %d", resp.StatusCode)
+	}
+	var perfetto struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&perfetto); err != nil {
+		t.Fatalf("trace payload: %v", err)
+	}
+	if len(perfetto.TraceEvents) == 0 {
+		t.Fatal("empty perfetto export")
+	}
+
+	// An untraced job 404s on /trace.
+	st2, _ := postJob(t, ts, shortSpec(), "?wait=1")
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st2.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced trace fetch: got %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if _, code := postJob(t, ts, shortSpec(), "?wait=1"); code != http.StatusOK {
+		t.Fatalf("submit: got %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: got %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"chimera_server_jobs_submitted 1",
+		"chimera_server_jobs_completed 1",
+		"chimera_simjob_jobs_run",
+		"chimera_server_job_latency_ms_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Block the worker, then queue a low- and a high-priority job; the
+	// high-priority one must start (and finish) first.
+	blocker, code := postJob(t, ts, JobSpec{Kind: KindPeriodic, Bench: "SAD", WindowUs: 60e6}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit blocker: got %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + blocker.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	low, code := postJob(t, ts, JobSpec{Kind: KindSolo, Bench: "MUM", WindowUs: 100, Priority: 1}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit low: got %d", code)
+	}
+	high, code := postJob(t, ts, JobSpec{Kind: KindSolo, Bench: "ST", WindowUs: 100, Priority: 9}, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit high: got %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+blocker.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	finHigh := await(t, ts, high.ID)
+	finLow := await(t, ts, low.ID)
+	if finHigh.State != StateDone || finLow.State != StateDone {
+		t.Fatalf("jobs finished %s/%s", finHigh.State, finLow.State)
+	}
+	if finLow.StartedAt.Before(*finHigh.StartedAt) {
+		t.Fatalf("low-priority job started first (%v < %v)", finLow.StartedAt, finHigh.StartedAt)
+	}
+}
+
+func TestListJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, code := postJob(t, ts, JobSpec{Kind: KindSolo, Bench: "SAD", WindowUs: 100, Seed: uint64(i + 1)}, "")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: got %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		await(t, ts, id)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Fatalf("list order: got %s at %d, want %s", st.ID, i, ids[i])
+		}
+	}
+}
+
+func TestShutdownRejectsSubmissions(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	body, _ := json.Marshal(shortSpec())
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submit: got %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown healthz: got %d, want 503", resp.StatusCode)
+	}
+}

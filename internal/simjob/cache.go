@@ -1,6 +1,9 @@
 package simjob
 
 import (
+	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"time"
 )
@@ -8,13 +11,22 @@ import (
 // Cache memoizes simulation results by Job with singleflight semantics:
 // when several goroutines ask for the same Job concurrently, exactly one
 // executes the simulation and the rest block until its result is ready.
-// Successful results are cached forever (the evaluation's jobs are pure
-// functions of their key); errors are returned to every in-flight waiter
+// Successful results are cached (forever by default, or within an LRU
+// cap set with SetLimit); errors are returned to every in-flight waiter
 // but NOT cached, so a transient failure does not poison the key.
+// Cancellation composes with the singleflight: a waiter whose context
+// expires stops waiting (the execution continues for the others), and if
+// the executing call itself was cancelled, surviving waiters re-execute
+// instead of inheriting the cancellation.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Job]*entry
-	stats   counters
+	// limit caps the number of completed entries (0 = unbounded); lru
+	// orders completed entries most-recently-used first. In-flight
+	// computations are never evicted — waiters hold their entry.
+	limit int
+	lru   *list.List
+	stats counters
 }
 
 // entry is one in-flight or completed computation.
@@ -22,11 +34,12 @@ type entry struct {
 	done chan struct{} // closed when val/err are set
 	val  any
 	err  error
+	elem *list.Element // LRU position once completed (nil while in flight)
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty, unbounded cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[Job]*entry)}
+	return &Cache{entries: make(map[Job]*entry), lru: list.New()}
 }
 
 // shared is the process-wide cache: every exhibit of one chimerasim run
@@ -44,45 +57,121 @@ func SharedCache() *Cache {
 	return shared
 }
 
+// SetLimit caps the cache at n completed results, evicting the least
+// recently used beyond that (n <= 0 removes the cap). A long-lived
+// server must bound its cache; the one-shot CLI leaves it unbounded.
+// Evictions are counted in Stats.Evictions.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.limit = n
+	c.enforceLimitLocked()
+}
+
+// Limit reports the current cap (0 = unbounded).
+func (c *Cache) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
+}
+
+// enforceLimitLocked evicts LRU-tail entries until within the cap.
+func (c *Cache) enforceLimitLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for c.lru.Len() > c.limit {
+		tail := c.lru.Back()
+		job := tail.Value.(Job)
+		c.lru.Remove(tail)
+		delete(c.entries, job)
+		c.stats.evicted()
+	}
+}
+
 // Do returns the memoized result for job, computing it with fn on first
 // use. Concurrent calls for the same job share one execution. fn runs on
 // the caller's goroutine (the Pool provides worker-level parallelism);
 // it must not call Do for the same job recursively.
 func (c *Cache) Do(job Job, fn func() (any, error)) (any, error) {
-	v, err, _, _ := c.doJob(job, fn)
+	v, err, _, _ := c.doJob(context.Background(), job, func(context.Context) (any, error) { return fn() })
 	return v, err
 }
 
-// doJob is Do plus execution telemetry: executed reports whether this
-// call ran fn (vs. a cache or singleflight hit), and dur its wall time.
-func (c *Cache) doJob(job Job, fn func() (any, error)) (v any, err error, executed bool, dur time.Duration) {
-	c.mu.Lock()
-	if e, ok := c.entries[job]; ok {
-		c.mu.Unlock()
-		c.stats.hit()
-		<-e.done
-		return e.val, e.err, false, 0
-	}
-	e := &entry{done: make(chan struct{})}
-	c.entries[job] = e
-	c.mu.Unlock()
-
-	start := time.Now()
-	e.val, e.err = fn()
-	dur = time.Since(start)
-	c.stats.ran(dur, e.err != nil)
-	if e.err != nil {
-		// Errors are not cached: drop the entry before waking waiters so
-		// the next Do retries the computation.
-		c.mu.Lock()
-		delete(c.entries, job)
-		c.mu.Unlock()
-	}
-	close(e.done)
-	return e.val, e.err, true, dur
+// DoContext is Do with cancellation threaded through: fn receives ctx
+// and should stop promptly when it is cancelled (the engine's RunContext
+// does). If this call ends up waiting on another goroutine's execution,
+// a cancelled ctx abandons the wait and returns ctx.Err() — the
+// execution itself continues for the remaining consumers. A cancelled
+// execution's error is never cached, and waiters that are still live
+// when the executor was cancelled re-execute the job themselves rather
+// than inheriting the cancellation.
+func (c *Cache) DoContext(ctx context.Context, job Job, fn func(context.Context) (any, error)) (any, error) {
+	v, err, _, _ := c.doJob(ctx, job, fn)
+	return v, err
 }
 
-// Len reports how many results are currently cached.
+// isCancellation reports whether err is a context cancellation or
+// deadline error — the class of failures a surviving waiter retries.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// doJob is DoContext plus execution telemetry: executed reports whether
+// this call ran fn (vs. a cache or singleflight hit), and dur its wall
+// time.
+func (c *Cache) doJob(ctx context.Context, job Job, fn func(context.Context) (any, error)) (v any, err error, executed bool, dur time.Duration) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[job]; ok {
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			// The hit is counted at arrival — a singleflight wait on an
+			// in-flight duplicate is a hit even before the value lands.
+			c.stats.hit()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				// Abandon the wait; whoever executes keeps going.
+				return nil, ctx.Err(), false, 0
+			}
+			if isCancellation(e.err) && ctx.Err() == nil {
+				// The executor was cancelled but this caller is live:
+				// take over the computation (the failed entry was
+				// already dropped by its executor).
+				continue
+			}
+			return e.val, e.err, false, 0
+		}
+		e := &entry{done: make(chan struct{})}
+		c.entries[job] = e
+		c.mu.Unlock()
+
+		start := time.Now()
+		e.val, e.err = fn(ctx)
+		dur = time.Since(start)
+		c.stats.ran(dur, e.err != nil)
+		c.mu.Lock()
+		if e.err != nil {
+			// Errors are not cached: drop the entry before waking waiters
+			// so the next Do retries the computation.
+			delete(c.entries, job)
+		} else {
+			e.elem = c.lru.PushFront(job)
+			c.enforceLimitLocked()
+		}
+		c.mu.Unlock()
+		close(e.done)
+		return e.val, e.err, true, dur
+	}
+}
+
+// Len reports how many results are currently cached or in flight.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,6 +1,7 @@
 package simjob
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -57,7 +58,13 @@ func (p *Pool) SetProgress(fn func(Stats)) {
 // from inside a running task (a periodic job fetching its solo-rate
 // baseline) therefore cannot deadlock the pool.
 func (p *Pool) Do(job Job, fn func() (any, error)) (any, error) {
-	v, err, executed, dur := p.cache.doJob(job, fn)
+	return p.DoContext(context.Background(), job, func(context.Context) (any, error) { return fn() })
+}
+
+// DoContext is Do with cancellation threaded through the cache's
+// singleflight (see Cache.DoContext for the semantics).
+func (p *Pool) DoContext(ctx context.Context, job Job, fn func(context.Context) (any, error)) (any, error) {
+	v, err, executed, dur := p.cache.doJob(ctx, job, fn)
 	// Attribute the cache activity to this pool's counters as well. The
 	// cache already mirrored it into the global aggregate, so bypass the
 	// counters' own mirroring by updating fields directly.

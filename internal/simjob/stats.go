@@ -27,6 +27,9 @@ type Stats struct {
 	// JobTime is the cumulative wall time of executed jobs — at
 	// parallelism N it exceeds elapsed time by up to a factor of N.
 	JobTime time.Duration
+	// Evictions counts results dropped by a cache's LRU cap
+	// (Cache.SetLimit); zero for unbounded caches.
+	Evictions int64
 }
 
 // counters is the lock-free mutable form of Stats, embedded in Cache and
@@ -39,6 +42,7 @@ type counters struct {
 	cacheHits    atomic.Int64
 	errors       atomic.Int64
 	jobTimeNs    atomic.Int64
+	evictions    atomic.Int64
 }
 
 // global aggregates all pools and caches in the process.
@@ -63,6 +67,13 @@ func (c *counters) ran(d time.Duration, failed bool) {
 		if failed {
 			global.errors.Add(1)
 		}
+	}
+}
+
+func (c *counters) evicted() {
+	c.evictions.Add(1)
+	if c != &global {
+		global.evictions.Add(1)
 	}
 }
 
@@ -98,6 +109,7 @@ func (c *counters) snapshot() Stats {
 		CacheHits:    c.cacheHits.Load(),
 		Errors:       c.errors.Load(),
 		JobTime:      time.Duration(c.jobTimeNs.Load()),
+		Evictions:    c.evictions.Load(),
 	}
 }
 
@@ -116,4 +128,5 @@ func (s Stats) Publish(reg *metrics.Registry) {
 	reg.Counter("simjob/cache_hits").Set(s.CacheHits)
 	reg.Counter("simjob/errors").Set(s.Errors)
 	reg.Counter("simjob/job_time_ms").Set(s.JobTime.Milliseconds())
+	reg.Counter("simjob/evictions").Set(s.Evictions)
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"chimera/internal/engine"
@@ -59,6 +60,13 @@ type Recording struct {
 // the simjob cache — a trace is a side effect, and cached results carry
 // none — so every call simulates.
 func Record(opts RecordOptions) (*Recording, error) {
+	return RecordContext(context.Background(), opts)
+}
+
+// RecordContext is Record with cancellation threaded down to the engine
+// event loop: a cancelled ctx aborts the simulation within one event
+// and returns ctx's error (no partial Recording is produced).
+func RecordContext(ctx context.Context, opts RecordOptions) (*Recording, error) {
 	if opts.Bench == "" {
 		opts.Bench = "SAD"
 	}
@@ -101,7 +109,9 @@ func Record(opts RecordOptions) (*Recording, error) {
 	})
 	sim.AddProcess(engine.ProcessSpec{Name: opts.Bench, Launches: launches, Loop: true})
 	sim.AddPeriodicTask(PeriodicSpec(sim.Config().NumSMs))
-	sim.Run(opts.Window)
+	if err := sim.RunContext(ctx, opts.Window); err != nil {
+		return nil, err
+	}
 
 	out := &Recording{
 		Events: col.Events(),

@@ -16,6 +16,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"chimera/internal/engine"
@@ -62,6 +63,12 @@ type Runner struct {
 	Headroom units.Cycles
 	// Config overrides the device configuration (zero value = Table 1).
 	Config gpu.Config
+	// Metrics, when set, is forwarded to every engine run this Runner
+	// executes. Only runs that actually execute observe into it — a
+	// cache or singleflight hit replays no events — so treat it as live
+	// engine telemetry, not as a per-result record (PeriodicResult's
+	// Outcomes carry the cache-safe form).
+	Metrics *metrics.Registry
 
 	cat  *kernels.Catalog
 	pool *simjob.Pool
@@ -135,16 +142,26 @@ func (r *Runner) job(kind simjob.Kind, benches, policy string, serial bool, head
 // SoloRate returns the benchmark's stand-alone progress rate (useful
 // warp instructions per cycle on the whole GPU), memoized per benchmark.
 func (r *Runner) SoloRate(bench string) (float64, error) {
-	v, err := r.pool.Do(r.job(simjob.KindSolo, bench, "", false, 0), func() (any, error) {
-		return r.soloRate(bench)
-	})
-	if err != nil {
-		return 0, err
-	}
-	return v.(float64), nil
+	rate, _, err := r.SoloRateCtx(context.Background(), bench)
+	return rate, err
 }
 
-func (r *Runner) soloRate(bench string) (float64, error) {
+// SoloRateCtx is SoloRate with cancellation threaded down to the engine
+// event loop. executed reports whether this call ran the simulation
+// (false = cache or singleflight hit) — the signal chimerad uses for
+// dedup accounting.
+func (r *Runner) SoloRateCtx(ctx context.Context, bench string) (rate float64, executed bool, err error) {
+	v, err := r.pool.DoContext(ctx, r.job(simjob.KindSolo, bench, "", false, 0), func(ctx context.Context) (any, error) {
+		executed = true
+		return r.soloRate(ctx, bench)
+	})
+	if err != nil {
+		return 0, executed, err
+	}
+	return v.(float64), executed, nil
+}
+
+func (r *Runner) soloRate(ctx context.Context, bench string) (float64, error) {
 	b, err := r.cat.Benchmark(bench)
 	if err != nil {
 		return 0, err
@@ -160,9 +177,12 @@ func (r *Runner) soloRate(bench string) (float64, error) {
 		Seed:           r.Seed,
 		WarmStats:      r.Warm,
 		ContentionBeta: r.Contention,
+		Metrics:        r.Metrics,
 	})
 	sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
-	sim.Run(r.Window)
+	if err := sim.RunContext(ctx, r.Window); err != nil {
+		return 0, err
+	}
 	rate := float64(sim.ProcessUseful(bench)) / float64(r.Window)
 	if rate <= 0 {
 		return 0, fmt.Errorf("workloads: %s made no stand-alone progress", bench)
@@ -230,18 +250,28 @@ type RequestOutcome struct {
 // Results are memoized per job identity so figures sharing the same
 // runs (Fig 6 and Fig 7) pay for them once.
 func (r *Runner) RunPeriodic(bench string, policy engine.Policy) (PeriodicResult, error) {
-	job := r.job(simjob.KindPeriodic, bench, policyKey(policy, false), false, r.Headroom)
-	v, err := r.pool.Do(job, func() (any, error) {
-		return r.runPeriodic(bench, policy)
-	})
-	if err != nil {
-		return PeriodicResult{}, err
-	}
-	return v.(PeriodicResult), nil
+	res, _, err := r.RunPeriodicCtx(context.Background(), bench, policy)
+	return res, err
 }
 
-func (r *Runner) runPeriodic(bench string, policy engine.Policy) (PeriodicResult, error) {
-	soloRate, err := r.SoloRate(bench)
+// RunPeriodicCtx is RunPeriodic with cancellation threaded down to the
+// engine event loop: a cancelled ctx stops the simulation within one
+// event and the aborted run is not cached. executed reports whether
+// this call ran the simulation (false = cache or singleflight hit).
+func (r *Runner) RunPeriodicCtx(ctx context.Context, bench string, policy engine.Policy) (res PeriodicResult, executed bool, err error) {
+	job := r.job(simjob.KindPeriodic, bench, policyKey(policy, false), false, r.Headroom)
+	v, err := r.pool.DoContext(ctx, job, func(ctx context.Context) (any, error) {
+		executed = true
+		return r.runPeriodic(ctx, bench, policy)
+	})
+	if err != nil {
+		return PeriodicResult{}, executed, err
+	}
+	return v.(PeriodicResult), executed, nil
+}
+
+func (r *Runner) runPeriodic(ctx context.Context, bench string, policy engine.Policy) (PeriodicResult, error) {
+	soloRate, _, err := r.SoloRateCtx(ctx, bench)
 	if err != nil {
 		return PeriodicResult{}, err
 	}
@@ -261,11 +291,14 @@ func (r *Runner) runPeriodic(bench string, policy engine.Policy) (PeriodicResult
 		WarmStats:      r.Warm,
 		ContentionBeta: r.Contention,
 		Headroom:       r.Headroom,
+		Metrics:        r.Metrics,
 	})
 	sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
 	rt := PeriodicSpec(sim.Config().NumSMs)
 	sim.AddPeriodicTask(rt)
-	sim.Run(r.Window)
+	if err := sim.RunContext(ctx, r.Window); err != nil {
+		return PeriodicResult{}, err
+	}
 
 	res := PeriodicResult{Benchmark: bench, Policy: policy.Name()}
 	// The real-time task is entitled to SMs/NumSMs of the machine for
@@ -322,22 +355,31 @@ type PairResult struct {
 // policy + serial=true is the FCFS baseline) and computes ANTT/STP
 // against their stand-alone rates.
 func (r *Runner) RunPair(a, b string, policy engine.Policy, serial bool) (PairResult, error) {
-	job := r.job(simjob.KindPair, a+"+"+b, policyKey(policy, serial), serial, 0)
-	v, err := r.pool.Do(job, func() (any, error) {
-		return r.runPair(a, b, policy, serial)
-	})
-	if err != nil {
-		return PairResult{}, err
-	}
-	return v.(PairResult), nil
+	res, _, err := r.RunPairCtx(context.Background(), a, b, policy, serial)
+	return res, err
 }
 
-func (r *Runner) runPair(a, b string, policy engine.Policy, serial bool) (PairResult, error) {
-	rateA, err := r.SoloRate(a)
+// RunPairCtx is RunPair with cancellation threaded down to the engine
+// event loop (see RunPeriodicCtx). executed reports whether this call
+// ran the simulation (false = cache or singleflight hit).
+func (r *Runner) RunPairCtx(ctx context.Context, a, b string, policy engine.Policy, serial bool) (res PairResult, executed bool, err error) {
+	job := r.job(simjob.KindPair, a+"+"+b, policyKey(policy, serial), serial, 0)
+	v, err := r.pool.DoContext(ctx, job, func(ctx context.Context) (any, error) {
+		executed = true
+		return r.runPair(ctx, a, b, policy, serial)
+	})
+	if err != nil {
+		return PairResult{}, executed, err
+	}
+	return v.(PairResult), executed, nil
+}
+
+func (r *Runner) runPair(ctx context.Context, a, b string, policy engine.Policy, serial bool) (PairResult, error) {
+	rateA, _, err := r.SoloRateCtx(ctx, a)
 	if err != nil {
 		return PairResult{}, err
 	}
-	rateB, err := r.SoloRate(b)
+	rateB, _, err := r.SoloRateCtx(ctx, b)
 	if err != nil {
 		return PairResult{}, err
 	}
@@ -365,12 +407,15 @@ func (r *Runner) runPair(a, b string, policy engine.Policy, serial bool) (PairRe
 		WarmStats:      r.Warm,
 		Serial:         serial,
 		ContentionBeta: r.Contention,
+		Metrics:        r.Metrics,
 	})
 	// Process names must be unique even for self-pairs (A == B).
 	nameA, nameB := a+"#0", b+"#1"
 	sim.AddProcess(engine.ProcessSpec{Name: nameA, Launches: la, Loop: true})
 	sim.AddProcess(engine.ProcessSpec{Name: nameB, Launches: lb, Loop: true})
-	sim.Run(r.Window)
+	if err := sim.RunContext(ctx, r.Window); err != nil {
+		return PairResult{}, err
+	}
 
 	// A process that never got the GPU inside the window (FCFS behind a
 	// 20ms kernel) has measured rate zero; floor it at one instruction
