@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test short cover bench race results quick-results fuzz examples vet docs-check serve-smoke clean
+# Pinned staticcheck release (supports the go.mod language version).
+# CI installs it; locally `make lint` uses it when present and says so
+# when not, since offline containers cannot fetch it.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: all build test short cover bench race results quick-results fuzz examples vet lint docs-check serve-smoke clean
 
 all: build test
 
@@ -11,6 +16,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate (see docs/static-analysis.md): go vet, the
+# project's own chimeravet suite (determinism, sim-clock, context-flow
+# and schema invariants), the negative selftest that proves the fixture
+# corpus still fails, and a pinned staticcheck when installed.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/chimeravet ./...
+	$(GO) run ./cmd/chimeravet -selftest
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins honnef.co/go/tools@$(STATICCHECK_VERSION))"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -38,12 +57,17 @@ results:
 quick-results:
 	$(GO) run ./cmd/chimerasim -quick -trace trace_canonical.json all
 
-# Documentation gates: every example must build, and the observability
-# and server packages (whose APIs docs/observability.md and
-# docs/server.md document) must not export undocumented symbols.
+# Documentation gates: every example must build, the observability,
+# server and lint packages (whose APIs docs/observability.md,
+# docs/server.md and docs/static-analysis.md document) must not export
+# undocumented symbols, and the static-analysis page must stay
+# cross-linked from README and DESIGN.
 docs-check:
 	$(GO) build ./examples/...
-	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint
+	@test -f docs/static-analysis.md || { echo "docs/static-analysis.md is missing"; exit 1; }
+	@grep -q "docs/static-analysis.md" README.md || { echo "README.md does not link docs/static-analysis.md"; exit 1; }
+	@grep -q "static-analysis.md" DESIGN.md || { echo "DESIGN.md does not link docs/static-analysis.md"; exit 1; }
 
 # End-to-end service smoke: boot chimerad on a random port, drive the
 # full client path (submit, poll, cancel, scrape /metrics), then SIGTERM

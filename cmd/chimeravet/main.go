@@ -1,0 +1,131 @@
+// Command chimeravet runs the project's custom static-analysis suite:
+// four analyzers that prove the simulator's core invariants at build
+// time instead of hunting their violations in flaky test output.
+//
+// Usage:
+//
+//	chimeravet [-dir d] [packages...]   # analyze packages (default ./...)
+//	chimeravet -selftest [-dir d]       # prove the fixture corpus still fails
+//
+// The analyzers (see internal/lint and docs/static-analysis.md):
+//
+//	detmap      — no nondeterministic map iteration in determinism-critical packages
+//	wallclock   — no host-clock reads or global math/rand in simulation packages
+//	ctxflow     — exported blocking APIs take a context; no Background/TODO laundering
+//	schemaconst — trace event kinds and metric names are named constants
+//
+// Findings print as file:line:col: message [analyzer] and set exit
+// status 1; a genuine exception is silenced in source with
+// //chimera:allow <analyzer> <reason>.
+//
+// -selftest runs each analyzer over its internal/lint/testdata fixture
+// package and fails unless every analyzer still produces findings there
+// and every fixture expectation is met. make lint and CI run it right
+// after the clean-tree pass: a lint gate that cannot fail is no gate,
+// so the corpus of seeded violations proves the gate still bites.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"chimera/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the driver and returns the process exit status:
+// 0 clean, 1 findings (or selftest failure), 2 usage or load error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chimeravet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	selftest := fs.Bool("selftest", false, "run the analyzers over the seeded-violation fixture corpus and fail unless every analyzer fires")
+	dir := fs.String("dir", ".", "directory to resolve packages (and the fixture corpus) from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: chimeravet [-dir d] [packages...]\n       chimeravet -selftest [-dir d]\n\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *selftest {
+		return runSelftest(*dir, stdout, stderr)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "chimeravet: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "chimeravet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(stderr, "chimeravet: %d findings\n", n)
+		return 1
+	}
+	return 0
+}
+
+// fixtureCases maps each analyzer to its seeded-violation fixture
+// package. The fixture paths double as scope probes: each corpus is
+// loaded under an import path its analyzer considers in scope.
+var fixtureCases = []struct {
+	analyzer *lint.Analyzer
+	subdir   string
+	pkgPath  string
+}{
+	{lint.DetMap, "detmap/critical", "chimera/internal/engine/lintfixture"},
+	{lint.WallClock, "wallclock/sim", "chimera/internal/engine/lintfixture"},
+	{lint.CtxFlow, "ctxflow/server", "chimera/internal/simjob/lintfixture"},
+	{lint.SchemaConst, "schemaconst/obs", "chimera/internal/engine/lintfixture"},
+}
+
+// runSelftest proves the gate still bites: every analyzer must produce
+// at least one finding on its fixture corpus, and the corpus
+// expectations (// want comments) must all be met.
+func runSelftest(dir string, stdout, stderr io.Writer) int {
+	root := filepath.Join(dir, "internal", "lint", "testdata")
+	bad := 0
+	for _, c := range fixtureCases {
+		fixDir := filepath.Join(root, c.subdir)
+		mismatches, found, err := lint.CheckFixture(fixDir, c.pkgPath, []*lint.Analyzer{c.analyzer})
+		if err != nil {
+			fmt.Fprintf(stderr, "chimeravet -selftest: %s: %v\n", c.analyzer.Name, err)
+			return 2
+		}
+		for _, m := range mismatches {
+			fmt.Fprintf(stderr, "chimeravet -selftest: %s: %s\n", c.analyzer.Name, m)
+			bad++
+		}
+		if found == 0 {
+			fmt.Fprintf(stderr, "chimeravet -selftest: %s produced no findings on %s — the gate cannot fail\n",
+				c.analyzer.Name, fixDir)
+			bad++
+		} else {
+			fmt.Fprintf(stdout, "selftest: %s: %d seeded findings detected\n", c.analyzer.Name, found)
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	fmt.Fprintln(stdout, "selftest: all analyzers still detect their seeded violations")
+	return 0
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanPackageExitsZero runs the driver over a package known to be
+// clean and expects a silent success.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", "../..", "./internal/units"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestViolationExitsOne builds a throwaway module seeded with a
+// wallclock violation under a simulation import path and expects exit
+// status 1 with the finding on stdout.
+func TestViolationExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module chimera\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "engine", "bad.go"), `package engine
+
+import "time"
+
+// Boot records the host boot time, which a simulation package must not.
+func Boot() time.Time { return time.Now() }
+`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "time.Now reads the host clock") {
+		t.Errorf("stdout missing wallclock finding:\n%s", out.String())
+	}
+}
+
+// TestSelftestDetectsSeededCorpus proves the negative gate: every
+// analyzer must fire on its fixture corpus.
+func TestSelftestDetectsSeededCorpus(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest", "-dir", "../.."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, a := range []string{"detmap", "wallclock", "ctxflow", "schemaconst"} {
+		if !strings.Contains(out.String(), a+": ") {
+			t.Errorf("selftest output missing analyzer %s:\n%s", a, out.String())
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,8 +11,11 @@
 // line as file:line: name, and the exit status is 1 if any were found.
 //
 // The docs-check CI step runs it over the observability packages
-// (internal/trace, internal/metrics) so their documented event schema
-// (docs/observability.md) cannot drift ahead of the godoc.
+// (internal/trace, internal/metrics — docs/observability.md), the
+// service packages (internal/server and its client — docs/server.md)
+// and the static-analysis framework (internal/lint —
+// docs/static-analysis.md) so no documented surface can drift ahead of
+// the godoc.
 package main
 
 import (

@@ -40,6 +40,31 @@ type simMetrics struct {
 	canceled *metrics.Counter
 }
 
+// Metric names are package-level constants (enforced by chimeravet's
+// schemaconst analyzer) so the schema published in docs/observability.md
+// and the Prometheus exposition cannot silently drift from the code.
+const (
+	// MetricPreemptLatency is the measured preemption latency histogram;
+	// per-technique splits append "/" + the lowercased technique name.
+	MetricPreemptLatency = "preempt/latency_us"
+	// MetricEstError is the signed estimation-error histogram.
+	MetricEstError = "preempt/est_error_us"
+	// MetricDeadlineSlack is the met-deadline slack histogram.
+	MetricDeadlineSlack = "deadline/slack_us"
+	// MetricIdleGap is the SM idle-gap histogram.
+	MetricIdleGap = "sm/idle_gap_us"
+	// MetricRequests counts preemption requests issued.
+	MetricRequests = "preempt/requests"
+	// MetricForcedRequests counts requests that forced at least one SM.
+	MetricForcedRequests = "preempt/forced_requests"
+	// MetricDeadlineMisses counts violated periodic deadlines.
+	MetricDeadlineMisses = "deadline/misses"
+	// MetricRebalances counts scheduler rebalance decisions.
+	MetricRebalances = "sched/rebalances"
+	// MetricCanceledRuns counts runs abandoned through RunContext.
+	MetricCanceledRuns = "sim/canceled_runs"
+)
+
 // latencyBuckets spans sub-µs drains to the longest catalog drain times
 // (hundreds of µs) in exponential steps.
 var latencyBuckets = metrics.ExpBuckets(0.5, 2, 12)
@@ -50,19 +75,19 @@ var errBuckets = []float64{-8, -4, -2, -1, -0.5, -0.1, 0, 0.1, 0.5, 1, 2, 4, 8}
 // newSimMetrics resolves every handle the engine observes through.
 func newSimMetrics(reg *metrics.Registry) *simMetrics {
 	m := &simMetrics{
-		latency: reg.Histogram("preempt/latency_us", "µs", latencyBuckets),
-		estErr:  reg.Histogram("preempt/est_error_us", "µs", errBuckets),
-		slack:   reg.Histogram("deadline/slack_us", "µs", latencyBuckets),
-		idleGap: reg.Histogram("sm/idle_gap_us", "µs", latencyBuckets),
+		latency: reg.Histogram(MetricPreemptLatency, "µs", latencyBuckets),
+		estErr:  reg.Histogram(MetricEstError, "µs", errBuckets),
+		slack:   reg.Histogram(MetricDeadlineSlack, "µs", latencyBuckets),
+		idleGap: reg.Histogram(MetricIdleGap, "µs", latencyBuckets),
 
-		requests:   reg.Counter("preempt/requests"),
-		forced:     reg.Counter("preempt/forced_requests"),
-		misses:     reg.Counter("deadline/misses"),
-		rebalances: reg.Counter("sched/rebalances"),
-		canceled:   reg.Counter("sim/canceled_runs"),
+		requests:   reg.Counter(MetricRequests),
+		forced:     reg.Counter(MetricForcedRequests),
+		misses:     reg.Counter(MetricDeadlineMisses),
+		rebalances: reg.Counter(MetricRebalances),
+		canceled:   reg.Counter(MetricCanceledRuns),
 	}
 	for _, t := range preempt.Techniques() {
-		name := "preempt/latency_us/" + strings.ToLower(t.String())
+		name := MetricPreemptLatency + "/" + strings.ToLower(t.String())
 		m.latencyBy[t] = reg.Histogram(name, "µs", latencyBuckets)
 	}
 	return m

@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+// TestCtxFlowServer checks the blocking-API and laundering rules on the
+// cancellation chain, the unexported-receiver and context-root escapes,
+// and the suppression annotation.
+func TestCtxFlowServer(t *testing.T) {
+	RunFixture(t, "testdata/ctxflow/server", "chimera/internal/simjob/lintfixture", CtxFlow)
+}
+
+// TestCtxFlowExempt proves the analyzer stays silent outside the
+// cancellation-chain packages.
+func TestCtxFlowExempt(t *testing.T) {
+	RunFixture(t, "testdata/ctxflow/exempt", "chimera/internal/engine/lintfixture", CtxFlow)
+}

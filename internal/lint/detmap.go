@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismCriticalPackages lists the import-path prefixes where map
+// iteration order can leak into simulation results, recorded exhibits
+// or rendered artifacts. PR 1's free-SM-list bug — freed SMs re-entered
+// the free list in map-iteration order, perturbing schedules between
+// runs — is the canonical instance of the class DetMap eliminates.
+var DeterminismCriticalPackages = []string{
+	"chimera/internal/engine",
+	"chimera/internal/simjob",
+	"chimera/internal/experiments",
+	"chimera/internal/trace",
+	"chimera/internal/metrics",
+	"chimera/internal/workloads",
+	// kernelir's reuse-distance fingerprints feed preemption-cost
+	// estimation; iteration-order jitter there would perturb exhibits.
+	"chimera/internal/kernelir",
+}
+
+// DetMap flags `for … range` over a map in determinism-critical
+// packages. Two loop shapes are recognized as order-insensitive and
+// admitted without annotation:
+//
+//   - provably commutative accumulation: every statement in the body
+//     is a commutative compound assignment (+=, -=, *=, |=, &=, ^=),
+//     an increment/decrement, or a plain assignment whose only targets
+//     are elements indexed by the range key (distinct keys cannot
+//     alias), optionally guarded by ifs whose conditions read nothing
+//     the body writes;
+//   - collect-then-sort: the body only appends keys/values to slices
+//     that a later statement in the same block sorts (sort.* or
+//     slices.Sort*).
+//
+// Anything else needs a sorted key slice (see engine.sortedSMIDs) or a
+// //chimera:allow detmap <reason> annotation.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flags nondeterministic map iteration in determinism-critical packages " +
+		"(engine, simjob, experiments, trace, metrics, workloads)",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	if !hasPrefixPath(pass.PkgPath, DeterminismCriticalPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.Info.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if commutativeBody(pass.Info, rs) || collectThenSort(pass.Info, rs, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "nondeterministic iteration over map %s: sort the keys first, "+
+					"make the body commutative, or annotate //chimera:allow detmap <reason>",
+					types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// commutativeOps are the compound-assignment operators whose repeated
+// application is order-independent (commutative and associative over
+// their operand types, or a sum of signed deltas).
+var commutativeOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, // +=   (string += is excluded below)
+	token.SUB_ASSIGN: true, // -=
+	token.MUL_ASSIGN: true, // *=
+	token.OR_ASSIGN:  true, // |=
+	token.AND_ASSIGN: true, // &=
+	token.XOR_ASSIGN: true, // ^=
+}
+
+// commutativeBody reports whether every statement of the range body is
+// an order-insensitive accumulation. assigned tracks objects written by
+// the body so that guard conditions reading them disqualify the loop
+// (an `if total > limit` around `total += v` is order-dependent).
+func commutativeBody(info *types.Info, rs *ast.RangeStmt) bool {
+	assigned := map[types.Object]bool{}
+	collectAssigned(info, rs.Body, assigned)
+	keyObj := rangeVarObj(info, rs.Key)
+	valObj := rangeVarObj(info, rs.Value)
+	return commutativeStmts(info, rs.Body.List, keyObj, valObj, assigned)
+}
+
+func commutativeStmts(info *types.Info, stmts []ast.Stmt, key, val types.Object, assigned map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !commutativeStmt(info, s, key, val, assigned) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(info *types.Info, s ast.Stmt, key, val types.Object, assigned map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		// x++ / x-- is += 1 / -= 1: commutative for the numeric types
+		// the operators are defined on.
+		return true
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		if commutativeOps[s.Tok] {
+			// String concatenation via += is order-sensitive.
+			if tv, ok := info.Types[s.Lhs[0]]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return false
+				}
+			}
+			// The accumulated delta must not read another accumulator
+			// mutated by this same loop (e.g. m[k] = total; total += v).
+			return !refsAssigned(info, s.Rhs[0], assigned, key, val)
+		}
+		if s.Tok == token.ASSIGN {
+			// m2[k] = f(k, v): distinct map keys cannot alias, so
+			// writes keyed by the range key are order-insensitive as
+			// long as the value read nothing the body writes.
+			idx, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok || key == nil {
+				return false
+			}
+			ki, ok := idx.Index.(*ast.Ident)
+			if !ok || info.Uses[ki] != key {
+				return false
+			}
+			return !refsAssigned(info, s.Rhs[0], assigned, key, val)
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || s.Else != nil {
+			return false
+		}
+		if isMinMaxFold(s) {
+			return true
+		}
+		if refsAssigned(info, s.Cond, assigned, key, val) {
+			return false
+		}
+		return commutativeStmts(info, s.Body.List, key, val, assigned)
+	case *ast.RangeStmt:
+		// A nested loop (e.g. over each SM's resident blocks) keeps the
+		// outer accumulation commutative iff its own body is.
+		return commutativeStmts(info, s.Body.List, key, val, assigned)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// isMinMaxFold recognizes the order-insensitive min/max accumulation
+//
+//	if x ⋈ acc { acc = x }
+//
+// where ⋈ is an ordering comparison, one comparison operand is the
+// assigned accumulator and the other is (syntactically) the assigned
+// value. x must be call-free so evaluating it twice cannot diverge.
+func isMinMaxFold(s *ast.IfStmt) bool {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	if len(s.Body.List) != 1 {
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if hasCall(as.Rhs[0]) {
+		return false
+	}
+	acc := types.ExprString(as.Lhs[0])
+	val := types.ExprString(as.Rhs[0])
+	x, y := types.ExprString(cond.X), types.ExprString(cond.Y)
+	return (x == val && y == acc) || (x == acc && y == val)
+}
+
+// hasCall reports whether expr contains any call expression.
+func hasCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectAssigned records every object assigned, incremented or
+// index-written anywhere inside the body.
+func collectAssigned(info *types.Info, body ast.Node, out map[types.Object]bool) {
+	record := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				if obj := info.Uses[x]; obj != nil {
+					out[obj] = true
+				} else if obj := info.Defs[x]; obj != nil {
+					out[obj] = true
+				}
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+}
+
+// refsAssigned reports whether expr references any object in assigned,
+// other than the range key/value variables themselves (their per-entry
+// binding is order-independent by construction).
+func refsAssigned(info *types.Info, expr ast.Expr, assigned map[types.Object]bool, key, val types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || obj == key || obj == val {
+			return true
+		}
+		if assigned[obj] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// rangeVarObj resolves the object of a range key/value identifier.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// collectThenSort recognizes the canonical keys-collect idiom: the body
+// only appends to slices, and every such slice is sorted by a
+// sort.*/slices.Sort* call in a following statement of the same block
+// before anything order-sensitive can observe it.
+func collectThenSort(info *types.Info, rs *ast.RangeStmt, following []ast.Stmt) bool {
+	appended := map[types.Object]bool{}
+	ok := collectAppends(info, rs.Body.List, appended)
+	if !ok || len(appended) == 0 {
+		return false
+	}
+	for _, s := range following {
+		call := sortCall(info, s)
+		if call == nil {
+			continue
+		}
+		for _, arg := range call.Args {
+			for obj := range appended {
+				if exprUsesObj(info, arg, obj) {
+					delete(appended, obj)
+				}
+			}
+		}
+		if len(appended) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAppends verifies the statements are exclusively
+// `s = append(s, …)` self-appends (optionally if-guarded) and records
+// the appended slice objects.
+func collectAppends(info *types.Info, stmts []ast.Stmt, out map[types.Object]bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 || s.Tok != token.ASSIGN {
+				return false
+			}
+			lhs, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || info.Uses[fn] != types.Universe.Lookup("append") {
+				return false
+			}
+			first, ok := call.Args[0].(*ast.Ident)
+			if !ok || first.Name != lhs.Name {
+				return false
+			}
+			obj := info.Uses[lhs]
+			if obj == nil {
+				return false
+			}
+			out[obj] = true
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return false
+			}
+			if !collectAppends(info, s.Body.List, out) {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortCall returns the call expression if stmt is (or wraps) a call
+// into package sort or slices, e.g. sort.Slice(ids, …) or
+// slices.Sort(keys).
+func sortCall(info *types.Info, stmt ast.Stmt) *ast.CallExpr {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if pkg, _, ok := pkgFuncCall(info, call); ok && (pkg == "sort" || pkg == "slices") {
+		return call
+	}
+	return nil
+}
+
+// exprUsesObj reports whether expr mentions the given object.
+func exprUsesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+// TestDetMapCritical checks every seeded violation and sanctioned loop
+// shape against the fixture's want comments, including the suppression
+// annotation.
+func TestDetMapCritical(t *testing.T) {
+	RunFixture(t, "testdata/detmap/critical", "chimera/internal/engine/lintfixture", DetMap)
+}
+
+// TestDetMapExempt proves the analyzer stays silent outside the
+// determinism-critical package set.
+func TestDetMapExempt(t *testing.T) {
+	RunFixture(t, "testdata/detmap/exempt", "chimera/internal/viz/lintfixture", DetMap)
+}

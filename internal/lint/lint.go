@@ -1,0 +1,278 @@
+// Package lint is chimeravet's analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis model (Analyzer, Pass, Diagnostic) plus the project's
+// suppression-annotation grammar.
+//
+// The simulator's credibility rests on invariants that ordinary tests
+// only probe after the fact: results must be bit-for-bit deterministic,
+// simulated time must come from the event queue (never the host clock),
+// cancellation contexts must flow unbroken from the HTTP layer to the
+// engine, and the published event/metric schema must live in named
+// constants so docs cannot silently drift. The four analyzers in this
+// package (DetMap, WallClock, CtxFlow and SchemaConst) prove those
+// properties at build time — the same move the Chimera paper makes with
+// its static may-breach pass (§3.4): analyze up front instead of
+// detecting at runtime.
+//
+// # Suppression grammar
+//
+// A finding that is a genuine false positive — or a deliberate,
+// reviewed exception — is silenced with an annotation on the flagged
+// line or the line directly above it:
+//
+//	//chimera:allow <analyzer> <reason>
+//
+// The analyzer name must match a registered analyzer and the reason
+// must be non-empty; a malformed annotation is itself reported as a
+// finding, so an allow can never rot into an unconditional mute.
+//
+// See docs/static-analysis.md for the full rationale and a worked
+// description of each analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one named check. It mirrors the x/tools
+// go/analysis Analyzer shape so the checks could be ported to the real
+// driver if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //chimera:allow
+	// annotations. It must be a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description shown by chimeravet -help.
+	Doc string
+	// Run performs the analysis on one package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and identifier facts.
+	Info *types.Info
+	// PkgPath is the package's import path (e.g. chimera/internal/engine).
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it
+// and a human-readable message.
+type Diagnostic struct {
+	// Pos locates the finding in the source tree.
+	Pos token.Position
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Message explains the violation and how to fix or annotate it.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: message [analyzer] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// AllowDirective is the comment prefix of a suppression annotation.
+const AllowDirective = "//chimera:allow"
+
+// allowAnnotation is one parsed //chimera:allow comment.
+type allowAnnotation struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// Run executes every analyzer over every package, applies the
+// //chimera:allow suppression pass and returns the surviving
+// diagnostics sorted by position. Malformed annotations are reported
+// as findings of the pseudo-analyzer "allow".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		allows, malformed := collectAllows(pkg.Fset, pkg.Files, known)
+		diags = append(diags, malformed...)
+		all = append(all, suppress(diags, allows)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// collectAllows parses every //chimera:allow comment in the package,
+// returning well-formed annotations keyed for suppression plus
+// diagnostics for malformed ones (missing analyzer, unknown analyzer,
+// or empty reason).
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[string][]allowAnnotation, []Diagnostic) {
+	allows := make(map[string][]allowAnnotation)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, AllowDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //chimera:allowlist — not our directive
+				}
+				fields := strings.Fields(rest)
+				bad := func(msg string) {
+					malformed = append(malformed, Diagnostic{Pos: pos, Analyzer: "allow", Message: msg})
+				}
+				switch {
+				case len(fields) == 0:
+					bad("malformed //chimera:allow: missing analyzer name and reason")
+				case !known[fields[0]]:
+					bad(fmt.Sprintf("malformed //chimera:allow: unknown analyzer %q", fields[0]))
+				case len(fields) == 1:
+					bad(fmt.Sprintf("malformed //chimera:allow %s: a non-empty reason is required", fields[0]))
+				default:
+					allows[pos.Filename] = append(allows[pos.Filename], allowAnnotation{
+						line:     pos.Line,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// suppress drops diagnostics covered by an allow annotation on the
+// same line or the line directly above the finding.
+func suppress(diags []Diagnostic, allows map[string][]allowAnnotation) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		ok := false
+		for _, a := range allows[d.Pos.Filename] {
+			if a.analyzer == d.Analyzer && (a.line == d.Pos.Line || a.line == d.Pos.Line-1) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Analyzers returns the full chimeravet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetMap, WallClock, CtxFlow, SchemaConst}
+}
+
+// hasPrefixPath reports whether pkgPath equals one of the prefixes or
+// sits beneath one of them ("a/b" matches prefix "a/b" and "a", never
+// "a/bc").
+func hasPrefixPath(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypePath returns the package path and type name of t's core
+// named type, following pointers, or "" if t is not a named type.
+func namedTypePath(t types.Type) (pkgPath, name string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// pkgFuncCall reports whether call invokes a package-level function of
+// the package with import path pkgPath, returning its name. It relies
+// on type information, so aliased imports are handled correctly.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", "", false
+	}
+	// Package-level functions are selected through a package ident.
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one in-memory file for annotation-grammar tests.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestAllowGrammarMalformed proves an annotation cannot rot into an
+// unconditional mute: a missing analyzer, an unknown analyzer and a
+// missing reason are each reported as findings.
+func TestAllowGrammarMalformed(t *testing.T) {
+	src := `package p
+
+//chimera:allow
+func a() {}
+
+//chimera:allow nosuch something
+func b() {}
+
+//chimera:allow detmap
+func c() {}
+
+//chimera:allow detmap a perfectly good reason
+func d() {}
+
+//chimera:allowlist unrelated directive
+func e() {}
+`
+	fset, files := parseSrc(t, src)
+	known := map[string]bool{"detmap": true}
+	allows, malformed := collectAllows(fset, files, known)
+
+	if got := len(malformed); got != 3 {
+		for _, m := range malformed {
+			t.Logf("malformed: %s", m)
+		}
+		t.Fatalf("malformed annotations: got %d, want 3", got)
+	}
+	wants := []string{"missing analyzer name", `unknown analyzer "nosuch"`, "non-empty reason is required"}
+	for i, w := range wants {
+		if !strings.Contains(malformed[i].Message, w) {
+			t.Errorf("malformed[%d] = %q, want it to mention %q", i, malformed[i].Message, w)
+		}
+	}
+	if got := len(allows["x.go"]); got != 1 {
+		t.Fatalf("well-formed annotations: got %d, want 1", got)
+	}
+	if a := allows["x.go"][0]; a.analyzer != "detmap" || a.reason != "a perfectly good reason" {
+		t.Errorf("parsed annotation = %+v", a)
+	}
+}
+
+// TestSuppressSameLineAndLineAbove covers the two sanctioned placements
+// and confirms an annotation does not suppress other analyzers or
+// other lines.
+func TestSuppressSameLineAndLineAbove(t *testing.T) {
+	allows := map[string][]allowAnnotation{
+		"x.go": {{line: 10, analyzer: "detmap", reason: "r"}},
+	}
+	diag := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "x.go", Line: line}, Analyzer: analyzer, Message: "m"}
+	}
+	cases := []struct {
+		d    Diagnostic
+		kept bool
+	}{
+		{diag(10, "detmap"), false}, // same line
+		{diag(11, "detmap"), false}, // annotation on the line above
+		{diag(12, "detmap"), true},  // too far away
+		{diag(9, "detmap"), true},   // annotation below the finding
+		{diag(10, "wallclock"), true},
+	}
+	for _, c := range cases {
+		out := suppress([]Diagnostic{c.d}, allows)
+		if kept := len(out) == 1; kept != c.kept {
+			t.Errorf("diag at %d [%s]: kept=%v, want %v", c.d.Pos.Line, c.d.Analyzer, kept, c.kept)
+		}
+	}
+}

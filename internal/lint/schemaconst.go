@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SchemaConst keeps the published observability schema in named
+// constants. docs/observability.md and the Prometheus exposition
+// document exact metric names and trace-event kinds; when a call site
+// spells a name as an inline string literal there is nothing tying the
+// code to the doc, and a typo ships as a silently diverging series.
+// The analyzer flags:
+//
+//   - metrics.Registry.Counter / Registry.Histogram calls whose name
+//     argument is rooted in a string literal (a bare literal, or a
+//     concatenation whose leftmost operand is one) — names must be
+//     package-level constants, with dynamic suffixes concatenated onto
+//     a named constant prefix;
+//   - trace.Event composite literals whose Kind field is a bare
+//     numeric literal or a Kind(n) conversion of one — kinds must use
+//     the named trace.Kind constants.
+var SchemaConst = &Analyzer{
+	Name: "schemaconst",
+	Doc: "trace event kinds and metric names must be package-level constants, " +
+		"not inline literals, so docs/observability.md cannot silently drift",
+	Run: runSchemaConst,
+}
+
+// metricsRegistryPath is the package whose registration methods define
+// the metric namespace.
+const metricsRegistryPath = "chimera/internal/metrics"
+
+// traceEventPath is the package whose Event.Kind field is schema.
+const traceEventPath = "chimera/internal/trace"
+
+// registryNameMethods maps Registry method names to the index of their
+// metric-name argument.
+var registryNameMethods = map[string]int{
+	"Counter":   0,
+	"Histogram": 0,
+}
+
+func runSchemaConst(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkMetricName(pass, n)
+			case *ast.CompositeLit:
+				checkEventKind(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMetricName flags Registry.Counter/Histogram calls whose name
+// argument is rooted in a string literal.
+func checkMetricName(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	argIdx, ok := registryNameMethods[sel.Sel.Name]
+	if !ok || len(call.Args) <= argIdx {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	pkg, name := namedTypePath(selection.Recv())
+	if pkg != metricsRegistryPath || name != "Registry" {
+		return
+	}
+	if lit := rootStringLit(call.Args[argIdx]); lit != nil {
+		pass.Reportf(lit.Pos(), "metric name %s is an inline literal: register through a "+
+			"package-level constant so the published schema cannot drift "+
+			"(or annotate //chimera:allow schemaconst <reason>)", lit.Value)
+	}
+}
+
+// checkEventKind flags trace.Event{Kind: <literal>} composite literals.
+func checkEventKind(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	pkg, name := namedTypePath(tv.Type)
+	if pkg != traceEventPath || name != "Event" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		v := ast.Unparen(kv.Value)
+		if call, ok := v.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			// Unwrap a Kind(n) conversion.
+			if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+				v = ast.Unparen(call.Args[0])
+			}
+		}
+		if bl, ok := v.(*ast.BasicLit); ok && (bl.Kind == token.INT || bl.Kind == token.STRING) {
+			pass.Reportf(bl.Pos(), "trace event kind %s is an inline literal: use the named "+
+				"trace.Kind constants (or annotate //chimera:allow schemaconst <reason>)", bl.Value)
+		}
+	}
+}
+
+// rootStringLit returns the string literal at the root of expr: expr
+// itself if it is one, or the leftmost operand of a concatenation
+// chain. A concatenation onto a named constant prefix returns nil.
+func rootStringLit(expr ast.Expr) *ast.BasicLit {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.BasicLit:
+			if e.Kind == token.STRING {
+				return e
+			}
+			return nil
+		case *ast.BinaryExpr:
+			if e.Op != token.ADD {
+				return nil
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

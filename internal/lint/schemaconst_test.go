@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+// TestSchemaConst checks that inline metric names and literal trace
+// kinds are flagged against the real metrics and trace packages, that
+// named constants (and constant-prefixed dynamic names) pass, and that
+// the suppression annotation works.
+func TestSchemaConst(t *testing.T) {
+	RunFixture(t, "testdata/schemaconst/obs", "chimera/internal/engine/lintfixture", SchemaConst)
+}

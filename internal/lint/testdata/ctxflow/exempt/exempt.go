@@ -1,0 +1,9 @@
+// Package exemptfix blocks without a context but is loaded under an
+// import path outside the cancellation chain, so ctxflow must stay
+// silent.
+package exemptfix
+
+// BlockingReceive would be a violation inside server/simjob/workloads.
+func BlockingReceive(ch chan int) int {
+	return <-ch
+}

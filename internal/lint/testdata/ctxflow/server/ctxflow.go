@@ -1,0 +1,107 @@
+// Package ctxflowfix seeds cancellation-chain violations; it is loaded
+// under an import path on the PR 3 cancellation path
+// (HTTP → server → simjob → engine).
+package ctxflowfix
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Exported type so methods on it count as exported API.
+type Queue struct {
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// unexported receiver type: its exported methods are not public API.
+type worker struct{ ch chan int }
+
+// BadBlockingReceive blocks on a channel with no way to bound the wait.
+func BadBlockingReceive(ch chan int) int { // want `exported BadBlockingReceive blocks`
+	return <-ch
+}
+
+// BadWait blocks on a WaitGroup without a context.
+func (q *Queue) BadWait() { // want `exported BadWait blocks`
+	q.wg.Wait()
+}
+
+// BadSelect blocks in a default-less select.
+func (q *Queue) BadSelect(other chan int) int { // want `exported BadSelect blocks`
+	select {
+	case v := <-q.ch:
+		return v
+	case v := <-other:
+		return v
+	}
+}
+
+// BadLaunder has a ctx but starts a fresh one mid-chain.
+func BadLaunder(ctx context.Context, ch chan int) int {
+	c, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) discards the context already in scope`
+	defer cancel()
+	select {
+	case v := <-ch:
+		return v
+	case <-c.Done():
+		return 0
+	}
+}
+
+// BadClosureLaunder launders inside a goroutine closure that still sees
+// the enclosing ctx.
+func BadClosureLaunder(ctx context.Context, ch chan int) {
+	go func() {
+		_ = context.TODO() // want `context.TODO\(\) discards the context already in scope`
+		<-ch
+	}()
+}
+
+// BadHandlerLaunder has a request (whose Context carries cancellation)
+// but starts over from the root.
+func BadHandlerLaunder(w http.ResponseWriter, r *http.Request) {
+	_ = context.Background() // want `context.Background\(\) discards the context already in scope`
+}
+
+// GoodCtxReceive bounds the wait with the caller's context.
+func GoodCtxReceive(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// GoodRoot is a deliberate context root: nothing is in scope to
+// launder, and it does not itself block.
+func GoodRoot(ch chan int) (int, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return GoodCtxReceive(ctx, ch)
+}
+
+// GoodSelectDefault polls without blocking.
+func (q *Queue) GoodSelectDefault() (int, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Drain blocks, but its receiver type is unexported so it is not part
+// of the package's exported surface.
+func (w *worker) Drain() int {
+	return <-w.ch
+}
+
+// AllowedBarrier is a reviewed structured-concurrency barrier.
+//
+//chimera:allow ctxflow fixture exercises the suppression path
+func (q *Queue) AllowedBarrier() {
+	q.wg.Wait()
+}

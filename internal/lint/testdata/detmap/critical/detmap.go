@@ -1,0 +1,110 @@
+// Package detmapfix seeds violations and non-violations for the detmap
+// analyzer; it is loaded under a determinism-critical import path.
+package detmapfix
+
+import "sort"
+
+// badOrderLeak leaks map order into an unsorted slice.
+func badOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `nondeterministic iteration over map m`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// badStringConcat accumulates a string: += on strings is order-sensitive.
+func badStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `nondeterministic iteration over map m`
+		s += k
+	}
+	return s
+}
+
+// badGuardReadsAccumulator reads the accumulator in the guard, so the
+// loop's effect depends on visit order.
+func badGuardReadsAccumulator(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `nondeterministic iteration over map m`
+		if total < 100 {
+			total += v
+		}
+	}
+	return total
+}
+
+// badCollectWithoutSort appends keys but never sorts them.
+func badCollectWithoutSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `nondeterministic iteration over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// goodSum is a commutative accumulation: order cannot matter.
+func goodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodKeyedWrite writes through the range key: distinct keys cannot
+// alias, so the writes commute.
+func goodKeyedWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// goodMaxFold is the order-insensitive max accumulation (the shape of
+// engine.periodicTask.acquireLatency, including the nested range).
+func goodMaxFold(m map[string][]int) int {
+	var max int
+	for _, vs := range m {
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// goodCollectThenSort is the canonical sorted-keys idiom (the shape of
+// engine.sortedSMIDs).
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodGuardedCount counts matching entries; the guard reads only the
+// range variables.
+func goodGuardedCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// allowedAnnotated carries a reviewed suppression.
+func allowedAnnotated(m map[string]int) []string {
+	var out []string
+	//chimera:allow detmap fixture exercises the suppression path
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

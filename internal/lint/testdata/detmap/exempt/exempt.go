@@ -1,0 +1,13 @@
+// Package exemptfix holds the same order-leaking loop as the critical
+// fixture but is loaded under a non-critical import path, so detmap
+// must stay silent.
+package exemptfix
+
+// orderLeak would be a violation in a determinism-critical package.
+func orderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

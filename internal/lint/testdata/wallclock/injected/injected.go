@@ -1,0 +1,17 @@
+// Package injectedfix holds the same host-clock reads as the sim
+// fixture but is loaded under an accept-listed import path (the server
+// packages use injected clocks their tests replace), so wallclock must
+// stay silent.
+package injectedfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// retryDelay is the kind of real-deadline code the server client runs;
+// its clock and rand are injectable seams in the real package.
+func retryDelay() time.Duration {
+	_ = time.Now()
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}

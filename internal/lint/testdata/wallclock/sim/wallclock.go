@@ -1,0 +1,45 @@
+// Package wallclockfix seeds host-clock and global-rand violations; it
+// is loaded under a simulation-package import path.
+package wallclockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badNow reads the host clock.
+func badNow() time.Time {
+	return time.Now() // want `time.Now reads the host clock`
+}
+
+// badSleep waits on the host clock.
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host clock`
+}
+
+// badSince measures host time.
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the host clock`
+}
+
+// badGlobalRand draws from the process-global source.
+func badGlobalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global source`
+}
+
+// goodSeededRand builds an explicitly seeded generator: deterministic.
+func goodSeededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// goodDurationMath only converts units; it never reads a clock.
+func goodDurationMath(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Microsecond
+}
+
+// allowedNow carries a reviewed suppression.
+func allowedNow() time.Time {
+	//chimera:allow wallclock fixture exercises the suppression path
+	return time.Now()
+}

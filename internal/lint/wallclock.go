@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SimClockPackages lists the import-path prefixes where time is defined
+// by the event queue and randomness by internal/rng: reading the host
+// clock or the global math/rand source there makes runs unreproducible.
+var SimClockPackages = []string{
+	"chimera/internal/engine",
+	"chimera/internal/eventq",
+	"chimera/internal/simjob",
+	"chimera/internal/experiments",
+	"chimera/internal/trace",
+	"chimera/internal/metrics",
+	"chimera/internal/workloads",
+	"chimera/internal/preempt",
+	"chimera/internal/smsim",
+	"chimera/internal/sched",
+	"chimera/internal/kernels",
+	"chimera/internal/kernelir",
+}
+
+// InjectedClockPackages are exempt from WallClock: they interact with
+// real deadlines and retry timers through injected clocks that their
+// tests replace (see internal/server/client's clock/rand seams).
+var InjectedClockPackages = []string{
+	"chimera/internal/server",
+	"chimera/cmd",
+}
+
+// wallClockFuncs are the package time functions that read or wait on
+// the host clock. Duration constants and arithmetic (time.Millisecond,
+// Duration.Seconds) remain available for converting simulated cycles.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandExempt are the math/rand constructors that build an
+// explicitly seeded generator; everything else package-level draws from
+// the process-global source and is banned in simulation packages.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// WallClock forbids host-clock reads (time.Now/Since/Sleep/…) and
+// global math/rand draws in simulation packages, where time must come
+// from the event queue and randomness from an injected internal/rng
+// stream. Packages on InjectedClockPackages (the network server and
+// client, which face real wall-clock deadlines through replaceable
+// clock seams) are exempt. A deliberate host-clock read — such as
+// simjob's measurement of real compute time for progress reporting —
+// carries a //chimera:allow wallclock <reason> annotation.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Sleep/… and global math/rand in simulation packages; " +
+		"sim time comes from the event queue, randomness from internal/rng",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !hasPrefixPath(pass.PkgPath, SimClockPackages) {
+		return nil
+	}
+	if hasPrefixPath(pass.PkgPath, InjectedClockPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFuncCall(pass.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && wallClockFuncs[name]:
+				pass.Reportf(call.Pos(), "time.%s reads the host clock in a simulation package: "+
+					"derive time from the event queue, or annotate //chimera:allow wallclock <reason>", name)
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !globalRandExempt[name]:
+				pass.Reportf(call.Pos(), "rand.%s draws from the global source in a simulation package: "+
+					"use an internal/rng stream (or an explicitly seeded rand.New), "+
+					"or annotate //chimera:allow wallclock <reason>", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

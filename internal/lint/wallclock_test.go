@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+// TestWallClockSim checks the host-clock and global-rand bans in a
+// simulation package, the seeded-rand and duration-math escapes, and
+// the suppression annotation.
+func TestWallClockSim(t *testing.T) {
+	RunFixture(t, "testdata/wallclock/sim", "chimera/internal/engine/lintfixture", WallClock)
+}
+
+// TestWallClockInjectedAcceptList proves the server packages' injected
+// clocks are exempt.
+func TestWallClockInjectedAcceptList(t *testing.T) {
+	RunFixture(t, "testdata/wallclock/injected", "chimera/internal/server/lintfixture", WallClock)
+}

@@ -77,6 +77,28 @@ type Server struct {
 	hLatency    *metrics.Histogram
 }
 
+// Metric names exposed on /metrics, as package-level constants
+// (enforced by chimeravet's schemaconst analyzer) so docs/server.md and
+// the Prometheus exposition cannot silently drift from the code.
+const (
+	// MetricJobsSubmitted counts jobs admitted past validation.
+	MetricJobsSubmitted = "server/jobs_submitted"
+	// MetricJobsCompleted counts jobs that finished successfully.
+	MetricJobsCompleted = "server/jobs_completed"
+	// MetricJobsFailed counts jobs that finished with an error.
+	MetricJobsFailed = "server/jobs_failed"
+	// MetricJobsCanceled counts jobs canceled or timed out.
+	MetricJobsCanceled = "server/jobs_canceled"
+	// MetricJobsRejected counts submissions refused by admission control.
+	MetricJobsRejected = "server/jobs_rejected"
+	// MetricJobsDeduped counts jobs served from the simjob cache.
+	MetricJobsDeduped = "server/jobs_deduped"
+	// MetricQueueDepth gauges the current admission-queue length.
+	MetricQueueDepth = "server/queue_depth"
+	// MetricJobLatency is the submit-to-done service-time histogram.
+	MetricJobLatency = "server/job_latency_ms"
+)
+
 // latencyBoundsMs buckets the job service-time histogram (milliseconds).
 var latencyBoundsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000}
 
@@ -112,14 +134,14 @@ func New(cfg Config) *Server {
 		pool: simjob.NewPool(cfg.Workers, cache),
 		jobs: make(map[string]*job),
 
-		cSubmitted:  cfg.Registry.Counter("server/jobs_submitted"),
-		cCompleted:  cfg.Registry.Counter("server/jobs_completed"),
-		cFailed:     cfg.Registry.Counter("server/jobs_failed"),
-		cCanceled:   cfg.Registry.Counter("server/jobs_canceled"),
-		cRejected:   cfg.Registry.Counter("server/jobs_rejected"),
-		cDeduped:    cfg.Registry.Counter("server/jobs_deduped"),
-		gQueueDepth: cfg.Registry.Counter("server/queue_depth"),
-		hLatency:    cfg.Registry.Histogram("server/job_latency_ms", "ms", latencyBoundsMs),
+		cSubmitted:  cfg.Registry.Counter(MetricJobsSubmitted),
+		cCompleted:  cfg.Registry.Counter(MetricJobsCompleted),
+		cFailed:     cfg.Registry.Counter(MetricJobsFailed),
+		cCanceled:   cfg.Registry.Counter(MetricJobsCanceled),
+		cRejected:   cfg.Registry.Counter(MetricJobsRejected),
+		cDeduped:    cfg.Registry.Counter(MetricJobsDeduped),
+		gQueueDepth: cfg.Registry.Counter(MetricQueueDepth),
+		hLatency:    cfg.Registry.Histogram(MetricJobLatency, "ms", latencyBoundsMs),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)

@@ -152,9 +152,10 @@ func (c *Cache) doJob(ctx context.Context, job Job, fn func(context.Context) (an
 		c.entries[job] = e
 		c.mu.Unlock()
 
+		//chimera:allow wallclock measures host compute time for progress stats, never simulated time
 		start := time.Now()
 		e.val, e.err = fn(ctx)
-		dur = time.Since(start)
+		dur = time.Since(start) //chimera:allow wallclock host-side duration for Stats.JobTime, not sim state
 		c.stats.ran(dur, e.err != nil)
 		c.mu.Lock()
 		if e.err != nil {

@@ -87,6 +87,8 @@ func (p *Pool) DoContext(ctx context.Context, job Job, fn func(context.Context) 
 // deterministic no matter the completion order. Run may be called
 // concurrently; tasks must not call Run on the same pool (they would
 // wait for worker slots their parents hold).
+//
+//chimera:allow ctxflow Run is a structured-concurrency barrier: cancellation reaches tasks through the contexts they close over, and the barrier must still wait for them to unwind or goroutines would leak
 func (p *Pool) Run(tasks ...func() error) error {
 	p.stats.taskQueued(int64(len(tasks)))
 	errs := make([]error, len(tasks))

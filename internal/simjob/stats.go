@@ -121,12 +121,34 @@ func GlobalStats() Stats { return global.snapshot() }
 // counters (job time in milliseconds), so a single Registry.Render shows
 // scheduler activity next to the engine's own metrics.
 func (s Stats) Publish(reg *metrics.Registry) {
-	reg.Counter("simjob/tasks_queued").Set(s.TasksQueued)
-	reg.Counter("simjob/tasks_running").Set(s.TasksRunning)
-	reg.Counter("simjob/tasks_done").Set(s.TasksDone)
-	reg.Counter("simjob/jobs_run").Set(s.JobsRun)
-	reg.Counter("simjob/cache_hits").Set(s.CacheHits)
-	reg.Counter("simjob/errors").Set(s.Errors)
-	reg.Counter("simjob/job_time_ms").Set(s.JobTime.Milliseconds())
-	reg.Counter("simjob/evictions").Set(s.Evictions)
+	reg.Counter(MetricTasksQueued).Set(s.TasksQueued)
+	reg.Counter(MetricTasksRunning).Set(s.TasksRunning)
+	reg.Counter(MetricTasksDone).Set(s.TasksDone)
+	reg.Counter(MetricJobsRun).Set(s.JobsRun)
+	reg.Counter(MetricCacheHits).Set(s.CacheHits)
+	reg.Counter(MetricErrors).Set(s.Errors)
+	reg.Counter(MetricJobTime).Set(s.JobTime.Milliseconds())
+	reg.Counter(MetricEvictions).Set(s.Evictions)
 }
+
+// Metric names published by Stats.Publish, as package-level constants
+// (enforced by chimeravet's schemaconst analyzer) so the schema in
+// docs/observability.md cannot silently drift from the code.
+const (
+	// MetricTasksQueued counts tasks ever handed to a pool.
+	MetricTasksQueued = "simjob/tasks_queued"
+	// MetricTasksRunning gauges tasks currently holding a worker slot.
+	MetricTasksRunning = "simjob/tasks_running"
+	// MetricTasksDone counts tasks that finished (any outcome).
+	MetricTasksDone = "simjob/tasks_done"
+	// MetricJobsRun counts cache misses that executed a simulation.
+	MetricJobsRun = "simjob/jobs_run"
+	// MetricCacheHits counts jobs served from the memoizing cache.
+	MetricCacheHits = "simjob/cache_hits"
+	// MetricErrors counts failed job executions.
+	MetricErrors = "simjob/errors"
+	// MetricJobTime accumulates host compute time across jobs (ms).
+	MetricJobTime = "simjob/job_time_ms"
+	// MetricEvictions counts LRU evictions from the cache.
+	MetricEvictions = "simjob/evictions"
+)
