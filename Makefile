@@ -7,7 +7,7 @@ GO ?= go
 # when not, since offline containers cannot fetch it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test short cover bench race results quick-results fuzz examples vet lint docs-check serve-smoke clean
+.PHONY: all build test short cover bench race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke clean
 
 all: build test
 
@@ -64,8 +64,9 @@ quick-results:
 # cross-linked from README and DESIGN.
 docs-check:
 	$(GO) build ./examples/...
-	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults
 	@test -f docs/static-analysis.md || { echo "docs/static-analysis.md is missing"; exit 1; }
+	@test -f docs/faults.md || { echo "docs/faults.md is missing"; exit 1; }
 	@grep -q "docs/static-analysis.md" README.md || { echo "README.md does not link docs/static-analysis.md"; exit 1; }
 	@grep -q "static-analysis.md" DESIGN.md || { echo "DESIGN.md does not link docs/static-analysis.md"; exit 1; }
 
@@ -79,6 +80,16 @@ serve-smoke:
 # Fuzz the kernel-IR parser for 30 seconds.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/kernelir/
+
+# CI fuzz gate: every fuzz target for 20 seconds each. Checked-in seed
+# corpora live under each package's testdata/fuzz/; anything the fuzzer
+# newly discovers in these short runs stays in the local build cache.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/kernelir/
+	$(GO) test -run '^$$' -fuzz FuzzFlushSoundness -fuzztime $(FUZZTIME) ./internal/funcsim/
+	$(GO) test -run '^$$' -fuzz FuzzEventQ -fuzztime $(FUZZTIME) ./internal/eventq/
+	$(GO) test -run '^$$' -fuzz FuzzPlanIO -fuzztime $(FUZZTIME) ./internal/planio/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -2,8 +2,11 @@
 // serve-smoke`: it boots a real chimerad on a random port, drives the
 // full client path — submit, poll to completion, fetch the result,
 // cancel a second job, scrape /metrics — then sends SIGTERM and
-// verifies the daemon drains gracefully (exit 0). Any failure exits
-// non-zero with a diagnostic.
+// verifies the daemon drains gracefully (exit 0). A second leg reboots
+// the daemon with the fault plane armed (-fault-* flags) and verifies
+// the retrying client still gets every result while the resilience
+// counters surface on /metrics. Any failure exits non-zero with a
+// diagnostic.
 //
 // Usage:
 //
@@ -45,53 +48,122 @@ func main() {
 		fmt.Fprintf(os.Stderr, "servesmoke: FAIL: %v\n", err)
 		os.Exit(1)
 	}
+	if err := runChaos(ctx, *bin); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: FAIL (chaos leg): %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println("servesmoke: PASS")
 }
 
-// run executes the whole smoke sequence against one daemon instance.
-func run(ctx context.Context, bin string) error {
-	cmd := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "16", "-cache", "64")
+// daemon is one booted chimerad instance under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	// drained reports whether the process printed its drain marker
+	// before stdout closed.
+	drained chan bool
+	// faultPlan receives the fingerprint the daemon printed at boot when
+	// its fault plane was armed ("" when it never printed one).
+	faultPlan chan string
+}
+
+// bootDaemon starts bin with the given extra flags on a random port and
+// waits for its address announcement.
+func bootDaemon(ctx context.Context, bin string, extra ...string) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.CommandContext(ctx, bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("boot %s: %w", bin, err)
+		return nil, fmt.Errorf("boot %s: %w", bin, err)
 	}
-	defer func() {
-		if cmd.Process != nil {
-			_ = cmd.Process.Kill()
-		}
-	}()
+	d := &daemon{cmd: cmd, drained: make(chan bool, 1), faultPlan: make(chan string, 1)}
 
 	// The daemon prints "chimerad listening on ADDR" once the socket is
-	// bound; everything after that is drain chatter.
+	// bound; everything after that is the fault-plan banner (when armed)
+	// and drain chatter.
 	sc := bufio.NewScanner(stdout)
-	var addr string
 	for sc.Scan() {
-		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "chimerad listening on "); ok {
-			addr = rest
+		if rest, ok := strings.CutPrefix(sc.Text(), "chimerad listening on "); ok {
+			d.addr = rest
 			break
 		}
 	}
-	if addr == "" {
-		return fmt.Errorf("daemon never announced its address")
+	if d.addr == "" {
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("daemon never announced its address")
 	}
-	fmt.Printf("servesmoke: daemon up at %s\n", addr)
-	drained := make(chan bool, 1)
 	go func() {
+		plan, drained := "", false
 		for sc.Scan() {
-			if strings.Contains(sc.Text(), "chimerad drained") {
-				drained <- true
-				return
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "chimerad fault plan "); ok {
+				plan = rest
+			}
+			if strings.Contains(line, "chimerad drained") {
+				drained = true
+				break
 			}
 		}
-		drained <- false
+		d.faultPlan <- plan
+		d.drained <- drained
 	}()
+	return d, nil
+}
 
-	c := client.New("http://" + addr)
+// kill force-stops the daemon (cleanup for error paths).
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Kill()
+	}
+}
+
+// drain sends SIGTERM and verifies the daemon prints its drain marker
+// and exits 0. It returns the fault-plan fingerprint seen on stdout.
+func (d *daemon) drain(ctx context.Context) (string, error) {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return "", fmt.Errorf("signal: %w", err)
+	}
+	// The pipe must be fully read before cmd.Wait — Wait closes it and
+	// would discard a still-buffered marker line.
+	var plan string
+	var sawDrain bool
+	select {
+	case plan = <-d.faultPlan:
+		sawDrain = <-d.drained
+	case <-ctx.Done():
+		return "", fmt.Errorf("daemon did not drain after SIGTERM")
+	}
+	if !sawDrain {
+		return plan, fmt.Errorf("daemon exited without draining")
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- d.cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			return plan, fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
+		}
+	case <-ctx.Done():
+		return plan, fmt.Errorf("daemon did not exit after SIGTERM")
+	}
+	return plan, nil
+}
+
+// run executes the fault-free smoke sequence against one daemon
+// instance.
+func run(ctx context.Context, bin string) error {
+	d, err := bootDaemon(ctx, bin, "-workers", "2", "-queue", "16", "-cache", "64")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+	fmt.Printf("servesmoke: daemon up at %s\n", d.addr)
+
+	c := client.New("http://" + d.addr)
 
 	// Submit a small periodic job and poll it to completion.
 	st, err := c.Submit(ctx, server.JobSpec{Kind: server.KindPeriodic, Bench: "SAD", WindowUs: 2000})
@@ -154,30 +226,82 @@ func run(ctx context.Context, bin string) error {
 	fmt.Println("servesmoke: metrics scrape ok")
 
 	// Graceful drain: SIGTERM, then the process must print its drained
-	// marker and exit 0. The pipe must be fully read before cmd.Wait —
-	// Wait closes it and would discard a still-buffered marker line.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		return fmt.Errorf("signal: %w", err)
-	}
-	var sawDrain bool
-	select {
-	case sawDrain = <-drained:
-	case <-ctx.Done():
-		return fmt.Errorf("daemon did not drain after SIGTERM")
-	}
-	if !sawDrain {
-		return fmt.Errorf("daemon exited without draining")
-	}
-	exit := make(chan error, 1)
-	go func() { exit <- cmd.Wait() }()
-	select {
-	case err := <-exit:
-		if err != nil {
-			return fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
-		}
-	case <-ctx.Done():
-		return fmt.Errorf("daemon did not exit after SIGTERM")
+	// marker and exit 0.
+	if _, err := d.drain(ctx); err != nil {
+		return err
 	}
 	fmt.Println("servesmoke: graceful drain ok")
+	return nil
+}
+
+// runChaos reboots the daemon with the fault plane armed — every
+// distinct job's first execution panics (rate 1, cap 1) and a fifth of
+// HTTP requests are 503'd — and verifies the daemon announces its plan
+// fingerprint, the retrying client still completes every job, and the
+// resilience counters land on /metrics.
+func runChaos(ctx context.Context, bin string) error {
+	d, err := bootDaemon(ctx, bin,
+		"-workers", "2", "-queue", "16",
+		"-retry-budget", "1", "-watchdog", "2",
+		"-fault-seed", "9",
+		"-fault-job-panic", "1", "-fault-panic-cap", "1",
+		"-fault-http-error", "0.2", "-fault-http-cap", "4",
+	)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+	fmt.Printf("servesmoke: faulted daemon up at %s\n", d.addr)
+
+	c := client.New("http://"+d.addr, client.WithMaxAttempts(8))
+
+	const jobs = 3
+	for i := 0; i < jobs; i++ {
+		spec := server.JobSpec{
+			Kind:     server.KindSolo,
+			Bench:    "SAD",
+			WindowUs: 100,
+			// Distinct seeds make each submission a distinct simjob, so
+			// the retry-counter check below is exact.
+			Seed: uint64(9000 + i),
+		}
+		st, err := c.SubmitWait(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("job %d: submit: %w", i, err)
+		}
+		if st.State != server.StateDone {
+			return fmt.Errorf("job %d (%s) finished %s: %s", i, st.ID, st.State, st.Error)
+		}
+		if len(st.Result) == 0 {
+			return fmt.Errorf("job %d (%s) done without result", i, st.ID)
+		}
+	}
+
+	// Every job's first execution panicked and was retried exactly once;
+	// the injected and recovered counts must both surface on /metrics.
+	metricsText, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("chimera_faults_job_panics %d", jobs),
+		fmt.Sprintf("chimera_server_job_retries %d", jobs),
+		fmt.Sprintf("chimera_simjob_panics %d", jobs),
+		"chimera_server_jobs_failed 0",
+	} {
+		if !strings.Contains(metricsText, want) {
+			return fmt.Errorf("metrics scrape missing %q", want)
+		}
+	}
+	fmt.Printf("servesmoke: %d jobs recovered from injected panics\n", jobs)
+
+	plan, err := d.drain(ctx)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(plan, "faults:seed=9;") {
+		return fmt.Errorf("daemon announced fault plan %q, want seed 9", plan)
+	}
+	fmt.Printf("servesmoke: fault plan %s verified, graceful drain ok\n", plan)
 	return nil
 }

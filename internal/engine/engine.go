@@ -93,6 +93,21 @@ type Options struct {
 	// own methodology, which ignores the effect and is "rather
 	// optimistic" for context switching (§4).
 	ContentionBeta float64
+	// WatchdogK, when > 0, arms a per-request watchdog: a preemption
+	// request still incomplete k× its estimated latency after issue has
+	// its in-flight SM handovers escalated to stronger techniques —
+	// draining blocks are flushed when legal, context-switched
+	// otherwise (the drain→flush→switch ladder, applied reactively).
+	// Each escalation increments the preempt/escalations counter and
+	// emits a trace.Escalate event. Zero disables the watchdog,
+	// reproducing the paper's (fault-free) behaviour exactly.
+	WatchdogK float64
+	// FaultStall, when set, is consulted once per preemption request
+	// with the request's index and its estimated latency; a non-zero
+	// return holds every selected SM's handover open for that many
+	// extra cycles — an injected technique stall (internal/faults),
+	// the hang the watchdog exists to detect. Nil injects nothing.
+	FaultStall func(reqIndex int, estimate units.Cycles) units.Cycles
 }
 
 // Simulation is one configured simulation run.
@@ -119,6 +134,7 @@ type Simulation struct {
 	rebalancing    bool
 	rebalanceAgain bool
 	started        bool
+	finished       bool
 
 	// m holds the resolved metric handles when Options.Metrics is set.
 	m *simMetrics
@@ -303,14 +319,22 @@ func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
 	// scheduling nondeterminism into otherwise-seeded runs.
 	for _, id := range sortedSMIDs(k.sms) {
 		sm := k.sms[id]
+		if sm.handover != nil && len(sm.resident) == 0 {
+			// The kernel has nothing left to run here, but an injected
+			// stall is still holding the handover open. The SM stays
+			// hostage — owned by the finished victim, in k.sms — until
+			// the stall expires or the watchdog escalates, when the
+			// handover transfers it straight to the requester.
+			continue
+		}
 		if sm.handover != nil || len(sm.resident) != 0 {
 			panic(fmt.Sprintf("engine: %s done with busy SM%d", k.params.Label, sm.id))
 		}
 		sm.kernel = nil
 		sm.restoreTail = 0
 		s.free = append(s.free, sm)
+		delete(k.sms, sm.id)
 	}
-	k.sms = make(map[gpu.SMID]*smUnit)
 	s.emit(trace.Event{At: now, Kind: trace.KernelFinish, Kernel: k.params.Label, SM: -1, TB: -1,
 		Dur: now - k.launchedAt})
 	s.removeActive(k)
@@ -603,10 +627,51 @@ func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, n
 	s.emit(trace.Event{At: now, Kind: trace.Request, Kernel: victim.params.Label, SM: -1, TB: -1,
 		Other: requester.params.Label, EstLat: estLat,
 		Detail: fmt.Sprintf("sms=%d forced=%d", rec.NumSMs, rec.Forced)})
+	var stall units.Cycles
+	if f := s.opts.FaultStall; f != nil && estLat > 0 {
+		stall = f(len(s.requests)-1, estLat)
+		if stall > 0 {
+			if s.m != nil {
+				s.m.stallsInjected.Add(1)
+			}
+			s.emit(trace.Event{At: now, Kind: trace.Stall, Kernel: victim.params.Label, SM: -1, TB: -1,
+				Other: requester.params.Label, Dur: stall})
+		}
+	}
 	for _, plan := range sel.Plans {
-		s.sms[int(plan.SM)].executePlan(plan, rec, now)
+		s.sms[int(plan.SM)].executePlan(plan, rec, stall, now)
+	}
+	if k := s.opts.WatchdogK; k > 0 && estLat > 0 && !rec.Completed {
+		s.q.Schedule(now+cyclesCeil(k*float64(estLat)), func(at units.Cycles) { s.watchdogCheck(rec, at) })
 	}
 	return len(sel.Plans)
+}
+
+// watchdogCheck fires WatchdogK× the estimated latency after a request
+// was issued. A request still incomplete at that point has outlived
+// what Chimera believed when selecting its techniques — whether from an
+// injected stall or a genuinely misestimated drain — so every SM still
+// working on it escalates to stronger techniques.
+func (s *Simulation) watchdogCheck(rec *RequestRecord, now units.Cycles) {
+	if rec.Completed || rec.Killed {
+		return
+	}
+	escalated := false
+	for _, sm := range s.sms {
+		if sm.handover != nil && sm.handover.req == rec && sm.escalate(now) {
+			escalated = true
+		}
+	}
+	if !escalated {
+		return
+	}
+	rec.Escalations++
+	if s.m != nil {
+		s.m.escalations.Add(1)
+	}
+	s.emit(trace.Event{At: now, Kind: trace.Escalate, Kernel: rec.Victim, SM: -1, TB: -1,
+		Other: rec.Requester, Lat: now - rec.At,
+		Detail: fmt.Sprintf("k=%g", s.opts.WatchdogK)})
 }
 
 func sortedSMIDs(m map[gpu.SMID]*smUnit) []gpu.SMID {
@@ -634,6 +699,22 @@ func (s *Simulation) Run(window units.Cycles) {
 // cancellation increments the sim/canceled_runs counter when
 // Options.Metrics is set. It may be called once.
 func (s *Simulation) RunContext(ctx context.Context, window units.Cycles) error {
+	s.Start()
+	if err := s.AdvanceTo(ctx, window); err != nil {
+		return err
+	}
+	s.Finish(window)
+	return nil
+}
+
+// Start launches every process at cycle 0 and arms the periodic task
+// without executing any events. Together with AdvanceTo and Finish it
+// is the segmented form of RunContext: because the event queue runs
+// every event with At <= limit before AdvanceTo returns, splitting a
+// window across any sequence of AdvanceTo calls executes the identical
+// event sequence as one uninterrupted run — the property the
+// save/restore metamorphic tests pin down. May be called once.
+func (s *Simulation) Start() {
 	if s.started {
 		panic("engine: Run called twice")
 	}
@@ -644,15 +725,47 @@ func (s *Simulation) RunContext(ctx context.Context, window units.Cycles) error 
 	if s.periodic != nil {
 		s.periodic.arm()
 	}
-	if _, cancelled := s.q.RunUntilDone(window, ctx.Done()); cancelled {
+}
+
+// AdvanceTo executes events up to and including cycle `to`, leaving
+// later events queued for the next call. Cancellation matches
+// RunContext: a cancelled advance clears the queue (the run cannot be
+// resumed), counts into sim/canceled_runs and returns ctx.Err(). A
+// `to` at or before the current cycle is a no-op. Must be called
+// between Start and Finish.
+func (s *Simulation) AdvanceTo(ctx context.Context, to units.Cycles) error {
+	if !s.started {
+		panic("engine: AdvanceTo before Start")
+	}
+	if s.finished {
+		panic("engine: AdvanceTo after Finish")
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if _, cancelled := s.q.RunUntilDone(to, done); cancelled {
 		s.q.Clear()
 		if s.m != nil {
 			s.m.canceled.Add(1)
 		}
 		return ctx.Err()
 	}
-	// Commit in-flight progress so throughput accounting covers the
-	// whole window.
+	return nil
+}
+
+// Finish closes the run at the end of the window: in-flight thread
+// block progress is committed so throughput accounting covers the
+// whole window, and the periodic task's records are finalized. window
+// must not precede the last AdvanceTo limit. May be called once.
+func (s *Simulation) Finish(window units.Cycles) {
+	if !s.started {
+		panic("engine: Finish before Start")
+	}
+	if s.finished {
+		panic("engine: Finish called twice")
+	}
+	s.finished = true
 	for _, sm := range s.sms {
 		for _, tb := range sm.resident {
 			tb.sync(window)
@@ -661,7 +774,6 @@ func (s *Simulation) RunContext(ctx context.Context, window units.Cycles) error 
 	if s.periodic != nil {
 		s.periodic.finalize(window)
 	}
-	return nil
 }
 
 // Pending reports how many simulation events are still queued. After a

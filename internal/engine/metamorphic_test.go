@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+
+	"chimera/internal/rng"
+	"chimera/internal/trace"
+	"chimera/internal/units"
+)
+
+// runOutcome is everything observable about a finished run.
+type runOutcome struct {
+	events   []trace.Event
+	periods  []PeriodRecord
+	requests []RequestRecord
+	useful   int64
+	wasted   int64
+	busy     float64
+}
+
+func buildMetamorphicSim(t *testing.T, seed uint64, col *trace.Collector) *Simulation {
+	t.Helper()
+	opts := Options{
+		Policy:     ChimeraPolicy{},
+		Constraint: units.FromMicroseconds(15),
+		Seed:       seed,
+	}
+	if col != nil {
+		opts.Tracer = col
+	}
+	sim := New(opts)
+	sim.AddProcess(ProcessSpec{Name: "BS", Launches: launchesFor(t, "BS"), Loop: true})
+	sim.AddPeriodicTask(PeriodicSpec{
+		Period: units.FromMicroseconds(1000),
+		Exec:   units.FromMicroseconds(200),
+		SMs:    15,
+	})
+	return sim
+}
+
+func outcomeOf(sim *Simulation, col *trace.Collector, window units.Cycles) runOutcome {
+	out := runOutcome{
+		events:  col.Events(),
+		periods: sim.PeriodRecords(),
+		useful:  sim.ProcessUseful("BS"),
+		wasted:  sim.ProcessWasted("BS"),
+		busy:    sim.SMBusyFraction(window),
+	}
+	for _, r := range sim.Requests() {
+		out.requests = append(out.requests, *r)
+	}
+	return out
+}
+
+// TestSaveRestoreMetamorphic: pausing a simulation at arbitrary
+// mid-flight cycles (AdvanceTo) and resuming must produce the exact
+// final stats and trace-event sequence of the uninterrupted run. This
+// is the snapshot/resume guarantee: the simulation's state between
+// segments IS the saved snapshot, and the event queue's inclusive
+// `At <= limit` contract means no split point can reorder events.
+func TestSaveRestoreMetamorphic(t *testing.T) {
+	window := units.FromMicroseconds(5000)
+	r := rng.New(0xfeed)
+	for trial := 0; trial < 6; trial++ {
+		seed := r.Uint64()
+
+		colA := trace.NewCollector()
+		simA := buildMetamorphicSim(t, seed, colA)
+		simA.Run(window)
+		want := outcomeOf(simA, colA, window)
+
+		// Random number of random split points, sorted by construction.
+		splits := 1 + r.Intn(3)
+		colB := trace.NewCollector()
+		simB := buildMetamorphicSim(t, seed, colB)
+		simB.Start()
+		at := units.Cycles(0)
+		for i := 0; i < splits; i++ {
+			at += units.Cycles(r.Intn(int(window-at) / 2))
+			if err := simB.AdvanceTo(nil, at); err != nil {
+				t.Fatalf("seed %d: AdvanceTo(%v): %v", seed, at, err)
+			}
+			if simB.Now() != at {
+				t.Fatalf("seed %d: Now()=%v after AdvanceTo(%v)", seed, simB.Now(), at)
+			}
+		}
+		if err := simB.AdvanceTo(nil, window); err != nil {
+			t.Fatalf("seed %d: final AdvanceTo: %v", seed, err)
+		}
+		simB.Finish(window)
+		got := outcomeOf(simB, colB, window)
+
+		if len(got.events) != len(want.events) {
+			t.Fatalf("seed %d: %d events segmented vs %d uninterrupted", seed, len(got.events), len(want.events))
+		}
+		for i := range want.events {
+			if got.events[i] != want.events[i] {
+				t.Fatalf("seed %d: event %d diverged:\nsegmented:     %+v\nuninterrupted: %+v",
+					seed, i, got.events[i], want.events[i])
+			}
+		}
+		if len(got.periods) != len(want.periods) {
+			t.Fatalf("seed %d: period counts differ: %d vs %d", seed, len(got.periods), len(want.periods))
+		}
+		for i := range want.periods {
+			if got.periods[i] != want.periods[i] {
+				t.Fatalf("seed %d: period %d diverged: %+v vs %+v", seed, i, got.periods[i], want.periods[i])
+			}
+		}
+		if len(got.requests) != len(want.requests) {
+			t.Fatalf("seed %d: request counts differ: %d vs %d", seed, len(got.requests), len(want.requests))
+		}
+		for i := range want.requests {
+			a, b := got.requests[i], want.requests[i]
+			// Compare exported outcome fields (the struct holds
+			// unexported run-local pointers).
+			if a.At != b.At || a.LatencyCycles != b.LatencyCycles || a.Completed != b.Completed ||
+				a.Killed != b.Killed || a.Escalations != b.Escalations || a.Mix() != b.Mix() ||
+				a.EstLatencyCycles != b.EstLatencyCycles {
+				t.Fatalf("seed %d: request %d diverged:\n%+v\n%+v", seed, i, a, b)
+			}
+		}
+		if got.useful != want.useful || got.wasted != want.wasted || got.busy != want.busy {
+			t.Fatalf("seed %d: stats diverged: useful %d/%d wasted %d/%d busy %g/%g",
+				seed, got.useful, want.useful, got.wasted, want.wasted, got.busy, want.busy)
+		}
+	}
+}
+
+// TestSegmentedRunGuards: the segmented API rejects misuse loudly.
+func TestSegmentedRunGuards(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	sim := buildMetamorphicSim(t, 1, nil)
+	expectPanic("AdvanceTo before Start", func() { sim.AdvanceTo(nil, 100) })
+	expectPanic("Finish before Start", func() { sim.Finish(100) })
+	sim.Start()
+	expectPanic("double Start", func() { sim.Start() })
+	sim.AdvanceTo(nil, 100)
+	// A limit at or before Now is a no-op, not an error.
+	if err := sim.AdvanceTo(nil, 50); err != nil {
+		t.Errorf("backward AdvanceTo: %v", err)
+	}
+	if sim.Now() != 100 {
+		t.Errorf("backward AdvanceTo moved time to %v", sim.Now())
+	}
+	sim.Finish(100)
+	expectPanic("double Finish", func() { sim.Finish(100) })
+	expectPanic("AdvanceTo after Finish", func() { sim.AdvanceTo(nil, 200) })
+}

@@ -34,6 +34,11 @@ type simMetrics struct {
 	forced     *metrics.Counter
 	misses     *metrics.Counter
 	rebalances *metrics.Counter
+	// escalations counts watchdog firings that strengthened an overdue
+	// request's techniques; stallsInjected counts fault-plane stalls
+	// applied to requests (Options.FaultStall).
+	escalations    *metrics.Counter
+	stallsInjected *metrics.Counter
 	// canceled counts runs abandoned through RunContext cancellation —
 	// the observable signal that a server-side cancel actually stopped
 	// the engine.
@@ -63,6 +68,12 @@ const (
 	MetricRebalances = "sched/rebalances"
 	// MetricCanceledRuns counts runs abandoned through RunContext.
 	MetricCanceledRuns = "sim/canceled_runs"
+	// MetricEscalations counts watchdog technique escalations of
+	// overdue preemption requests (Options.WatchdogK).
+	MetricEscalations = "preempt/escalations"
+	// MetricStallsInjected counts fault-plane technique stalls applied
+	// to preemption requests (Options.FaultStall).
+	MetricStallsInjected = "preempt/stalls_injected"
 )
 
 // latencyBuckets spans sub-µs drains to the longest catalog drain times
@@ -80,11 +91,13 @@ func newSimMetrics(reg *metrics.Registry) *simMetrics {
 		slack:   reg.Histogram(MetricDeadlineSlack, "µs", latencyBuckets),
 		idleGap: reg.Histogram(MetricIdleGap, "µs", latencyBuckets),
 
-		requests:   reg.Counter(MetricRequests),
-		forced:     reg.Counter(MetricForcedRequests),
-		misses:     reg.Counter(MetricDeadlineMisses),
-		rebalances: reg.Counter(MetricRebalances),
-		canceled:   reg.Counter(MetricCanceledRuns),
+		requests:       reg.Counter(MetricRequests),
+		forced:         reg.Counter(MetricForcedRequests),
+		misses:         reg.Counter(MetricDeadlineMisses),
+		rebalances:     reg.Counter(MetricRebalances),
+		canceled:       reg.Counter(MetricCanceledRuns),
+		escalations:    reg.Counter(MetricEscalations),
+		stallsInjected: reg.Counter(MetricStallsInjected),
 	}
 	for _, t := range preempt.Techniques() {
 		name := MetricPreemptLatency + "/" + strings.ToLower(t.String())

@@ -35,6 +35,11 @@ type RequestRecord struct {
 	Completed bool
 	Killed    bool
 
+	// Escalations counts watchdog firings that strengthened this
+	// request's techniques (Options.WatchdogK); zero when the request
+	// completed within k× its estimate.
+	Escalations int
+
 	// mix counts the thread-block preemptions actually executed, by
 	// technique (flush fallbacks count as drains).
 	mix [preempt.NumTechniques]int

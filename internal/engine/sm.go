@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"chimera/internal/eventq"
 	"chimera/internal/gpu"
 	"chimera/internal/preempt"
 	"chimera/internal/trace"
@@ -70,14 +71,28 @@ func (sm *smUnit) busyAt(now units.Cycles) units.Cycles {
 type handoverState struct {
 	req *RequestRecord
 	// outstanding counts unfinished constituents: one per draining
-	// block plus one for the context save (if any block is switched).
+	// block, one per in-flight context-save batch, plus one for an
+	// injected stall (fault plane) while it is pending.
 	outstanding int
 	// frozen are the blocks being context-switched, still resident until
-	// the save completes.
+	// their save batch completes.
 	frozen []*threadBlock
+	// stallEv is the pending injected-stall constituent, nil once it
+	// expires or the watchdog escalates past it.
+	stallEv *eventq.Event
 	// cancelled marks an aborted preemption (the requesting task was
 	// killed); late events must become no-ops.
 	cancelled bool
+}
+
+// removeFrozen drops one block from the frozen list.
+func (h *handoverState) removeFrozen(tb *threadBlock) {
+	for i, f := range h.frozen {
+		if f == tb {
+			h.frozen = append(h.frozen[:i], h.frozen[i+1:]...)
+			return
+		}
+	}
 }
 
 // snapshot captures the scheduler-visible state of the SM for cost
@@ -185,14 +200,20 @@ func (sm *smUnit) removeResident(tb *threadBlock, now units.Cycles) {
 // executePlan carries out a preemption plan on this SM at cycle now:
 // flushes drop their blocks immediately (when legal), switched blocks
 // freeze and their contexts stream out, drained blocks run to completion
-// with their slots left unfilled.
-func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, now units.Cycles) {
+// with their slots left unfilled. A non-zero stall (fault plane) adds
+// one artificial constituent holding the handover open for stall extra
+// cycles — the injected technique hang the watchdog escalates past.
+func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, stall, now units.Cycles) {
 	if sm.handover != nil {
 		panic(fmt.Sprintf("engine: SM%d: overlapping preemptions", sm.id))
 	}
 	k := sm.kernel
 	h := &handoverState{req: req}
 	sm.handover = h
+	if stall > 0 {
+		h.outstanding++
+		h.stallEv = sm.sim.q.Schedule(now+stall, func(at units.Cycles) { sm.stallExpired(h, at) })
+	}
 
 	techFor := make(map[int]preempt.Technique, len(plan.TBs))
 	for _, tp := range plan.TBs {
@@ -243,13 +264,83 @@ func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, now units
 	}
 
 	if len(h.frozen) > 0 {
-		h.outstanding++
-		sm.sim.q.Schedule(now+saveCycles, func(at units.Cycles) { sm.saveComplete(h, at) })
-		sm.sim.trackTransfer(now, now, now+saveCycles)
+		sm.scheduleSave(h, append([]*threadBlock(nil), h.frozen...), saveCycles, now)
 	}
 	if h.outstanding == 0 {
 		sm.completeHandover(now)
 	}
+}
+
+// stallExpired retires the injected-stall constituent: the hung
+// technique "recovers" on its own, unless the watchdog already
+// escalated past it (stallEv nil) or the preemption was cancelled.
+func (sm *smUnit) stallExpired(h *handoverState, now units.Cycles) {
+	if h.cancelled || sm.handover != h || h.stallEv == nil {
+		return
+	}
+	h.stallEv = nil
+	h.outstanding--
+	if h.outstanding == 0 {
+		sm.completeHandover(now)
+	}
+}
+
+// escalate strengthens this SM's in-flight handover: the injected
+// stall (if any) is abandoned and every still-draining block moves up
+// the technique ladder — flushed when legal right now, context-switched
+// otherwise. Blocks already switching are left alone (there is nothing
+// stronger). Returns whether anything changed.
+func (sm *smUnit) escalate(now units.Cycles) bool {
+	h := sm.handover
+	if h == nil || h.cancelled {
+		return false
+	}
+	changed := false
+	if h.stallEv != nil {
+		sm.sim.q.Cancel(h.stallEv)
+		h.stallEv = nil
+		h.outstanding--
+		changed = true
+	}
+	k := sm.kernel
+	var batch []*threadBlock
+	var saveCycles units.Cycles
+	// Iterate over a copy: flushing mutates sm.resident.
+	for _, tb := range append([]*threadBlock(nil), sm.resident...) {
+		if !tb.draining {
+			continue
+		}
+		// The drain constituent is replaced by a stronger technique
+		// either way; re-attribute its counts.
+		h.outstanding--
+		k.stats.Preemptions[preempt.Drain]--
+		h.req.mix[preempt.Drain]--
+		changed = true
+		if sm.sim.flushLegal(tb, now) {
+			sm.flushTB(tb, now, h.req)
+			continue
+		}
+		tb.sync(now)
+		tb.draining = false
+		tb.frozen = true
+		tb.cancelEvents(&sm.sim.q)
+		h.frozen = append(h.frozen, tb)
+		batch = append(batch, tb)
+		saveCycles += k.params.TBSwitchCycles(sm.sim.cfg)
+		k.stats.Preemptions[preempt.Switch]++
+		h.req.mix[preempt.Switch]++
+		sm.sim.emit(trace.Event{At: now, Kind: trace.SaveTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
+			Insts: tb.executed,
+			Bytes: k.params.ContextBytesPerTB,
+			Dur:   k.params.TBSwitchCycles(sm.sim.cfg)})
+	}
+	if len(batch) > 0 {
+		sm.scheduleSave(h, batch, saveCycles, now)
+	}
+	if changed && h.outstanding == 0 {
+		sm.completeHandover(now)
+	}
+	return changed
 }
 
 // flushTB drops one (idempotent) block instantly: its progress is
@@ -274,20 +365,30 @@ func (sm *smUnit) flushTB(tb *threadBlock, now units.Cycles, req *RequestRecord)
 	k.requeue(tb)
 }
 
-// saveComplete fires when the context of the frozen blocks has streamed
-// out: they leave the SM carrying their saved progress.
-func (sm *smUnit) saveComplete(h *handoverState, now units.Cycles) {
+// scheduleSave arms one context-save batch as a new handover
+// constituent finishing saveCycles from now. Saves are batch-granular
+// so a watchdog escalation can add its own batch while the plan's
+// original save is still streaming out.
+func (sm *smUnit) scheduleSave(h *handoverState, batch []*threadBlock, saveCycles, now units.Cycles) {
+	h.outstanding++
+	sm.sim.q.Schedule(now+saveCycles, func(at units.Cycles) { sm.saveBatchDone(h, batch, at) })
+	sm.sim.trackTransfer(now, now, now+saveCycles)
+}
+
+// saveBatchDone fires when one batch of frozen blocks has streamed its
+// context out: those blocks leave the SM carrying their saved progress.
+func (sm *smUnit) saveBatchDone(h *handoverState, batch []*threadBlock, now units.Cycles) {
 	if h.cancelled {
 		return
 	}
 	k := sm.kernel
-	saved := units.Bytes(len(h.frozen)) * k.params.ContextBytesPerTB
-	for _, tb := range h.frozen {
+	saved := units.Bytes(len(batch)) * k.params.ContextBytesPerTB
+	for _, tb := range batch {
 		sm.removeResident(tb, now)
 		tb.needsRestore = true
 		k.requeue(tb)
+		h.removeFrozen(tb)
 	}
-	h.frozen = nil
 	sm.sim.emit(trace.Event{At: now, Kind: trace.SaveDone, Kernel: k.params.Label, SM: int(sm.id), TB: -1,
 		Dur: now - h.req.At, Bytes: saved})
 	h.outstanding--
@@ -347,6 +448,8 @@ func (sm *smUnit) cancelHandover(now units.Cycles) {
 	h.cancelled = true
 	h.req.Killed = true
 	sm.handover = nil
+	sm.sim.q.Cancel(h.stallEv)
+	h.stallEv = nil
 	for _, tb := range h.frozen {
 		tb.frozen = false
 		tb.startAt = now
@@ -355,6 +458,13 @@ func (sm *smUnit) cancelHandover(now units.Cycles) {
 	h.frozen = nil
 	for _, tb := range sm.resident {
 		tb.draining = false
+	}
+	if k := sm.kernel; k != nil && k.done && len(sm.resident) == 0 {
+		// The victim finished while the handover was stall-held and now
+		// the requester is gone too; nothing will ever refill this SM,
+		// so return it to the pool directly.
+		sm.sim.releaseSM(sm, now)
+		return
 	}
 	sm.fill(now)
 }

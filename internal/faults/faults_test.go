@@ -1,0 +1,291 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"chimera/internal/metrics"
+	"chimera/internal/simjob"
+	"chimera/internal/units"
+)
+
+func testJob(bench string, seed uint64) simjob.Job {
+	return simjob.Job{Kind: simjob.KindSolo, Benchmarks: bench, Seed: seed}
+}
+
+// TestDecisionsAreDeterministic: two plans with the same seed inject
+// the identical fault sequence over the same job stream, regardless of
+// the order unrelated jobs interleave.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	run := func(reverse bool) []bool {
+		p := New(Config{Seed: 99, JobPanic: 0.5})
+		hook := p.SimjobHook()
+		var outcomes []bool
+		jobs := make([]simjob.Job, 20)
+		for i := range jobs {
+			jobs[i] = testJob("B", uint64(i))
+		}
+		if reverse {
+			for i, j := 0, len(jobs)-1; i < j; i, j = i+1, j-1 {
+				jobs[i], jobs[j] = jobs[j], jobs[i]
+			}
+		}
+		for _, j := range jobs {
+			panicked := func() (p bool) {
+				defer func() { p = recover() != nil }()
+				hook(j)
+				return false
+			}()
+			outcomes = append(outcomes, panicked)
+		}
+		if reverse { // restore per-job order for comparison
+			for i, j := 0, len(outcomes)-1; i < j; i, j = i+1, j-1 {
+				outcomes[i], outcomes[j] = outcomes[j], outcomes[i]
+			}
+		}
+		return outcomes
+	}
+	a, b := run(false), run(true)
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d: decision depends on execution order (%v vs %v)", i, a[i], b[i])
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("panic rate 0.5 produced %d/%d panics; want a mix", hits, len(a))
+	}
+}
+
+// TestAttemptAdvancesDecision: with MaxPanicsPerJob=1 the first
+// panicking attempt consumes the job's budget and the retry runs clean.
+func TestAttemptAdvancesDecision(t *testing.T) {
+	p := New(Config{Seed: 1, JobPanic: 1, MaxPanicsPerJob: 1})
+	hook := p.SimjobHook()
+	j := testJob("MM", 7)
+	panics := 0
+	for attempt := 0; attempt < 3; attempt++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panics++
+					ip, ok := r.(InjectedPanic)
+					if !ok {
+						t.Fatalf("panic value %T, want InjectedPanic", r)
+					}
+					if ip.Attempt != 0 {
+						t.Errorf("panicked attempt = %d, want 0", ip.Attempt)
+					}
+					if ip.String() == "" {
+						t.Error("empty InjectedPanic string")
+					}
+				}
+			}()
+			hook(j)
+		}()
+	}
+	if panics != 1 {
+		t.Fatalf("injected %d panics, want exactly 1 (capped)", panics)
+	}
+	if c := p.Counts(); c.JobPanics != 1 {
+		t.Errorf("Counts().JobPanics = %d, want 1", c.JobPanics)
+	}
+}
+
+// TestSlowdownUsesInjectedSleeper: slowdowns go through Config.Sleep,
+// never the host clock.
+func TestSlowdownUsesInjectedSleeper(t *testing.T) {
+	var slept []time.Duration
+	p := New(Config{
+		Seed: 3, JobSlowdown: 1, SlowdownDelay: 5 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	p.SimjobHook()(testJob("BS", 1))
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("slept = %v, want one 5ms delay", slept)
+	}
+	if c := p.Counts(); c.JobSlowdowns != 1 {
+		t.Errorf("Counts().JobSlowdowns = %d, want 1", c.JobSlowdowns)
+	}
+}
+
+// TestEngineStallFunc: rate-1 plans stall every estimated request by
+// StallFactor x estimate; per-run caps bound injections per closure,
+// not globally.
+func TestEngineStallFunc(t *testing.T) {
+	p := New(Config{Seed: 5, EngineStall: 1, StallFactor: 4, MaxStallsPerRun: 2})
+	f1 := p.EngineStallFunc(Key("run1"))
+	f2 := p.EngineStallFunc(Key("run2"))
+	if got := f1(0, 1000); got != 4000 {
+		t.Errorf("stall = %d, want 4000", got)
+	}
+	if got := f1(1, 10); got != 40 {
+		t.Errorf("stall = %d, want 40", got)
+	}
+	if got := f1(2, 1000); got != 0 {
+		t.Errorf("third stall in run1 = %d, want 0 (capped at 2)", got)
+	}
+	if got := f2(0, 1000); got == 0 {
+		t.Error("run2's budget was spent by run1")
+	}
+	if got := f2(1, 0); got != 0 {
+		t.Error("zero estimate must never stall")
+	}
+	if c := p.Counts(); c.EngineStalls != 3 {
+		t.Errorf("Counts().EngineStalls = %d, want 3", c.EngineStalls)
+	}
+	// Determinism: a fresh plan with the same seed reproduces the
+	// decisions for the same run key and request indices.
+	q := New(Config{Seed: 5, EngineStall: 0.5, StallFactor: 4})
+	r := New(Config{Seed: 5, EngineStall: 0.5, StallFactor: 4})
+	qf, rf := q.EngineStallFunc(Key("run1")), r.EngineStallFunc(Key("run1"))
+	for i := 0; i < 32; i++ {
+		if a, b := qf(i, units.Cycles(1000)), rf(i, units.Cycles(1000)); a != b {
+			t.Fatalf("request %d: stall %d vs %d across identical plans", i, a, b)
+		}
+	}
+}
+
+// TestMiddleware503AndDelay: rate-1 error plans answer every request
+// with 503 + Retry-After; delays are counted and routed through the
+// injected sleeper.
+func TestMiddleware503AndDelay(t *testing.T) {
+	var slept int
+	p := New(Config{
+		Seed: 11, HTTPError: 1, HTTPDelay: 1, HTTPDelayAmount: time.Millisecond,
+		Sleep: func(time.Duration) { slept++ },
+	})
+	h := p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler reached despite rate-1 injected 503")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/jobs", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("injected 503 missing Retry-After")
+	}
+	if slept != 1 {
+		t.Errorf("injected delay did not use the sleeper (slept=%d)", slept)
+	}
+	if c := p.Counts(); c.HTTPErrors != 1 || c.HTTPDelays != 1 {
+		t.Errorf("Counts() = %+v, want HTTPErrors=1 HTTPDelays=1", c)
+	}
+}
+
+// TestMiddlewareResetOnlyIdempotent: rate-1 reset plans abort GETs via
+// http.ErrAbortHandler but never POSTs.
+func TestMiddlewareResetOnlyIdempotent(t *testing.T) {
+	p := New(Config{Seed: 12, HTTPReset: 1})
+	served := 0
+	h := p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	// POST passes through untouched.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/", nil))
+	if served != 1 {
+		t.Fatal("POST was reset; only idempotent methods may be")
+	}
+	// GET aborts with http.ErrAbortHandler.
+	func() {
+		defer func() {
+			if r := recover(); r != http.ErrAbortHandler {
+				t.Errorf("GET reset panicked with %v, want http.ErrAbortHandler", r)
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	if c := p.Counts(); c.HTTPResets != 1 {
+		t.Errorf("Counts().HTTPResets = %d, want 1", c.HTTPResets)
+	}
+}
+
+// TestMiddlewareCap: MaxHTTPFaults bounds injections per kind.
+func TestMiddlewareCap(t *testing.T) {
+	p := New(Config{Seed: 13, HTTPError: 1, MaxHTTPFaults: 2})
+	served := 0
+	h := p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { served++ }))
+	for i := 0; i < 5; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}
+	if served != 3 {
+		t.Errorf("served = %d, want 3 (5 requests - 2 capped 503s)", served)
+	}
+	if c := p.Counts(); c.HTTPErrors != 2 {
+		t.Errorf("Counts().HTTPErrors = %d, want 2", c.HTTPErrors)
+	}
+}
+
+// TestMiddlewareRealServer: against a real http.Server, an injected
+// reset surfaces to the client as a transport error, and a plain
+// client eventually reads a clean 200 once the cap is consumed.
+func TestMiddlewareRealServer(t *testing.T) {
+	p := New(Config{Seed: 20, HTTPReset: 1, MaxHTTPFaults: 1})
+	srv := httptest.NewServer(p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+	sawTransportErr := false
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			sawTransportErr = true
+			continue
+		}
+		resp.Body.Close()
+	}
+	if !sawTransportErr {
+		t.Error("rate-1 reset plan produced no transport error")
+	}
+	if c := p.Counts(); c.HTTPResets != 1 {
+		t.Errorf("Counts().HTTPResets = %d, want 1 (capped)", c.HTTPResets)
+	}
+}
+
+// TestPublishAndFingerprint: counters land in the registry under the
+// documented names, and the fingerprint is stable for equal configs.
+func TestPublishAndFingerprint(t *testing.T) {
+	p := New(Config{Seed: 2, JobPanic: 1})
+	func() {
+		defer func() { recover() }()
+		p.SimjobHook()(testJob("B", 1))
+	}()
+	reg := metrics.NewRegistry()
+	p.Publish(reg)
+	if got := reg.Counter(MetricJobPanics).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricJobPanics, got)
+	}
+	if p.Fingerprint() != New(Config{Seed: 2, JobPanic: 1}).Fingerprint() {
+		t.Error("equal configs produced different fingerprints")
+	}
+	if p.Fingerprint() == New(Config{Seed: 3, JobPanic: 1}).Fingerprint() {
+		t.Error("different seeds share a fingerprint")
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestKeySeparators: Key must distinguish concatenation boundaries and
+// JobKey must ignore catalog identity but honour Variant.
+func TestKeySeparators(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error(`Key("ab","c") == Key("a","bc")`)
+	}
+	a := testJob("B", 1)
+	b := testJob("B", 1)
+	b.Variant = "x"
+	if JobKey(a) == JobKey(b) {
+		t.Error("JobKey ignores Variant")
+	}
+	if JobKey(a) != JobKey(testJob("B", 1)) {
+		t.Error("JobKey not stable for equal jobs")
+	}
+}

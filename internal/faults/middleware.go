@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Middleware wraps an http.Handler with the plan's HTTP fault domains.
+// Each incoming request gets the next request index as its decision
+// identity, then may draw (in order):
+//
+//   - a latency spike: the request is delayed HTTPDelayAmount through
+//     the injected sleeper, then served normally;
+//   - a connection reset (idempotent methods only): the handler aborts
+//     the connection via http.ErrAbortHandler, so the client sees a
+//     transport error. POSTs are exempt — the retrying client treats a
+//     POST transport error as possibly-committed and does not retry, so
+//     resetting a POST would inject an unrecoverable (and therefore
+//     uninteresting) fault;
+//   - an injected 503 with Retry-After: 0, on any method. 503 proves
+//     non-admission, which is exactly the status the client retries on
+//     every method.
+//
+// Decisions depend only on (seed, request index), so a serial client
+// observes an identical fault sequence on every run of the same plan.
+func (p *Plan) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		idx := p.httpSeq.Add(1) - 1
+		if p.cfg.HTTPDelay > 0 && p.roll(domHTTPDelay, idx, 0) < p.cfg.HTTPDelay &&
+			p.tryConsume(&p.httpDelays) {
+			p.cfg.Sleep(p.cfg.HTTPDelayAmount)
+		}
+		if p.cfg.HTTPReset > 0 && idempotent(r.Method) &&
+			p.roll(domHTTPReset, idx, 0) < p.cfg.HTTPReset &&
+			p.tryConsume(&p.httpResets) {
+			panic(http.ErrAbortHandler)
+		}
+		if p.cfg.HTTPError > 0 && p.roll(domHTTPError, idx, 0) < p.cfg.HTTPError &&
+			p.tryConsume(&p.httpErrors) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"injected 503 (faults plan)"}` + "\n"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// idempotent reports whether the method is safe to reset: the client
+// retries transport errors only for these.
+func idempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// tryConsume increments an HTTP-domain injection counter, honouring
+// the per-kind MaxHTTPFaults cap (rolling back when over it).
+func (p *Plan) tryConsume(c *atomic.Int64) bool {
+	if p.cfg.MaxHTTPFaults <= 0 {
+		c.Add(1)
+		return true
+	}
+	if c.Add(1) > int64(p.cfg.MaxHTTPFaults) {
+		c.Add(-1)
+		return false
+	}
+	return true
+}

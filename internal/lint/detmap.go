@@ -13,6 +13,7 @@ import (
 // runs — is the canonical instance of the class DetMap eliminates.
 var DeterminismCriticalPackages = []string{
 	"chimera/internal/engine",
+	"chimera/internal/faults",
 	"chimera/internal/simjob",
 	"chimera/internal/experiments",
 	"chimera/internal/trace",

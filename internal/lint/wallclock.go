@@ -10,6 +10,7 @@ import (
 var SimClockPackages = []string{
 	"chimera/internal/engine",
 	"chimera/internal/eventq",
+	"chimera/internal/faults",
 	"chimera/internal/simjob",
 	"chimera/internal/experiments",
 	"chimera/internal/trace",

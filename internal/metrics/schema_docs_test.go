@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"chimera/internal/engine"
+	"chimera/internal/faults"
 	"chimera/internal/server"
 	"chimera/internal/simjob"
 )
@@ -34,6 +35,8 @@ func TestMetricNamesDocumented(t *testing.T) {
 			engine.MetricDeadlineMisses,
 			engine.MetricRebalances,
 			engine.MetricCanceledRuns,
+			engine.MetricEscalations,
+			engine.MetricStallsInjected,
 			simjob.MetricTasksQueued,
 			simjob.MetricTasksRunning,
 			simjob.MetricTasksDone,
@@ -42,6 +45,7 @@ func TestMetricNamesDocumented(t *testing.T) {
 			simjob.MetricErrors,
 			simjob.MetricJobTime,
 			simjob.MetricEvictions,
+			simjob.MetricPanics,
 		}},
 		{"../../docs/server.md", []string{
 			server.MetricJobsSubmitted,
@@ -52,6 +56,15 @@ func TestMetricNamesDocumented(t *testing.T) {
 			server.MetricJobsDeduped,
 			server.MetricQueueDepth,
 			server.MetricJobLatency,
+			server.MetricJobRetries,
+		}},
+		{"../../docs/faults.md", []string{
+			faults.MetricJobPanics,
+			faults.MetricJobSlowdowns,
+			faults.MetricEngineStalls,
+			faults.MetricHTTPErrors,
+			faults.MetricHTTPResets,
+			faults.MetricHTTPDelays,
 		}},
 	}
 	for _, c := range cases {

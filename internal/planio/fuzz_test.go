@@ -1,0 +1,90 @@
+package planio
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chimera/internal/core"
+	"chimera/internal/gpu"
+)
+
+// FuzzPlanIO round-trips arbitrary snapshot documents through the full
+// cmd/chimeraplan path: Decode → Algorithm 1 → Encode. Malformed input
+// must fail with an error (never a panic), and any document that
+// decodes must plan and encode cleanly — valid JSON out, one plan per
+// selected SM, selection size exactly min(num_preempts, SMs),
+// deterministic bytes on re-encode.
+func FuzzPlanIO(f *testing.F) {
+	f.Add([]byte(`{
+	  "constraint_us": 15,
+	  "num_preempts": 1,
+	  "kernel": {"catalog_label": "BS.0"},
+	  "sms": [
+	    {"id": 0, "tbs": [{"index": 0, "executed": 2000, "run_cycles": 8000}]},
+	    {"id": 3, "tbs": [{"index": 2, "executed": 30000, "run_cycles": 120000}]}
+	  ]
+	}`))
+	f.Add([]byte(`{
+	  "constraint_us": 40,
+	  "num_preempts": 2,
+	  "relaxed": false,
+	  "kernel": {"context_kb_per_tb": 52, "tbs_per_sm": 3, "avg_insts_per_tb": 40000, "avg_cpi": 4},
+	  "sms": [{"id": 1, "tbs": [{"index": 0, "executed": 100, "breached": true}]}, {"id": 2, "tbs": []}]
+	}`))
+	f.Add([]byte(`{"constraint_us": -1}`))
+	f.Add([]byte(`{"sms": [{"id": 5}, {"id": 5}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := gpu.DefaultConfig()
+		req, in, err := Decode(bytes.NewReader(data), cfg)
+		if err != nil {
+			return // rejected inputs are fine; panicking is not
+		}
+		sel := core.Select(req, in)
+		want := req.NumPreempts
+		if want > len(in.SMs) {
+			want = len(in.SMs)
+		}
+		if len(sel.Plans) != want {
+			t.Fatalf("selected %d SMs, want %d (num_preempts=%d over %d SMs)",
+				len(sel.Plans), want, req.NumPreempts, len(in.SMs))
+		}
+
+		var buf bytes.Buffer
+		if err := Encode(&buf, sel); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out []PlanJSON
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("encoded plan is not valid JSON: %v\n%s", err, buf.Bytes())
+		}
+		if len(out) != len(sel.Plans) {
+			t.Fatalf("encoded %d plans, selection has %d", len(out), len(sel.Plans))
+		}
+
+		// Every selected SM must come from the snapshot, at most once.
+		valid := make(map[int]bool, len(in.SMs))
+		for _, sm := range in.SMs {
+			valid[int(sm.SM)] = true
+		}
+		seen := make(map[int]bool, len(out))
+		for _, p := range out {
+			if !valid[p.SM] {
+				t.Fatalf("plan selects SM %d, not in the snapshot", p.SM)
+			}
+			if seen[p.SM] {
+				t.Fatalf("SM %d selected twice", p.SM)
+			}
+			seen[p.SM] = true
+		}
+
+		var buf2 bytes.Buffer
+		if err := Encode(&buf2, sel); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("Encode is not deterministic for the same selection")
+		}
+	})
+}

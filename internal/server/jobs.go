@@ -6,9 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"chimera/internal/faults"
+	"chimera/internal/simjob"
 	"chimera/internal/trace"
 	"chimera/internal/units"
 	"chimera/internal/workloads"
@@ -260,8 +263,26 @@ func (s *Server) worker() {
 		j.started = time.Now()
 		j.mu.Unlock()
 
-		res, executed, events, err := s.execute(j.ctx, j.spec)
+		res, executed, events, err := s.executeWithRetry(j.ctx, j.spec)
 		s.finish(j, res, executed, events, err)
+	}
+}
+
+// executeWithRetry runs one spec, re-executing up to Config.RetryBudget
+// times when the run died to a panic (fault-injected or real). Panics
+// surface as typed *simjob.JobError values — never cached, so a retry
+// genuinely re-runs the simulation, and the fault plan's per-attempt
+// hashing means a retried job draws fresh fault decisions.
+func (s *Server) executeWithRetry(ctx context.Context, spec JobSpec) (res *JobResult, executed bool, events []trace.Event, err error) {
+	for attempt := 0; ; attempt++ {
+		res, executed, events, err = s.execute(ctx, spec)
+		if err == nil || !simjob.IsPanic(err) {
+			return res, executed, events, err
+		}
+		if attempt >= s.cfg.RetryBudget || ctx.Err() != nil {
+			return res, executed, events, err
+		}
+		s.cRetries.Add(1)
 	}
 }
 
@@ -305,6 +326,17 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, exe
 	}
 	runner.Metrics = s.reg
 	runner.UsePool(s.pool)
+	runner.Watchdog = s.cfg.WatchdogK
+	if p := s.cfg.Faults; p != nil {
+		// Key the stall stream by the full spec identity so the same
+		// submission draws the same stalls on every run of the plan, and
+		// stamp the plan fingerprint into the cache variant so faulted
+		// results never shadow clean ones.
+		runner.Stall = p.EngineStallFunc(faults.Key(
+			spec.Kind, spec.Bench, spec.BenchB, spec.Policy,
+			strconv.FormatUint(spec.Seed, 10)))
+		runner.Variant = p.Fingerprint()
+	}
 
 	switch spec.Kind {
 	case KindSolo:

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"chimera/internal/faults"
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
 	"chimera/internal/simjob"
@@ -46,6 +47,19 @@ type Config struct {
 	// Registry receives the server's and the engines' metrics (default:
 	// a fresh registry, exposed via Registry()).
 	Registry *metrics.Registry
+	// Faults, when set, activates the deterministic fault-injection
+	// plan (internal/faults): job panics/slowdowns through the simjob
+	// exec hook and engine technique stalls through the per-spec stall
+	// injector. The plan's counters are published into Registry on
+	// every /metrics scrape. Nil disables injection entirely.
+	Faults *faults.Plan
+	// RetryBudget is how many times a worker re-executes a job whose
+	// run panicked (injected or real) before failing it; retries are
+	// counted in server/job_retries. 0 disables retries.
+	RetryBudget int
+	// WatchdogK arms the engine preemption watchdog at k× the request's
+	// estimated latency for every job this server runs (0 = off).
+	WatchdogK float64
 }
 
 // Server is the chimerad service core: admission queue, workers, job
@@ -73,6 +87,7 @@ type Server struct {
 	cCanceled   *metrics.Counter
 	cRejected   *metrics.Counter
 	cDeduped    *metrics.Counter
+	cRetries    *metrics.Counter
 	gQueueDepth *metrics.Counter
 	hLatency    *metrics.Histogram
 }
@@ -95,6 +110,9 @@ const (
 	MetricJobsDeduped = "server/jobs_deduped"
 	// MetricQueueDepth gauges the current admission-queue length.
 	MetricQueueDepth = "server/queue_depth"
+	// MetricJobRetries counts worker re-executions of jobs whose run
+	// panicked (Config.RetryBudget).
+	MetricJobRetries = "server/job_retries"
 	// MetricJobLatency is the submit-to-done service-time histogram.
 	MetricJobLatency = "server/job_latency_ms"
 )
@@ -124,6 +142,9 @@ func New(cfg Config) *Server {
 	}
 	cache := simjob.NewCache()
 	cache.SetLimit(cfg.CacheCap)
+	if cfg.Faults != nil {
+		cache.SetExecHook(cfg.Faults.SimjobHook())
+	}
 	s := &Server{
 		cfg:     cfg,
 		catalog: cfg.Catalog,
@@ -140,6 +161,7 @@ func New(cfg Config) *Server {
 		cCanceled:   cfg.Registry.Counter(MetricJobsCanceled),
 		cRejected:   cfg.Registry.Counter(MetricJobsRejected),
 		cDeduped:    cfg.Registry.Counter(MetricJobsDeduped),
+		cRetries:    cfg.Registry.Counter(MetricJobRetries),
 		gQueueDepth: cfg.Registry.Counter(MetricQueueDepth),
 		hLatency:    cfg.Registry.Histogram(MetricJobLatency, "ms", latencyBoundsMs),
 	}
@@ -398,6 +420,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // format, refreshing the job-pool gauges first.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.pool.Stats().Publish(s.reg)
+	if s.cfg.Faults != nil {
+		s.cfg.Faults.Publish(s.reg)
+	}
 	s.mu.Lock()
 	s.gQueueDepth.Set(int64(s.queue.Len()))
 	s.mu.Unlock()

@@ -4,9 +4,44 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
+
+// JobError is the typed failure of a job whose execution panicked. The
+// panic is confined to the one job: the cache drops the entry (errors
+// are never cached), every singleflight waiter receives this error, and
+// the pool keeps draining its remaining work. Callers distinguish it
+// from ordinary failures with errors.As — chimerad uses that to retry
+// panicked jobs within a budget.
+type JobError struct {
+	// Job identifies the panicked execution when it unwound a
+	// Cache/Pool Do call (zero value for a bare Pool.Run task).
+	Job Job
+	// Task is the Pool.Run task index, or -1 for cache executions.
+	Task int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	if e.Task >= 0 {
+		return fmt.Sprintf("simjob: task %d panicked: %v", e.Task, e.Value)
+	}
+	return fmt.Sprintf("simjob: job %s/%s panicked: %v", e.Job.Kind, e.Job.Benchmarks, e.Value)
+}
+
+// IsPanic reports whether err unwraps to a JobError, i.e. the job
+// failed by panicking rather than by returning an error.
+func IsPanic(err error) bool {
+	var je *JobError
+	return errors.As(err, &je)
+}
 
 // Cache memoizes simulation results by Job with singleflight semantics:
 // when several goroutines ask for the same Job concurrently, exactly one
@@ -27,6 +62,9 @@ type Cache struct {
 	limit int
 	lru   *list.List
 	stats counters
+
+	hookMu sync.RWMutex
+	hook   func(Job)
 }
 
 // entry is one in-flight or completed computation.
@@ -92,6 +130,24 @@ func (c *Cache) enforceLimitLocked() {
 	}
 }
 
+// SetExecHook installs a hook invoked on the executing goroutine just
+// before every cache-miss execution (nil removes it). It is the fault
+// plane's injection point: a hook may panic (isolated into a JobError
+// exactly like a panic from the job itself) or sleep to simulate a slow
+// worker. The hook sees only real executions — cache and singleflight
+// hits bypass it.
+func (c *Cache) SetExecHook(fn func(Job)) {
+	c.hookMu.Lock()
+	c.hook = fn
+	c.hookMu.Unlock()
+}
+
+func (c *Cache) execHook() func(Job) {
+	c.hookMu.RLock()
+	defer c.hookMu.RUnlock()
+	return c.hook
+}
+
 // Do returns the memoized result for job, computing it with fn on first
 // use. Concurrent calls for the same job share one execution. fn runs on
 // the caller's goroutine (the Pool provides worker-level parallelism);
@@ -154,7 +210,7 @@ func (c *Cache) doJob(ctx context.Context, job Job, fn func(context.Context) (an
 
 		//chimera:allow wallclock measures host compute time for progress stats, never simulated time
 		start := time.Now()
-		e.val, e.err = fn(ctx)
+		e.val, e.err = c.runJob(ctx, job, fn)
 		dur = time.Since(start) //chimera:allow wallclock host-side duration for Stats.JobTime, not sim state
 		c.stats.ran(dur, e.err != nil)
 		c.mu.Lock()
@@ -170,6 +226,24 @@ func (c *Cache) doJob(ctx context.Context, job Job, fn func(context.Context) (an
 		close(e.done)
 		return e.val, e.err, true, dur
 	}
+}
+
+// runJob executes one cache miss with panic isolation: a panic from
+// the exec hook or from fn itself is recovered into a *JobError so it
+// poisons only this job (and its current singleflight waiters), never
+// the pool or the process.
+func (c *Cache) runJob(ctx context.Context, job Job, fn func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.stats.panicked()
+			v = nil
+			err = &JobError{Job: job, Task: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if hook := c.execHook(); hook != nil {
+		hook(job)
+	}
+	return fn(ctx)
 }
 
 // Len reports how many results are currently cached or in flight.

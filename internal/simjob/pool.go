@@ -2,8 +2,9 @@ package simjob
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -73,6 +74,14 @@ func (p *Pool) DoContext(ctx context.Context, job Job, fn func(context.Context) 
 		p.stats.jobTimeNs.Add(int64(dur))
 		if err != nil {
 			p.stats.errors.Add(1)
+			// Count only a panic recovered from THIS execution. A nested
+			// Do's *JobError (a composite job propagating its inner solo's
+			// panic) carries the inner job's identity and was already
+			// counted when that execution unwound.
+			var je *JobError
+			if errors.As(err, &je) && je.Job == job {
+				p.stats.panics.Add(1)
+			}
 		}
 	} else {
 		p.stats.cacheHits.Add(1)
@@ -103,7 +112,8 @@ func (p *Pool) Run(tasks ...func() error) error {
 			defer p.notifyDone()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("simjob: task %d panicked: %v", i, r)
+					p.stats.panicked()
+					errs[i] = &JobError{Task: i, Value: r, Stack: debug.Stack()}
 				}
 			}()
 			errs[i] = task()

@@ -88,4 +88,10 @@ type Job struct {
 	Config gpu.Config
 	// Catalog is the kernel catalog the benchmarks come from.
 	Catalog *kernels.Catalog
+	// Variant discriminates runs whose outcome depends on anything
+	// beyond the simulation parameters above — e.g. an active fault
+	// plan or watchdog configuration ("" for a clean run). Without it a
+	// faulted execution would be cached under the same key as a clean
+	// one and poison later lookups.
+	Variant string
 }

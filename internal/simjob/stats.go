@@ -30,6 +30,9 @@ type Stats struct {
 	// Evictions counts results dropped by a cache's LRU cap
 	// (Cache.SetLimit); zero for unbounded caches.
 	Evictions int64
+	// Panics counts executions recovered into a typed *JobError
+	// (included in Errors as well; a panicked job is a failed job).
+	Panics int64
 }
 
 // counters is the lock-free mutable form of Stats, embedded in Cache and
@@ -43,6 +46,7 @@ type counters struct {
 	errors       atomic.Int64
 	jobTimeNs    atomic.Int64
 	evictions    atomic.Int64
+	panics       atomic.Int64
 }
 
 // global aggregates all pools and caches in the process.
@@ -67,6 +71,13 @@ func (c *counters) ran(d time.Duration, failed bool) {
 		if failed {
 			global.errors.Add(1)
 		}
+	}
+}
+
+func (c *counters) panicked() {
+	c.panics.Add(1)
+	if c != &global {
+		global.panics.Add(1)
 	}
 }
 
@@ -110,6 +121,7 @@ func (c *counters) snapshot() Stats {
 		Errors:       c.errors.Load(),
 		JobTime:      time.Duration(c.jobTimeNs.Load()),
 		Evictions:    c.evictions.Load(),
+		Panics:       c.panics.Load(),
 	}
 }
 
@@ -129,6 +141,7 @@ func (s Stats) Publish(reg *metrics.Registry) {
 	reg.Counter(MetricErrors).Set(s.Errors)
 	reg.Counter(MetricJobTime).Set(s.JobTime.Milliseconds())
 	reg.Counter(MetricEvictions).Set(s.Evictions)
+	reg.Counter(MetricPanics).Set(s.Panics)
 }
 
 // Metric names published by Stats.Publish, as package-level constants
@@ -151,4 +164,6 @@ const (
 	MetricJobTime = "simjob/job_time_ms"
 	// MetricEvictions counts LRU evictions from the cache.
 	MetricEvictions = "simjob/evictions"
+	// MetricPanics counts executions recovered into a typed JobError.
+	MetricPanics = "simjob/panics"
 )

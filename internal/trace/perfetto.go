@@ -155,6 +155,18 @@ func WritePerfetto(w io.Writer, events []Event) error {
 				Pid: perfettoPidKernels, Tid: kernelTid[e.Kernel], S: "p",
 				Args: map[string]any{"detail": e.Detail},
 			})
+		case Stall:
+			emit(perfettoEvent{
+				Name: "stall " + e.Kernel, Ph: "i", Ts: usOf(e.At),
+				Pid: perfettoPidKernels, Tid: kernelTid[e.Kernel], S: "p",
+				Args: map[string]any{"extra_us": float64(usOf(e.Dur)), "by": e.Other},
+			})
+		case Escalate:
+			emit(perfettoEvent{
+				Name: "escalate " + e.Kernel, Ph: "i", Ts: usOf(e.At),
+				Pid: perfettoPidKernels, Tid: kernelTid[e.Kernel], S: "p",
+				Args: map[string]any{"by": e.Other, "detail": e.Detail},
+			})
 		case Handover:
 			ev := perfettoEvent{
 				Name: fmt.Sprintf("preempt %s→%s", e.Kernel, e.Other),

@@ -54,6 +54,12 @@ const (
 	Handover
 	// DeadlineMiss marks a periodic-task instance killed at its deadline.
 	DeadlineMiss
+	// Stall marks an injected preemption-technique stall (fault plane):
+	// the request's handover is held open for Dur extra cycles.
+	Stall
+	// Escalate marks the engine watchdog escalating an overdue
+	// preemption request to stronger techniques (drain→flush→switch).
+	Escalate
 )
 
 // String names the kind as used in dumps.
@@ -81,6 +87,10 @@ func (k Kind) String() string {
 		return "handover"
 	case DeadlineMiss:
 		return "deadline-miss"
+	case Stall:
+		return "stall"
+	case Escalate:
+		return "escalate"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

@@ -69,6 +69,20 @@ type Runner struct {
 	// engine telemetry, not as a per-result record (PeriodicResult's
 	// Outcomes carry the cache-safe form).
 	Metrics *metrics.Registry
+	// Watchdog arms the engine's preemption watchdog: a request still
+	// incomplete at Watchdog× its estimated latency has its techniques
+	// escalated (engine.Options.WatchdogK; 0 = off, the paper's exact
+	// behaviour).
+	Watchdog float64
+	// Stall, when set, injects fault-plane technique stalls into every
+	// engine run (engine.Options.FaultStall). Callers running with an
+	// injector should also set Variant to the fault plan's fingerprint
+	// so faulted results never poison the clean result cache.
+	Stall func(reqIndex int, estimate units.Cycles) units.Cycles
+	// Variant discriminates cached results whose outcome depends on
+	// anything beyond the simulation parameters — typically an active
+	// fault plan's fingerprint. Empty for clean runs.
+	Variant string
 
 	cat  *kernels.Catalog
 	pool *simjob.Pool
@@ -123,7 +137,15 @@ func (r *Runner) UsePool(p *simjob.Pool) *Runner {
 // baseline options (Chimera policy, no headroom), so those fields are
 // normalized out of the key to maximize sharing across exhibits.
 func (r *Runner) job(kind simjob.Kind, benches, policy string, serial bool, headroom units.Cycles) simjob.Job {
+	// An armed watchdog or stall injector changes run outcomes, so fold
+	// both into the cache-key variant even when the caller forgot to set
+	// one — a faulted run must never be served as a clean result.
+	variant := r.Variant
+	if r.Watchdog != 0 || r.Stall != nil {
+		variant = fmt.Sprintf("%s|wd=%g|stall=%t", variant, r.Watchdog, r.Stall != nil)
+	}
 	return simjob.Job{
+		Variant:    variant,
 		Kind:       kind,
 		Benchmarks: benches,
 		Policy:     policy,
@@ -178,6 +200,8 @@ func (r *Runner) soloRate(ctx context.Context, bench string) (float64, error) {
 		WarmStats:      r.Warm,
 		ContentionBeta: r.Contention,
 		Metrics:        r.Metrics,
+		WatchdogK:      r.Watchdog,
+		FaultStall:     r.Stall,
 	})
 	sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
 	if err := sim.RunContext(ctx, r.Window); err != nil {
@@ -292,6 +316,8 @@ func (r *Runner) runPeriodic(ctx context.Context, bench string, policy engine.Po
 		ContentionBeta: r.Contention,
 		Headroom:       r.Headroom,
 		Metrics:        r.Metrics,
+		WatchdogK:      r.Watchdog,
+		FaultStall:     r.Stall,
 	})
 	sim.AddProcess(engine.ProcessSpec{Name: bench, Launches: launches, Loop: true})
 	rt := PeriodicSpec(sim.Config().NumSMs)
@@ -408,6 +434,8 @@ func (r *Runner) runPair(ctx context.Context, a, b string, policy engine.Policy,
 		Serial:         serial,
 		ContentionBeta: r.Contention,
 		Metrics:        r.Metrics,
+		WatchdogK:      r.Watchdog,
+		FaultStall:     r.Stall,
 	})
 	// Process names must be unique even for self-pairs (A == B).
 	nameA, nameB := a+"#0", b+"#1"
