@@ -7,7 +7,7 @@ GO ?= go
 # when not, since offline containers cannot fetch it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test short cover bench race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke clean
+.PHONY: all build test short cover bench bench-all race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke replay-smoke clean
 
 all: build test
 
@@ -40,7 +40,15 @@ short:
 cover:
 	$(GO) test -cover ./...
 
+# Core perf baseline: the simulator inner loop (ns/sim-cycle), Algorithm
+# 1 selection, the idempotence analysis and the spec-addressed job layer
+# (jobs/sec). Regenerates the checked-in BENCH_core.json so perf PRs
+# have a before/after to diff.
 bench:
+	$(GO) test -run '^$$' -bench '^(BenchmarkSimulation|BenchmarkSelect|BenchmarkAnalyze|BenchmarkSimjobPool)$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# Every benchmark in the repository (slow; exhibits log their tables).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full test suite under the race detector (the experiment stack fans
@@ -64,11 +72,14 @@ quick-results:
 # cross-linked from README and DESIGN.
 docs-check:
 	$(GO) build ./examples/...
-	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults ./internal/jobspec ./internal/replay
 	@test -f docs/static-analysis.md || { echo "docs/static-analysis.md is missing"; exit 1; }
 	@test -f docs/faults.md || { echo "docs/faults.md is missing"; exit 1; }
+	@test -f docs/jobs.md || { echo "docs/jobs.md is missing"; exit 1; }
 	@grep -q "docs/static-analysis.md" README.md || { echo "README.md does not link docs/static-analysis.md"; exit 1; }
 	@grep -q "static-analysis.md" DESIGN.md || { echo "DESIGN.md does not link docs/static-analysis.md"; exit 1; }
+	@grep -q "jobs.md" docs/server.md || { echo "docs/server.md does not link docs/jobs.md"; exit 1; }
+	@grep -q "jobspec" EXPERIMENTS.md || { echo "EXPERIMENTS.md does not reference the jobspec layer"; exit 1; }
 
 # End-to-end service smoke: boot chimerad on a random port, drive the
 # full client path (submit, poll, cancel, scrape /metrics), then SIGTERM
@@ -76,6 +87,15 @@ docs-check:
 serve-smoke:
 	$(GO) build -o bin/chimerad ./cmd/chimerad
 	$(GO) run ./cmd/servesmoke -bin bin/chimerad
+
+# End-to-end record → replay → diff smoke: boot chimerad with -record,
+# drive a mixed campaign, drain, then replay the trace three times (once
+# with timing faults armed) and require byte-identical reports. See
+# docs/jobs.md.
+replay-smoke:
+	$(GO) build -o bin/chimerad ./cmd/chimerad
+	$(GO) build -o bin/chimerareplay ./cmd/chimerareplay
+	$(GO) run ./cmd/replaysmoke -daemon bin/chimerad -replay bin/chimerareplay
 
 # Fuzz the kernel-IR parser for 30 seconds.
 fuzz:

@@ -9,10 +9,14 @@
 package chimera_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"chimera"
+	"chimera/internal/jobspec"
+	"chimera/internal/simjob"
+	"chimera/internal/workloads"
 )
 
 // benchScale is the fidelity used by the exhibit benchmarks.
@@ -149,10 +153,14 @@ func BenchmarkAnalyze(b *testing.B) {
 }
 
 // BenchmarkSimulation measures raw simulator throughput: one millisecond
-// of a saturated 30-SM device per iteration.
+// of a saturated 30-SM device per iteration. The custom ns/sim-cycle
+// metric is the wall-clock cost of one simulated device cycle — the
+// headline number BENCH_core.json tracks across PRs.
 func BenchmarkSimulation(b *testing.B) {
 	cat := chimera.Catalog()
 	spec := cat.MustKernel("BP.0")
+	window := chimera.Microseconds(1000)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim := chimera.NewSimulation(chimera.SimOptions{Seed: uint64(i), WarmStats: true})
 		sim.AddProcess(chimera.ProcessSpec{
@@ -160,8 +168,41 @@ func BenchmarkSimulation(b *testing.B) {
 			Launches: []chimera.LaunchSpec{{Params: spec.Params, Grid: spec.Params.GridSize}},
 			Loop:     true,
 		})
-		sim.Run(chimera.Microseconds(1000))
+		sim.Run(window)
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(window)), "ns/sim-cycle")
+}
+
+// BenchmarkSimjobPool measures the spec-addressed job layer end to end:
+// one jobspec.Spec through the workloads Executor against a warm result
+// cache per iteration — normalize, validate, policy parse, identity
+// derivation and the memoized lookup, everything a cached exhibit or
+// replayed request pays besides the simulation itself. The custom
+// jobs/sec metric is the dedup-path throughput ceiling.
+func BenchmarkSimjobPool(b *testing.B) {
+	r, err := chimera.NewScenarioRunner(
+		chimera.Microseconds(200), chimera.Microseconds(15), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r = r.UsePool(simjob.NewPool(0, simjob.NewCache()))
+	ex := workloads.NewExecutor(r)
+	spec := jobspec.Periodic("SAD", "").WithWindowUs(200)
+	ctx := context.Background()
+	if _, _, err := ex.Run(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, executed, err := ex.Run(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if executed {
+			b.Fatal("warm spec re-simulated")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
 }
 
 // Extension exhibits.

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into a small
+// versioned JSON baseline file. It reads the benchmark run on stdin,
+// echoes it unchanged to stdout (so `make bench` still shows the live
+// numbers), and writes one JSON document per run:
+//
+//	{
+//	  "v": 1,
+//	  "goos": "linux", "goarch": "amd64", "pkg": "chimera", "cpu": "...",
+//	  "benchmarks": [
+//	    {"name": "Simulation", "iterations": 12,
+//	     "metrics": {"B/op": ..., "allocs/op": ..., "ns/op": ..., "ns/sim-cycle": ...}}
+//	  ]
+//	}
+//
+// Standard (-benchmem) and custom (b.ReportMetric) metrics are treated
+// uniformly: every "value unit" pair after the iteration count becomes a
+// metrics entry, so new b.ReportMetric series show up in the baseline
+// without touching this tool. Metric keys marshal in sorted order —
+// diffs of BENCH_core.json across PRs show only value drift.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -out BENCH_core.json
+//
+// Flags:
+//
+//	-out FILE  write the JSON baseline to FILE (required)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline is the emitted document.
+type baseline struct {
+	V          int     `json:"v"`
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// entry is one benchmark result.
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON baseline to FILE (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+	if err := run(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run tees stdin to stdout while collecting the baseline, then writes it.
+func run(out string) error {
+	b := baseline{V: 1}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			b.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			b.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			b.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			b.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if e, ok := parseResult(line); ok {
+				b.Benchmarks = append(b.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(b.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	doc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(doc, '\n'), 0o644)
+}
+
+// parseResult parses one `BenchmarkName[-P] N value unit [value unit]...`
+// result line; ok is false for any other line.
+func parseResult(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix so baselines diff cleanly across
+	// machines with different core counts.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	e := entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value/unit; tolerate a trailing odd field.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return entry{}, false
+	}
+	return e, true
+}

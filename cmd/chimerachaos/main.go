@@ -45,6 +45,7 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/faults"
+	"chimera/internal/jobspec"
 	"chimera/internal/metrics"
 	"chimera/internal/server"
 	"chimera/internal/server/client"
@@ -96,30 +97,24 @@ func campaignPlan(seed uint64) *faults.Plan {
 // injected-panic accounting stays exact.
 func specFor(seed uint64, i int) server.JobSpec {
 	benches := []string{"BS", "SAD"}
-	spec := server.JobSpec{
-		Bench: benches[i%len(benches)],
-		Seed:  seed*1_000_003 + uint64(i) + 1,
-	}
+	bench := benches[i%len(benches)]
+	jobSeed := seed*1_000_003 + uint64(i) + 1
+	var spec jobspec.Spec
 	switch {
 	case i%7 == 3:
-		spec.Kind = server.KindPair
-		spec.BenchB = benches[(i+1)%len(benches)]
-		spec.Policy = server.PolicyChimera
-		spec.WindowUs = 500
+		spec = jobspec.Pair(bench, benches[(i+1)%len(benches)], jobspec.PolicyChimera).
+			WithWindowUs(500)
 	case i%3 == 0:
-		spec.Kind = server.KindSolo
-		spec.WindowUs = 200
+		spec = jobspec.Solo(bench).WithWindowUs(200)
 	default:
 		// Drain baseline with a roomy constraint: finite estimates for
 		// stalls to scale off, and a watchdog rescue that lands well
 		// before the periodic task's deadline kill. The 1800 µs window
 		// keeps every injected stall's watchdog check inside the run.
-		spec.Kind = server.KindPeriodic
-		spec.Policy = server.PolicyDrain
-		spec.WindowUs = 1800
-		spec.ConstraintUs = 600
+		spec = jobspec.Periodic(bench, jobspec.PolicyDrain).
+			WithWindowUs(1800).WithConstraintUs(600)
 	}
-	return spec
+	return spec.WithSeed(jobSeed)
 }
 
 // withRetry re-invokes fn while it reports a retryable failure. The

@@ -23,6 +23,10 @@
 //	                 request's estimated latency (0 = off)
 //	-retry-budget N  re-execute a job up to N times when its run
 //	                 panicked (default 0)
+//	-record FILE     append a versioned JSONL workload trace (one
+//	                 jobspec.TraceRecord per admitted job at its
+//	                 terminal state; docs/jobs.md) — the input of
+//	                 chimerareplay
 //
 // Deterministic fault injection (docs/faults.md) is armed by the
 // -fault-* flags; all rates are probabilities in [0,1] and a zero rate
@@ -77,6 +81,7 @@ type options struct {
 	drainGrace  time.Duration
 	watchdogK   float64
 	retryBudget int
+	record      string
 	faults      faults.Config
 }
 
@@ -90,6 +95,7 @@ func main() {
 	flag.DurationVar(&o.drainGrace, "drain-grace", 30*time.Second, "graceful-drain budget before outstanding jobs are cancelled")
 	flag.Float64Var(&o.watchdogK, "watchdog", 0, "arm the engine preemption watchdog at K× a request's estimated latency (0 = off)")
 	flag.IntVar(&o.retryBudget, "retry-budget", 0, "re-execute a job up to N times when its run panicked")
+	flag.StringVar(&o.record, "record", "", "append a JSONL workload trace of admitted jobs to FILE")
 	flag.Uint64Var(&o.faults.Seed, "fault-seed", 0, "fault-injection decision seed")
 	flag.Float64Var(&o.faults.JobPanic, "fault-job-panic", 0, "simjob execution panic rate [0,1]")
 	flag.IntVar(&o.faults.MaxPanicsPerJob, "fault-panic-cap", 1, "max injected panics per distinct job (0 = no cap)")
@@ -134,6 +140,15 @@ func run(o options) error {
 		o.faults.Sleep = time.Sleep
 		plan = faults.New(o.faults)
 		cfg.Faults = plan
+	}
+	if o.record != "" {
+		f, err := os.OpenFile(o.record, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open record file: %w", err)
+		}
+		defer f.Close()
+		cfg.Record = f
+		fmt.Printf("chimerad recording to %s\n", o.record)
 	}
 	svc := server.New(cfg)
 

@@ -1,8 +1,30 @@
-// Command chimeraload is a closed-loop load generator for chimerad: -c
-// concurrent clients each submit a job, wait for it to finish, and
-// immediately submit the next, until -n jobs have completed. It then
-// prints a latency table (p50/p95/p99, mean, max) and a throughput
-// summary.
+// Command chimeraload is a load generator for chimerad with both
+// closed-loop and open-loop arrival processes.
+//
+// Closed loop (-arrival closed, the default): -c concurrent clients
+// each submit a job, wait for it to finish, and immediately submit the
+// next, until -n jobs have completed — the classic saturation probe.
+//
+// Open loop (-arrival poisson | bursty): jobs arrive on a schedule
+// that does not depend on the server's speed, which is how production
+// traffic behaves. Inter-arrival gaps are drawn from the repository's
+// deterministic RNG (internal/rng), so the same -seed and -rate always
+// produce the same arrival schedule:
+//
+//   - poisson: independent exponential gaps at -rate jobs/sec.
+//   - bursty:  a modulated Poisson process alternating 20-job bursts at
+//     5× -rate with 20-job lulls at ⅓ -rate — same mean load, spiky
+//     shape.
+//
+// With -record FILE, the generator appends every job's terminal
+// outcome to a versioned JSONL workload trace (jobspec.TraceRecord,
+// docs/jobs.md) whose arrival offsets are the scheduled (deterministic)
+// arrival times — the exact format chimerad -record emits and
+// chimerareplay consumes, so a synthetic open-loop campaign can be
+// re-driven bit-for-bit later.
+//
+// After the run it prints a latency table (p50/p95/p99, mean, max) and
+// a throughput summary.
 //
 // Usage:
 //
@@ -12,7 +34,13 @@
 //
 //	-addr HOST:PORT  chimerad address (required)
 //	-n N             total jobs to run (default 200)
-//	-c N             concurrent closed-loop clients (default 8)
+//	-c N             closed loop: concurrent clients (default 8)
+//	-arrival A       arrival process: closed, poisson or bursty
+//	                 (default closed)
+//	-rate R          open loop: mean arrival rate in jobs/sec
+//	                 (default 50)
+//	-seed N          open loop: arrival-process seed (default 1)
+//	-record FILE     append a JSONL workload trace of every job
 //	-kind K          scenario kind: solo, periodic or pair (default solo)
 //	-bench B         benchmark (default SAD)
 //	-bench-b B       second benchmark for pair jobs (default MUM)
@@ -29,122 +57,292 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"chimera/internal/jobspec"
 	"chimera/internal/metrics"
+	"chimera/internal/rng"
 	"chimera/internal/server"
 	"chimera/internal/server/client"
 )
 
+// options carries the flag-settable knobs into the run functions.
+type options struct {
+	addr     string
+	n        int
+	conc     int
+	arrival  string
+	rate     float64
+	seed     uint64
+	record   string
+	kind     string
+	bench    string
+	benchB   string
+	windowUs float64
+	distinct bool
+}
+
 func main() {
-	addr := flag.String("addr", "", "chimerad address (host:port, required)")
-	n := flag.Int("n", 200, "total jobs to run")
-	conc := flag.Int("c", 8, "concurrent closed-loop clients")
-	kind := flag.String("kind", server.KindSolo, "scenario kind (solo, periodic, pair)")
-	bench := flag.String("bench", "SAD", "benchmark")
-	benchB := flag.String("bench-b", "MUM", "second benchmark for pair jobs")
-	windowUs := flag.Float64("window-us", 100, "simulated µs per job")
-	distinct := flag.Bool("distinct", true, "vary each job's seed so every job simulates")
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "chimerad address (host:port, required)")
+	flag.IntVar(&o.n, "n", 200, "total jobs to run")
+	flag.IntVar(&o.conc, "c", 8, "closed loop: concurrent clients")
+	flag.StringVar(&o.arrival, "arrival", "closed", "arrival process: closed, poisson or bursty")
+	flag.Float64Var(&o.rate, "rate", 50, "open loop: mean arrival rate in jobs/sec")
+	flag.Uint64Var(&o.seed, "seed", 1, "open loop: arrival-process seed")
+	flag.StringVar(&o.record, "record", "", "append a JSONL workload trace to FILE")
+	flag.StringVar(&o.kind, "kind", server.KindSolo, "scenario kind (solo, periodic, pair)")
+	flag.StringVar(&o.bench, "bench", "SAD", "benchmark")
+	flag.StringVar(&o.benchB, "bench-b", "MUM", "second benchmark for pair jobs")
+	flag.Float64Var(&o.windowUs, "window-us", 100, "simulated µs per job")
+	flag.BoolVar(&o.distinct, "distinct", true, "vary each job's seed so every job simulates")
 	flag.Parse()
 
-	if *addr == "" {
+	if o.addr == "" {
 		fmt.Fprintln(os.Stderr, "chimeraload: -addr is required")
 		os.Exit(2)
 	}
-	if err := run(*addr, *n, *conc, *kind, *bench, *benchB, *windowUs, *distinct); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "chimeraload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// run drives the closed loop and prints the report.
-func run(addr string, n, conc int, kind, bench, benchB string, windowUs float64, distinct bool) error {
-	if conc < 1 {
-		conc = 1
+// specFor builds job i's spec via the jobspec builders — the same
+// construction path every production caller uses.
+func (o *options) specFor(i int64) jobspec.Spec {
+	var spec jobspec.Spec
+	switch o.kind {
+	case server.KindPeriodic:
+		spec = jobspec.Periodic(o.bench, "")
+	case server.KindPair:
+		spec = jobspec.Pair(o.bench, o.benchB, "")
+	default:
+		spec = jobspec.Solo(o.bench)
+		spec.Kind = o.kind // surface an unknown -kind as a server-side 400
 	}
-	if conc > n {
-		conc = n
+	spec = spec.WithWindowUs(o.windowUs).WithSeed(1)
+	if o.distinct {
+		spec = spec.WithSeed(uint64(i + 1))
 	}
-	c := client.New("http://" + addr)
-	ctx := context.Background()
+	return spec
+}
 
-	// Service latency in milliseconds through the repo's own fixed-bucket
-	// histogram (the same estimator behind the engine's latency exhibits).
-	hist := metrics.NewHistogram("load/latency_ms", "ms", metrics.ExpBuckets(0.25, 1.5, 32))
-	var (
-		next    atomic.Int64
-		deduped atomic.Int64
-		failed  atomic.Int64
-	)
-	start := time.Now()
-	var wg sync.WaitGroup
-	errs := make([]error, conc)
-	for w := 0; w < conc; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(n) {
-					return
-				}
-				spec := server.JobSpec{
-					Kind:     kind,
-					Bench:    bench,
-					WindowUs: windowUs,
-					Seed:     1,
-				}
-				if kind == server.KindPair {
-					spec.BenchB = benchB
-				}
-				if distinct {
-					spec.Seed = uint64(i + 1)
-				}
-				t0 := time.Now()
-				st, err := c.SubmitWait(ctx, spec)
-				if err != nil {
-					errs[w] = fmt.Errorf("job %d: %w", i, err)
-					failed.Add(1)
-					continue
-				}
-				lat := time.Since(t0)
-				switch st.State {
-				case server.StateDone:
-					if st.Deduped {
-						deduped.Add(1)
-					}
-					hist.Observe(float64(lat) / float64(time.Millisecond))
-				default:
-					failed.Add(1)
-					errs[w] = fmt.Errorf("job %d finished %s: %s", i, st.State, st.Error)
-				}
-			}
-		}(w)
+// arrivalGaps precomputes the n deterministic inter-arrival gaps of the
+// chosen open-loop process.
+func arrivalGaps(process string, n int, rate float64, seed uint64) ([]time.Duration, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("open-loop arrival needs -rate > 0")
 	}
-	wg.Wait()
+	src := rng.New(seed)
+	// exponential draws one exponentially-distributed gap at rate r.
+	exponential := func(r float64) time.Duration {
+		u := src.Float64()
+		return time.Duration(-math.Log(1-u) / r * float64(time.Second))
+	}
+	gaps := make([]time.Duration, n)
+	switch process {
+	case "poisson":
+		for i := range gaps {
+			gaps[i] = exponential(rate)
+		}
+	case "bursty":
+		// Alternate 20-job bursts at 5× rate with 20-job lulls at ⅓
+		// rate: spikier than Poisson at a comparable mean load.
+		const phase = 20
+		for i := range gaps {
+			r := rate * 5
+			if (i/phase)%2 == 1 {
+				r = rate / 3
+			}
+			gaps[i] = exponential(r)
+		}
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q (want closed, poisson or bursty)", process)
+	}
+	return gaps, nil
+}
+
+// loadStats aggregates one run's outcomes across worker goroutines.
+type loadStats struct {
+	hist    *metrics.Histogram
+	deduped atomic.Int64
+	failed  atomic.Int64
+	errMu   sync.Mutex
+	err     error
+}
+
+func newLoadStats() *loadStats {
+	return &loadStats{
+		// Service latency in milliseconds through the repo's own
+		// fixed-bucket histogram (the same estimator behind the engine's
+		// latency exhibits).
+		hist: metrics.NewHistogram("load/latency_ms", "ms", metrics.ExpBuckets(0.25, 1.5, 32)),
+	}
+}
+
+// note records one job outcome (thread-safe).
+func (s *loadStats) note(i int64, st server.JobStatus, lat time.Duration, err error) {
+	switch {
+	case err != nil:
+		s.failed.Add(1)
+		s.setErr(fmt.Errorf("job %d: %w", i, err))
+	case st.State == server.StateDone:
+		if st.Deduped {
+			s.deduped.Add(1)
+		}
+		s.hist.Observe(float64(lat) / float64(time.Millisecond))
+	default:
+		s.failed.Add(1)
+		s.setErr(fmt.Errorf("job %d finished %s: %s", i, st.State, st.Error))
+	}
+}
+
+func (s *loadStats) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// run drives the selected loop and prints the report.
+func run(o options) error {
+	if o.conc < 1 {
+		o.conc = 1
+	}
+	if o.conc > o.n {
+		o.conc = o.n
+	}
+	c := client.New("http://" + o.addr)
+	stats := newLoadStats()
+
+	var rec *jobspec.TraceWriter
+	if o.record != "" {
+		f, err := os.OpenFile(o.record, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open record file: %w", err)
+		}
+		defer f.Close()
+		rec = jobspec.NewTraceWriter(f)
+	}
+
+	start := time.Now()
+	var err error
+	if o.arrival == "closed" {
+		err = runClosed(o, c, stats, rec, start)
+	} else {
+		err = runOpen(o, c, stats, rec)
+	}
+	if err != nil {
+		return err
+	}
 	elapsed := time.Since(start)
 
-	completed := hist.Count()
-	fmt.Printf("chimeraload: %d jobs (%s %s, %gµs window) over %d clients in %v\n",
-		n, kind, bench, windowUs, conc, elapsed.Round(time.Millisecond))
+	completed := stats.hist.Count()
+	fmt.Printf("chimeraload: %d jobs (%s %s, %gµs window, %s arrivals) in %v\n",
+		o.n, o.kind, o.bench, o.windowUs, o.arrival, elapsed.Round(time.Millisecond))
 	fmt.Printf("  completed: %d   failed: %d   deduped: %d   throughput: %.1f jobs/s\n",
-		completed, failed.Load(), deduped.Load(), float64(completed)/elapsed.Seconds())
+		completed, stats.failed.Load(), stats.deduped.Load(), float64(completed)/elapsed.Seconds())
 	if completed > 0 {
 		fmt.Println("  latency(ms)  p50        p95        p99        mean       max")
 		fmt.Printf("               %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
-			hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99),
-			hist.Mean(), hist.Max())
+			stats.hist.Quantile(0.50), stats.hist.Quantile(0.95), stats.hist.Quantile(0.99),
+			stats.hist.Mean(), stats.hist.Max())
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if rec != nil {
+		fmt.Printf("  recorded %d trace records to %s\n", rec.Count(), o.record)
+	}
+	if stats.err != nil {
+		return stats.err
 	}
 	if completed == 0 {
 		return fmt.Errorf("no job completed")
 	}
+	return nil
+}
+
+// record appends one terminal outcome to the workload trace.
+func record(rec *jobspec.TraceWriter, i int64, arrival time.Duration, spec jobspec.Spec, st server.JobStatus, err error) {
+	if rec == nil {
+		return
+	}
+	spec.Normalize()
+	tr := jobspec.TraceRecord{
+		Seq:       i + 1,
+		ArrivalMs: float64(arrival) / float64(time.Millisecond),
+		Spec:      spec,
+	}
+	switch {
+	case err != nil:
+		tr.Outcome = string(server.StateFailed)
+		tr.Error = err.Error()
+	default:
+		tr.Outcome = string(st.State)
+		tr.Deduped = st.Deduped
+		tr.Error = st.Error
+	}
+	if werr := rec.Append(tr); werr != nil {
+		fmt.Fprintf(os.Stderr, "chimeraload: trace write: %v\n", werr)
+	}
+}
+
+// runClosed is the saturation probe: conc clients, each re-submitting
+// as soon as its previous job finishes.
+func runClosed(o options, c *client.Client, stats *loadStats, rec *jobspec.TraceWriter, start time.Time) error {
+	ctx := context.Background()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(o.n) {
+					return
+				}
+				spec := o.specFor(i)
+				arrival := time.Since(start)
+				t0 := time.Now()
+				st, err := c.SubmitWait(ctx, spec)
+				stats.note(i, st, time.Since(t0), err)
+				record(rec, i, arrival, spec, st, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// runOpen fires jobs on the precomputed deterministic arrival schedule
+// regardless of how fast the server keeps up, and waits for the
+// stragglers at the end.
+func runOpen(o options, c *client.Client, stats *loadStats, rec *jobspec.TraceWriter) error {
+	gaps, err := arrivalGaps(o.arrival, o.n, o.rate, o.seed)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var arrival time.Duration
+	for i := 0; i < o.n; i++ {
+		arrival += gaps[i]
+		time.Sleep(gaps[i])
+		wg.Add(1)
+		go func(i int64, arrival time.Duration) {
+			defer wg.Done()
+			spec := o.specFor(i)
+			t0 := time.Now()
+			st, err := c.SubmitWait(ctx, spec)
+			stats.note(i, st, time.Since(t0), err)
+			record(rec, i, arrival, spec, st, err)
+		}(int64(i), arrival)
+	}
+	wg.Wait()
 	return nil
 }

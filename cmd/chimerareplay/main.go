@@ -1,0 +1,139 @@
+// Command chimerareplay re-drives a recorded workload trace against
+// chimerad and writes a deterministic replay report: same trace + same
+// seed(s) ⇒ byte-identical report, which is what makes a recorded
+// campaign reproducible evidence instead of a one-off run.
+//
+// Traces are the versioned JSONL format of internal/jobspec
+// (docs/jobs.md), produced by chimerad -record or chimeraload -record.
+// Requests are re-submitted strictly in admission order, one at a time,
+// so the result cache sees the same identity sequence on every replay
+// and the report's dedup flags are the cache-hit pattern.
+//
+// Usage:
+//
+//	chimerareplay -trace FILE [flags]
+//
+// Flags:
+//
+//	-trace FILE      the JSONL workload trace to replay (required)
+//	-addr URL        drive a running daemon ("http://host:port");
+//	                 default boots a hermetic in-process service core
+//	                 with a cold cache — the reproducible mode
+//	-workers N       in-process mode: concurrent job executors
+//	                 (default 2)
+//	-retry-budget N  in-process mode: per-job panic retries (default 0)
+//	-out FILE        write the report to FILE (default stdout)
+//	-v               print one progress line per replayed request
+//
+// In-process timing-fault flags (report-invariant by construction;
+// useful for exercising the determinism claim under perturbation):
+//
+//	-fault-seed N            decision seed
+//	-fault-job-slowdown P    simjob execution delay rate [0,1]
+//	-fault-slowdown-delay D  injected execution delay (default 1ms)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chimera/internal/faults"
+	"chimera/internal/jobspec"
+	"chimera/internal/replay"
+	"chimera/internal/server"
+	"chimera/internal/server/client"
+)
+
+// options carries the flag-settable knobs into run.
+type options struct {
+	trace       string
+	addr        string
+	workers     int
+	retryBudget int
+	out         string
+	verbose     bool
+	faults      faults.Config
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.trace, "trace", "", "JSONL workload trace to replay (required)")
+	flag.StringVar(&o.addr, "addr", "", "base URL of a running daemon (default: in-process core)")
+	flag.IntVar(&o.workers, "workers", 2, "in-process mode: concurrent job executors")
+	flag.IntVar(&o.retryBudget, "retry-budget", 0, "in-process mode: per-job panic retries")
+	flag.StringVar(&o.out, "out", "", "report destination (default stdout)")
+	flag.BoolVar(&o.verbose, "v", false, "print one progress line per replayed request")
+	flag.Uint64Var(&o.faults.Seed, "fault-seed", 0, "fault-injection decision seed")
+	flag.Float64Var(&o.faults.JobSlowdown, "fault-job-slowdown", 0, "simjob execution delay rate [0,1]")
+	flag.DurationVar(&o.faults.SlowdownDelay, "fault-slowdown-delay", time.Millisecond, "injected execution delay")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "chimerareplay: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run loads the trace, replays it and writes the report.
+func run(o options) error {
+	if o.trace == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(o.trace)
+	if err != nil {
+		return err
+	}
+	records, err := jobspec.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("trace %s holds no records", o.trace)
+	}
+
+	var progress io.Writer
+	if o.verbose {
+		progress = os.Stderr
+	}
+	ctx := context.Background()
+
+	var rep *replay.Report
+	if o.addr != "" {
+		rep, err = replay.Run(ctx, replay.Options{
+			Records:  records,
+			Client:   client.New(o.addr),
+			Progress: progress,
+		})
+	} else {
+		cfg := server.Config{Workers: o.workers, RetryBudget: o.retryBudget}
+		if o.faults.JobSlowdown > 0 {
+			o.faults.Sleep = time.Sleep
+			cfg.Faults = faults.New(o.faults)
+			fmt.Fprintf(os.Stderr, "chimerareplay: fault plan %s\n", cfg.Faults.Fingerprint())
+		}
+		rep, err = replay.RunInProcess(ctx, records, cfg, progress)
+	}
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if o.out != "" {
+		out, err = os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+	if _, err := out.Write(rep.Render()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "chimerareplay: %d replayed, %d done, %d deduped\n",
+		rep.Replayed, rep.Done, rep.Deduped)
+	return nil
+}

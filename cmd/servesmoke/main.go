@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"chimera/internal/jobspec"
 	"chimera/internal/server"
 	"chimera/internal/server/client"
 )
@@ -165,8 +166,10 @@ func run(ctx context.Context, bin string) error {
 
 	c := client.New("http://" + d.addr)
 
-	// Submit a small periodic job and poll it to completion.
-	st, err := c.Submit(ctx, server.JobSpec{Kind: server.KindPeriodic, Bench: "SAD", WindowUs: 2000})
+	// Submit a small periodic job and poll it to completion. Specs are
+	// built with the jobspec builders — the same construction path as
+	// production callers.
+	st, err := c.Submit(ctx, jobspec.Periodic("SAD", "").WithWindowUs(2000))
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
@@ -192,7 +195,7 @@ func run(ctx context.Context, bin string) error {
 		st.ID, res.Periodic.Periods, res.Periodic.ViolationRate)
 
 	// Cancel a long-running job and confirm the engine stopped.
-	long, err := c.Submit(ctx, server.JobSpec{Kind: server.KindPeriodic, Bench: "SAD", WindowUs: 60e6})
+	long, err := c.Submit(ctx, jobspec.Periodic("SAD", "").WithWindowUs(60e6))
 	if err != nil {
 		return fmt.Errorf("submit long: %w", err)
 	}
@@ -257,14 +260,9 @@ func runChaos(ctx context.Context, bin string) error {
 
 	const jobs = 3
 	for i := 0; i < jobs; i++ {
-		spec := server.JobSpec{
-			Kind:     server.KindSolo,
-			Bench:    "SAD",
-			WindowUs: 100,
-			// Distinct seeds make each submission a distinct simjob, so
-			// the retry-counter check below is exact.
-			Seed: uint64(9000 + i),
-		}
+		// Distinct seeds make each submission a distinct simjob, so the
+		// retry-counter check below is exact.
+		spec := jobspec.Solo("SAD").WithWindowUs(100).WithSeed(uint64(9000 + i))
 		st, err := c.SubmitWait(ctx, spec)
 		if err != nil {
 			return fmt.Errorf("job %d: submit: %w", i, err)

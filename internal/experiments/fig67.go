@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+
+	"chimera/internal/jobspec"
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
 	"chimera/internal/tablefmt"
@@ -17,10 +20,39 @@ type PeriodicSweep struct {
 	Results [][]workloads.PeriodicResult
 }
 
+// PeriodicSweepSpecs enumerates the §4.1 grid as canonical job specs:
+// every benchmark against every standard policy, periodic kind, with
+// the runner's simulation parameters spelled out in spec units. The
+// specs are the serializable face of the sweep — hand them to any
+// Executor (in-process, chimerad, replay) and the same grid runs under
+// the same cache identities.
+func PeriodicSweepSpecs(r *workloads.Runner) []jobspec.Spec {
+	benches := kernels.Load().BenchmarkNames()
+	policies := workloads.StandardPolicies()
+	specs := make([]jobspec.Spec, 0, len(benches)*len(policies))
+	for _, bench := range benches {
+		for _, p := range policies {
+			spec := jobspec.Periodic(bench, jobspec.PolicyName(p, false)).
+				WithWindowUs(r.Window.Microseconds()).
+				WithConstraintUs(r.Constraint.Microseconds()).
+				WithHeadroomUs(r.Headroom.Microseconds()).
+				WithSeed(r.Seed)
+			// Normalize here so the enumeration is already in canonical
+			// wire form (lowercase policy names).
+			spec.Normalize()
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}
+
 // RunPeriodicSweep executes (or reuses, via the job cache) the full
-// §4.1 grid: the benchmark × policy job set is enumerated up front and
-// fanned out over the runner's pool, with results collected in grid
-// order regardless of completion order.
+// §4.1 grid: the benchmark × policy spec set is enumerated up front by
+// PeriodicSweepSpecs and fanned out over the runner's pool through the
+// jobspec Executor, with results collected in grid order regardless of
+// completion order. The spec path derives the same simjob identities as
+// the direct Runner calls it replaced, so runs stay shared with every
+// other exhibit on the same cache.
 func RunPeriodicSweep(r *workloads.Runner) (*PeriodicSweep, error) {
 	cat := kernels.Load()
 	policies := workloads.StandardPolicies()
@@ -28,11 +60,18 @@ func RunPeriodicSweep(r *workloads.Runner) (*PeriodicSweep, error) {
 	for _, p := range policies {
 		sweep.Policies = append(sweep.Policies, p.Name())
 	}
-	results, err := r.RunPeriodicAll(sweep.Benchmarks, policies)
+	results, err := workloads.NewExecutor(r).RunSpecs(context.Background(), PeriodicSweepSpecs(r))
 	if err != nil {
 		return nil, err
 	}
-	sweep.Results = results
+	sweep.Results = make([][]workloads.PeriodicResult, len(sweep.Benchmarks))
+	for i := range sweep.Benchmarks {
+		row := make([]workloads.PeriodicResult, len(policies))
+		for j := range policies {
+			row[j] = *results[i*len(policies)+j].Periodic
+		}
+		sweep.Results[i] = row
+	}
 	return sweep, nil
 }
 

@@ -1,0 +1,227 @@
+// Package jobspec holds the single canonical description of one
+// simulation job: a versioned, JSON-serializable Spec carrying the
+// scenario kind, benchmarks, policy, window/constraint/headroom, seed,
+// priority, deadline and variant, with one shared normalize / validate
+// / policy-parsing implementation and a stable content hash that acts
+// as the job's identity everywhere (HTTP wire format, simjob cache key
+// derivation, recorded traces).
+//
+// Every entry point speaks this dialect: chimerad's HTTP API decodes
+// Specs directly (the JSON field set is the server's wire format),
+// workloads.Executor runs any Spec against the engine, the experiment
+// exhibits enumerate []Spec grids, and the record/replay pipeline
+// (chimerad -record, chimerareplay, chimeraload -record) serializes
+// Specs into the versioned JSONL trace format defined in trace.go.
+// Before this package existed the server, CLI and exhibits each
+// re-implemented spec construction and policy parsing; docs/jobs.md
+// documents the unified schema and its identity rules.
+package jobspec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"chimera/internal/kernels"
+)
+
+// SchemaVersion is the current Spec schema version. Specs marshal
+// without an explicit version field (the zero value means "current");
+// trace records carry the version explicitly in their envelope.
+const SchemaVersion = 1
+
+// Scenario kinds accepted in Spec.Kind.
+const (
+	// KindSolo measures one benchmark's stand-alone progress rate.
+	KindSolo = "solo"
+	// KindPeriodic runs a benchmark against the §4.1 periodic real-time
+	// task and reports violation/overhead metrics.
+	KindPeriodic = "periodic"
+	// KindPair runs two benchmarks concurrently (§4.4) and reports
+	// ANTT/STP.
+	KindPair = "pair"
+)
+
+// Spec is the canonical description of one simulation job. Its JSON
+// encoding is chimerad's wire format (field order and tags are
+// golden-tested); zero values take the documented defaults (policy
+// "chimera", window 1000 µs, constraint 15 µs, seed 1).
+type Spec struct {
+	// Kind is the scenario family: "solo", "periodic" or "pair".
+	Kind string `json:"kind"`
+	// Bench is the catalog benchmark (the background benchmark for
+	// periodic jobs, the first process for pair jobs).
+	Bench string `json:"bench"`
+	// BenchB is the second process of a pair job.
+	BenchB string `json:"bench_b,omitempty"`
+	// Policy executes preemption requests: "chimera" (default),
+	// "switch", "drain", "flush", or "fcfs" (pair jobs only).
+	Policy string `json:"policy,omitempty"`
+	// WindowUs is the simulated duration in microseconds.
+	WindowUs float64 `json:"window_us,omitempty"`
+	// ConstraintUs is the preemption latency bound in microseconds.
+	ConstraintUs float64 `json:"constraint_us,omitempty"`
+	// Seed drives the simulation's deterministic RNG.
+	Seed uint64 `json:"seed,omitempty"`
+	// Priority orders admission: higher-priority jobs dequeue first;
+	// ties dequeue in submission order.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMs bounds the job's total service time (queue wait plus
+	// execution) — the per-request SLO; past it the run is cancelled and
+	// the job fails with "deadline exceeded". Zero uses the server
+	// default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Trace records the full event stream (periodic jobs only). Traced
+	// jobs always execute — a trace is a side effect the result cache
+	// cannot replay — and serve Perfetto JSON at /jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
+	// HeadroomUs tightens the bound plans target below the judged
+	// constraint, in microseconds (the §4.1 estimation-error mitigation;
+	// 0 = none).
+	HeadroomUs float64 `json:"headroom_us,omitempty"`
+	// Variant discriminates runs whose outcome depends on anything
+	// beyond the simulation parameters above — e.g. an active fault
+	// plan's fingerprint ("" for a clean run).
+	Variant string `json:"variant,omitempty"`
+}
+
+// Normalize fills defaulted fields in place and canonicalizes the
+// policy name. It is idempotent; every entry point (HTTP decode, trace
+// replay, builders) normalizes before validating or hashing.
+func (s *Spec) Normalize() {
+	if s.Policy == "" {
+		s.Policy = PolicyChimera
+	} else if canon, err := CanonicalPolicy(s.Policy); err == nil {
+		s.Policy = canon
+	}
+	if s.WindowUs == 0 {
+		s.WindowUs = 1000
+	}
+	if s.ConstraintUs == 0 {
+		s.ConstraintUs = 15
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// Validate checks a normalized spec against the catalog and the
+// schema's structural rules. It returns a client-facing error.
+func (s *Spec) Validate(cat *kernels.Catalog) error {
+	switch s.Kind {
+	case KindSolo, KindPeriodic, KindPair:
+	default:
+		return fmt.Errorf("unknown kind %q (want solo, periodic or pair)", s.Kind)
+	}
+	if s.Bench == "" {
+		return fmt.Errorf("bench is required")
+	}
+	if _, err := cat.Benchmark(s.Bench); err != nil {
+		return fmt.Errorf("unknown bench %q", s.Bench)
+	}
+	if s.Kind == KindPair {
+		if s.BenchB == "" {
+			return fmt.Errorf("bench_b is required for pair jobs")
+		}
+		if _, err := cat.Benchmark(s.BenchB); err != nil {
+			return fmt.Errorf("unknown bench_b %q", s.BenchB)
+		}
+	} else if s.BenchB != "" {
+		return fmt.Errorf("bench_b is only valid for pair jobs")
+	}
+	_, serial, err := ParsePolicy(s.Policy)
+	if err != nil {
+		return err
+	}
+	if serial && s.Kind != KindPair {
+		return fmt.Errorf("policy %q is only valid for pair jobs", PolicyFCFS)
+	}
+	if s.WindowUs < 0 || s.ConstraintUs < 0 {
+		return fmt.Errorf("window_us and constraint_us must be positive")
+	}
+	if s.HeadroomUs < 0 {
+		return fmt.Errorf("headroom_us must not be negative")
+	}
+	if s.TimeoutMs < 0 {
+		return fmt.Errorf("timeout_ms must not be negative")
+	}
+	if s.Trace && s.Kind != KindPeriodic {
+		return fmt.Errorf("trace is only supported for periodic jobs")
+	}
+	return nil
+}
+
+// Hash returns the spec's stable content hash: a 16-hex-digit digest of
+// the normalized simulation identity. Two specs hash equal iff they
+// describe the same deterministic simulation, so the hash is safe to
+// use as a cache key, a trace cross-reference, or a dedup check.
+//
+// Scheduling metadata that cannot change the simulation's result —
+// Priority, TimeoutMs and Trace — is deliberately excluded: a
+// re-prioritized replay of the same spec must still dedup against the
+// original run. The schema version is folded in so a future field's
+// semantics can never collide with a v1 digest.
+func (s Spec) Hash() string {
+	n := s
+	n.Normalize()
+	canon := n.Policy
+	if c, err := CanonicalPolicy(n.Policy); err == nil {
+		canon = c
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf(
+		"jobspec/v%d|%s|%s|%s|%s|%g|%g|%g|%d|%s",
+		SchemaVersion, n.Kind, n.Bench, n.BenchB, canon,
+		n.WindowUs, n.ConstraintUs, n.HeadroomUs, n.Seed, n.Variant)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Benchmarks renders the participating benchmarks in simjob's
+// "+"-joined process-order form (a single name for solo and periodic
+// specs).
+func (s Spec) Benchmarks() string {
+	if s.Kind == KindPair && s.BenchB != "" {
+		return s.Bench + "+" + s.BenchB
+	}
+	return s.Bench
+}
+
+// Solo returns a spec measuring bench's stand-alone progress rate.
+func Solo(bench string) Spec {
+	return Spec{Kind: KindSolo, Bench: bench}
+}
+
+// Periodic returns a spec running bench against the §4.1 periodic
+// real-time task under the named policy ("" = chimera).
+func Periodic(bench, policy string) Spec {
+	return Spec{Kind: KindPeriodic, Bench: bench, Policy: policy}
+}
+
+// Pair returns a spec running two benchmarks concurrently (§4.4) under
+// the named policy ("" = chimera, "fcfs" = the serial baseline).
+func Pair(a, b, policy string) Spec {
+	return Spec{Kind: KindPair, Bench: a, BenchB: b, Policy: policy}
+}
+
+// WithWindowUs returns the spec with the simulated window set.
+func (s Spec) WithWindowUs(us float64) Spec { s.WindowUs = us; return s }
+
+// WithConstraintUs returns the spec with the latency bound set.
+func (s Spec) WithConstraintUs(us float64) Spec { s.ConstraintUs = us; return s }
+
+// WithHeadroomUs returns the spec with the planning headroom set.
+func (s Spec) WithHeadroomUs(us float64) Spec { s.HeadroomUs = us; return s }
+
+// WithSeed returns the spec with the RNG seed set.
+func (s Spec) WithSeed(seed uint64) Spec { s.Seed = seed; return s }
+
+// WithPriority returns the spec with the admission priority set.
+func (s Spec) WithPriority(p int) Spec { s.Priority = p; return s }
+
+// WithTimeoutMs returns the spec with the service-time SLO set.
+func (s Spec) WithTimeoutMs(ms int64) Spec { s.TimeoutMs = ms; return s }
+
+// WithTrace returns the spec with event-stream recording enabled.
+func (s Spec) WithTrace() Spec { s.Trace = true; return s }
+
+// WithVariant returns the spec with the cache-variant discriminator set.
+func (s Spec) WithVariant(v string) Spec { s.Variant = v; return s }

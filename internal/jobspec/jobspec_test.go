@@ -1,0 +1,274 @@
+package jobspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/kernels"
+	"chimera/internal/preempt"
+)
+
+// TestPolicyAliasRoundTrip pins the full accepted alias set: every
+// alias parses, formats back to a display name, and re-parses to the
+// same policy — the drift class the old duplicated server/workloads
+// parsers allowed.
+func TestPolicyAliasRoundTrip(t *testing.T) {
+	cases := []struct {
+		alias  string
+		canon  string
+		policy engine.Policy
+		serial bool
+	}{
+		{"chimera", PolicyChimera, engine.ChimeraPolicy{}, false},
+		{"Chimera", PolicyChimera, engine.ChimeraPolicy{}, false},
+		{"CHIMERA", PolicyChimera, engine.ChimeraPolicy{}, false},
+		{"switch", PolicySwitch, engine.FixedPolicy{Technique: preempt.Switch}, false},
+		{"Switch", PolicySwitch, engine.FixedPolicy{Technique: preempt.Switch}, false},
+		{"drain", PolicyDrain, engine.FixedPolicy{Technique: preempt.Drain}, false},
+		{"Drain", PolicyDrain, engine.FixedPolicy{Technique: preempt.Drain}, false},
+		{"flush", PolicyFlush, engine.FixedPolicy{Technique: preempt.Flush}, false},
+		{"Flush", PolicyFlush, engine.FixedPolicy{Technique: preempt.Flush}, false},
+		{"fcfs", PolicyFCFS, nil, true},
+		{"FCFS", PolicyFCFS, nil, true},
+	}
+	for _, c := range cases {
+		canon, err := CanonicalPolicy(c.alias)
+		if err != nil {
+			t.Fatalf("CanonicalPolicy(%q): %v", c.alias, err)
+		}
+		if canon != c.canon {
+			t.Errorf("CanonicalPolicy(%q) = %q, want %q", c.alias, canon, c.canon)
+		}
+		p, serial, err := ParsePolicy(c.alias)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", c.alias, err)
+		}
+		if p != c.policy || serial != c.serial {
+			t.Errorf("ParsePolicy(%q) = (%v, %v), want (%v, %v)", c.alias, p, serial, c.policy, c.serial)
+		}
+		// Display name must itself be an accepted alias that re-parses to
+		// the same policy.
+		name := PolicyName(p, serial)
+		p2, serial2, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(PolicyName(%q) = %q): %v", c.alias, name, err)
+		}
+		if p2 != p || serial2 != serial {
+			t.Errorf("alias %q: display name %q re-parsed to (%v, %v), want (%v, %v)",
+				c.alias, name, p2, serial2, p, serial)
+		}
+	}
+	// The canonical list and the case set above must agree.
+	if got, want := len(PolicyNames()), 5; got != want {
+		t.Errorf("PolicyNames() has %d entries, want %d", got, want)
+	}
+	for _, name := range PolicyNames() {
+		if _, _, err := ParsePolicy(name); err != nil {
+			t.Errorf("canonical policy %q does not parse: %v", name, err)
+		}
+	}
+	if _, _, err := ParsePolicy("vaporware"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+// TestPolicyKey pins the cache-key encoding: it must distinguish
+// ablation flags the display name collapses, and stay byte-identical
+// to the historical workloads encoding (cache identities survive the
+// refactor).
+func TestPolicyKey(t *testing.T) {
+	if k := PolicyKey(nil, true); k != "FCFS" {
+		t.Errorf("PolicyKey(nil, true) = %q, want FCFS", k)
+	}
+	if k := PolicyKey(nil, false); k != "none" {
+		t.Errorf("PolicyKey(nil, false) = %q, want none", k)
+	}
+	base := PolicyKey(engine.ChimeraPolicy{}, false)
+	if base != "engine.ChimeraPolicy{StrictIdempotence:false OptimisticCold:false CycleBased:false PerSMUniform:false}" {
+		t.Errorf("PolicyKey(ChimeraPolicy{}) = %q changed encoding — this invalidates every cached identity", base)
+	}
+	ablation := PolicyKey(engine.ChimeraPolicy{OptimisticCold: true}, false)
+	if base == ablation {
+		t.Error("PolicyKey does not distinguish ablation flags")
+	}
+}
+
+// TestNormalizeDefaults pins the server's documented defaults.
+func TestNormalizeDefaults(t *testing.T) {
+	s := Spec{Kind: KindSolo, Bench: "SAD"}
+	s.Normalize()
+	if s.Policy != PolicyChimera || s.WindowUs != 1000 || s.ConstraintUs != 15 || s.Seed != 1 {
+		t.Errorf("Normalize() = %+v, want chimera/1000/15/1", s)
+	}
+	// Normalize canonicalizes alias case and is idempotent.
+	s2 := Spec{Kind: KindPair, Bench: "A", BenchB: "B", Policy: "FCFS"}
+	s2.Normalize()
+	if s2.Policy != PolicyFCFS {
+		t.Errorf("Normalize left policy %q, want %q", s2.Policy, PolicyFCFS)
+	}
+	before := s2
+	s2.Normalize()
+	if s2 != before {
+		t.Errorf("Normalize is not idempotent: %+v != %+v", s2, before)
+	}
+}
+
+// TestValidate exercises the structural rules against the real catalog.
+func TestValidate(t *testing.T) {
+	cat := kernels.Load()
+	ok := func(s Spec) {
+		t.Helper()
+		s.Normalize()
+		if err := s.Validate(cat); err != nil {
+			t.Errorf("Validate(%+v): unexpected error %v", s, err)
+		}
+	}
+	bad := func(s Spec, frag string) {
+		t.Helper()
+		s.Normalize()
+		err := s.Validate(cat)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", s, err, frag)
+		}
+	}
+	ok(Solo("SAD"))
+	ok(Periodic("SAD", PolicyDrain))
+	ok(Pair("SAD", "MUM", PolicyFCFS))
+	ok(Periodic("SAD", "").WithTrace())
+	bad(Spec{Kind: "warmup", Bench: "SAD"}, "unknown kind")
+	bad(Spec{Kind: KindSolo}, "bench is required")
+	bad(Solo("NOPE"), "unknown bench")
+	bad(Pair("SAD", "", PolicyChimera), "bench_b is required")
+	bad(Pair("SAD", "NOPE", PolicyChimera), "unknown bench_b")
+	bad(Spec{Kind: KindSolo, Bench: "SAD", BenchB: "MUM"}, "bench_b is only valid")
+	bad(Periodic("SAD", "vaporware"), "unknown policy")
+	bad(Periodic("SAD", PolicyFCFS), "only valid for pair jobs")
+	bad(Solo("SAD").WithTimeoutMs(-1), "timeout_ms")
+	bad(Solo("SAD").WithHeadroomUs(-1), "headroom_us")
+	bad(Solo("SAD").WithTrace(), "trace is only supported")
+}
+
+// TestHashIdentity pins the hash semantics: scheduling metadata does
+// not perturb it, simulation parameters and the variant do, and alias
+// spellings collapse.
+func TestHashIdentity(t *testing.T) {
+	base := Periodic("SAD", "chimera").WithWindowUs(2000).WithSeed(7)
+	if base.Hash() != base.Hash() {
+		t.Fatal("Hash is not stable")
+	}
+	same := []Spec{
+		base.WithPriority(9),
+		base.WithTimeoutMs(5000),
+		Periodic("SAD", "Chimera").WithWindowUs(2000).WithSeed(7),
+		Periodic("SAD", "").WithWindowUs(2000).WithSeed(7),
+	}
+	for i, s := range same {
+		if s.Hash() != base.Hash() {
+			t.Errorf("case %d: hash %s != base %s — scheduling metadata or alias leaked into the identity", i, s.Hash(), base.Hash())
+		}
+	}
+	diff := []Spec{
+		base.WithSeed(8),
+		base.WithWindowUs(2001),
+		base.WithConstraintUs(30),
+		base.WithHeadroomUs(2),
+		base.WithVariant("faults:1"),
+		Periodic("MUM", "chimera").WithWindowUs(2000).WithSeed(7),
+		Periodic("SAD", "drain").WithWindowUs(2000).WithSeed(7),
+	}
+	for i, s := range diff {
+		if s.Hash() == base.Hash() {
+			t.Errorf("case %d: hash collision with base — a simulation parameter is missing from the identity", i)
+		}
+	}
+	if len(base.Hash()) != 16 {
+		t.Errorf("hash %q is not 16 hex digits", base.Hash())
+	}
+}
+
+// TestSpecWireFormat is the jobspec-side wire golden: the JSON encoding
+// (field names, order, omitempty behaviour) is chimerad's API format
+// and must not drift.
+func TestSpecWireFormat(t *testing.T) {
+	s := Spec{Kind: KindPair, Bench: "SAD", BenchB: "MUM", Policy: PolicyFCFS,
+		WindowUs: 1000, ConstraintUs: 15, Seed: 1, Priority: 2, TimeoutMs: 100}
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"pair","bench":"SAD","bench_b":"MUM","policy":"fcfs","window_us":1000,"constraint_us":15,"seed":1,"priority":2,"timeout_ms":100}`
+	if string(got) != want {
+		t.Errorf("wire format drifted:\n got %s\nwant %s", got, want)
+	}
+	// New optional fields stay off the wire when zero.
+	minimal, err := json.Marshal(Spec{Kind: KindSolo, Bench: "SAD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(minimal) != `{"kind":"solo","bench":"SAD"}` {
+		t.Errorf("minimal spec marshals to %s — a new field leaked into the wire format", minimal)
+	}
+}
+
+// TestTraceRoundTrip writes records through a TraceWriter and reads
+// them back, checking version stamping, hash filling and Seq sorting.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	spec := Solo("SAD").WithSeed(3)
+	spec.Normalize()
+	// Out-of-order completion: seq 2 lands before seq 1.
+	if err := w.Append(TraceRecord{Seq: 2, ArrivalMs: 1.5, Spec: spec, Outcome: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(TraceRecord{Seq: 1, ArrivalMs: 0.5, Spec: spec, Outcome: "done", Deduped: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(TraceRecord{ArrivalMs: 2.5, Spec: spec, Outcome: "canceled", Error: "context canceled"}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", w.Count())
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("ReadTrace returned %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Errorf("record %d has seq %d, want sorted ascending", i, rec.Seq)
+		}
+		if rec.V != TraceVersion {
+			t.Errorf("record %d has version %d, want %d", i, rec.V, TraceVersion)
+		}
+		if rec.SpecHash != spec.Hash() {
+			t.Errorf("record %d hash %s, want %s", i, rec.SpecHash, spec.Hash())
+		}
+	}
+	// A tampered spec no longer matches its recorded hash.
+	tampered := strings.Replace(traceLine(t, spec), `"seed":3`, `"seed":4`, 1)
+	if _, err := ReadTrace(strings.NewReader(tampered)); err == nil {
+		t.Error("ReadTrace accepted a record whose spec does not match its hash")
+	}
+	// Future versions are rejected, not misread.
+	future := strings.Replace(traceLine(t, spec), `"v":1`, `"v":99`, 1)
+	if _, err := ReadTrace(strings.NewReader(future)); err == nil {
+		t.Error("ReadTrace accepted a record from a future schema version")
+	}
+}
+
+// traceLine renders one valid trace line for mutation tests.
+func traceLine(t *testing.T, spec Spec) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewTraceWriter(&buf).Append(TraceRecord{Spec: spec, Outcome: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,99 @@
+package jobspec
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/engine"
+	"chimera/internal/preempt"
+)
+
+// Canonical policy names accepted in Spec.Policy. Parsing also accepts
+// the display labels the engine policies print in result tables
+// ("Chimera", "Switch", …), case-insensitively, so a name read back
+// from a rendered table or a recorded trace round-trips.
+const (
+	// PolicyChimera is Algorithm 1 — the default.
+	PolicyChimera = "chimera"
+	// PolicySwitch is the context-switch-everything baseline.
+	PolicySwitch = "switch"
+	// PolicyDrain drains every block.
+	PolicyDrain = "drain"
+	// PolicyFlush flushes idempotent blocks.
+	PolicyFlush = "flush"
+	// PolicyFCFS is the non-preemptive serial baseline (pair jobs only).
+	PolicyFCFS = "fcfs"
+)
+
+// CanonicalPolicy maps any accepted policy alias onto its canonical
+// lowercase name, or errors for unknown names.
+func CanonicalPolicy(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case PolicyChimera:
+		return PolicyChimera, nil
+	case PolicySwitch:
+		return PolicySwitch, nil
+	case PolicyDrain:
+		return PolicyDrain, nil
+	case PolicyFlush:
+		return PolicyFlush, nil
+	case PolicyFCFS:
+		return PolicyFCFS, nil
+	default:
+		return "", fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// ParsePolicy maps a policy name (canonical or display alias) onto an
+// engine policy; serial reports the FCFS baseline (nil policy, serial
+// execution). This is the single policy-parsing implementation in the
+// repository — the server, executor, replayer and CLI all call it.
+func ParsePolicy(name string) (p engine.Policy, serial bool, err error) {
+	canon, err := CanonicalPolicy(name)
+	if err != nil {
+		return nil, false, err
+	}
+	switch canon {
+	case PolicyChimera:
+		return engine.ChimeraPolicy{}, false, nil
+	case PolicySwitch:
+		return engine.FixedPolicy{Technique: preempt.Switch}, false, nil
+	case PolicyDrain:
+		return engine.FixedPolicy{Technique: preempt.Drain}, false, nil
+	case PolicyFlush:
+		return engine.FixedPolicy{Technique: preempt.Flush}, false, nil
+	default: // PolicyFCFS
+		return nil, true, nil
+	}
+}
+
+// PolicyNames lists every accepted canonical policy name.
+func PolicyNames() []string {
+	return []string{PolicyChimera, PolicySwitch, PolicyDrain, PolicyFlush, PolicyFCFS}
+}
+
+// PolicyName is the display label used in result tables ("Chimera",
+// "Switch", "FCFS", …); a nil non-serial policy renders as "none".
+func PolicyName(p engine.Policy, serial bool) string {
+	if serial {
+		return "FCFS"
+	}
+	if p == nil {
+		return "none"
+	}
+	return p.Name()
+}
+
+// PolicyKey uniquely identifies a policy configuration for job caching.
+// Unlike PolicyName it must distinguish every ablation flag
+// combination, so it encodes the policy's concrete type and full field
+// values.
+func PolicyKey(p engine.Policy, serial bool) string {
+	if serial {
+		return "FCFS"
+	}
+	if p == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%T%+v", p, p)
+}

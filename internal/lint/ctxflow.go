@@ -14,6 +14,11 @@ var CtxFlowPackages = []string{
 	"chimera/internal/server",
 	"chimera/internal/simjob",
 	"chimera/internal/workloads",
+	// The replay path re-drives whole campaigns through the same chain;
+	// a severed context there would leak an entire replayed workload.
+	"chimera/internal/jobspec",
+	"chimera/internal/replay",
+	"chimera/cmd/chimerareplay",
 }
 
 // CtxFlow guards the cancellation chain with two rules:

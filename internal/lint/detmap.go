@@ -22,6 +22,12 @@ var DeterminismCriticalPackages = []string{
 	// kernelir's reuse-distance fingerprints feed preemption-cost
 	// estimation; iteration-order jitter there would perturb exhibits.
 	"chimera/internal/kernelir",
+	// The canonical job layer and the record/replay path promise
+	// byte-identical replay reports; iteration-order jitter anywhere in
+	// spec handling or report assembly would break that contract.
+	"chimera/internal/jobspec",
+	"chimera/internal/replay",
+	"chimera/cmd/chimerareplay",
 }
 
 // DetMap flags `for … range` over a map in determinism-critical

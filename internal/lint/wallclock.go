@@ -21,6 +21,13 @@ var SimClockPackages = []string{
 	"chimera/internal/sched",
 	"chimera/internal/kernels",
 	"chimera/internal/kernelir",
+	// Spec hashing and replay reports must be pure functions of their
+	// inputs: a host-clock read in either would silently break the
+	// byte-identical-replay contract. (cmd/chimerareplay itself sits
+	// under the chimera/cmd injected-clock exemption like every other
+	// daemon-facing command.)
+	"chimera/internal/jobspec",
+	"chimera/internal/replay",
 }
 
 // InjectedClockPackages are exempt from WallClock: they interact with

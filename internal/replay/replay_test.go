@@ -1,0 +1,167 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chimera/internal/faults"
+	"chimera/internal/jobspec"
+	"chimera/internal/server"
+	"chimera/internal/server/client"
+)
+
+// campaign is the recorded mixed workload: every kind, a policy spread,
+// an exact duplicate (must dedup on replay) and a solo that shares its
+// baseline with a periodic run.
+func campaign() []jobspec.Spec {
+	return []jobspec.Spec{
+		jobspec.Solo("SAD").WithWindowUs(100),
+		jobspec.Periodic("SAD", jobspec.PolicyChimera).WithWindowUs(100).WithPriority(3),
+		jobspec.Periodic("SAD", jobspec.PolicyDrain).WithWindowUs(100),
+		jobspec.Pair("SAD", "MUM", jobspec.PolicyFCFS).WithWindowUs(100).WithTimeoutMs(30000),
+		jobspec.Solo("SAD").WithWindowUs(100), // duplicate of record 1
+		jobspec.Pair("SAD", "MUM", jobspec.PolicyChimera).WithWindowUs(100),
+	}
+}
+
+// record drives the campaign through a recording server and returns the
+// captured trace bytes.
+func record(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	svc := server.New(server.Config{Workers: 2, Record: &buf})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	for _, spec := range campaign() {
+		st, err := c.SubmitWait(ctx, spec)
+		if err != nil {
+			t.Fatalf("record submit: %v", err)
+		}
+		if st.State != server.StateDone {
+			t.Fatalf("recorded job finished %s: %s", st.State, st.Error)
+		}
+	}
+	sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayDeterminism is the satellite golden: record a mixed
+// campaign, replay the trace twice cleanly and once with timing-only
+// faults armed, and require byte-identical reports and identical
+// cache-hit patterns throughout.
+func TestReplayDeterminism(t *testing.T) {
+	traced := record(t)
+	records, err := jobspec.ReadTrace(bytes.NewReader(traced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(campaign()) {
+		t.Fatalf("trace has %d records, want %d", len(records), len(campaign()))
+	}
+
+	ctx := context.Background()
+	run := func(cfg server.Config) *Report {
+		t.Helper()
+		rep, err := RunInProcess(ctx, records, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	first := run(server.Config{Workers: 2})
+	second := run(server.Config{Workers: 2})
+	if !bytes.Equal(first.Render(), second.Render()) {
+		t.Errorf("clean replays differ:\n%s\n---\n%s", first.Render(), second.Render())
+	}
+
+	// Timing-only faults (slowdowns + HTTP delay) may stretch wallclock
+	// but cannot change a deterministic simulation's outcome, so the
+	// report — which carries no wallclock — must still match byte for
+	// byte.
+	faulted := run(server.Config{Workers: 2, Faults: faults.New(faults.Config{
+		Seed:            99,
+		JobSlowdown:     1,
+		SlowdownDelay:   time.Millisecond,
+		HTTPDelay:       0.5,
+		HTTPDelayAmount: time.Millisecond,
+	})})
+	if !bytes.Equal(first.Render(), faulted.Render()) {
+		t.Errorf("faulted replay diverged:\n%s\n---\n%s", first.Render(), faulted.Render())
+	}
+
+	// The dedup-flag sequence is the simjob cache-hit pattern. The
+	// duplicate solo (record 5) must hit; everything else executes.
+	var pattern []string
+	for _, e := range first.Entries {
+		if e.Deduped {
+			pattern = append(pattern, "hit")
+		} else {
+			pattern = append(pattern, "miss")
+		}
+	}
+	want := "miss,miss,miss,miss,hit,miss"
+	if got := strings.Join(pattern, ","); got != want {
+		t.Errorf("cache-hit pattern = %s, want %s", got, want)
+	}
+
+	// Replay entries cross-reference the trace by spec hash.
+	for i, e := range first.Entries {
+		if e.SpecHash != records[i].SpecHash {
+			t.Errorf("entry %d hash %s != trace %s", i, e.SpecHash, records[i].SpecHash)
+		}
+		if e.State != "done" {
+			t.Errorf("entry %d state %s", i, e.State)
+		}
+		if e.ResultHash == "" {
+			t.Errorf("entry %d has no result hash", i)
+		}
+	}
+
+	// Identical specs produced identical result payloads.
+	if first.Entries[0].ResultHash != first.Entries[4].ResultHash {
+		t.Error("duplicate spec produced a different result digest")
+	}
+}
+
+// TestRecordCapturesOutcomes pins the recorder's envelope: every
+// terminal job lands in the trace with its arrival order, normalized
+// spec and outcome.
+func TestRecordCapturesOutcomes(t *testing.T) {
+	traced := record(t)
+	records, err := jobspec.ReadTrace(bytes.NewReader(traced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := campaign()
+	for i, rec := range records {
+		if rec.Seq != int64(i+1) {
+			t.Errorf("record %d seq = %d", i, rec.Seq)
+		}
+		if rec.Outcome != "done" {
+			t.Errorf("record %d outcome = %s (%s)", i, rec.Outcome, rec.Error)
+		}
+		norm := specs[i]
+		norm.Normalize()
+		if rec.Spec != norm {
+			t.Errorf("record %d spec %+v != submitted %+v", i, rec.Spec, norm)
+		}
+		if rec.ArrivalMs < 0 {
+			t.Errorf("record %d arrival %v", i, rec.ArrivalMs)
+		}
+		// The duplicate submission is marked deduped at record time too.
+		if i == 4 && !rec.Deduped {
+			t.Error("duplicate submission not recorded as deduped")
+		}
+	}
+}

@@ -2,12 +2,9 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"time"
 
-	"chimera/internal/engine"
-	"chimera/internal/kernels"
-	"chimera/internal/preempt"
+	"chimera/internal/jobspec"
 	"chimera/internal/simjob"
 	"chimera/internal/workloads"
 )
@@ -16,143 +13,45 @@ import (
 // including error codes and the SSE event format, lives in
 // docs/server.md; the typed client in internal/server/client speaks
 // exactly these shapes.
+//
+// The job description itself is the canonical jobspec.Spec
+// (docs/jobs.md) — the server performs no spec normalization,
+// validation or policy parsing of its own, so a spec admitted over HTTP
+// is bit-for-bit the spec the executor, the exhibits and the
+// record/replay pipeline handle.
 
-// Scenario kinds accepted in JobSpec.Kind.
+// JobSpec is one simulation-job submission: an alias for the canonical
+// jobspec.Spec, whose JSON encoding is this API's wire format. Zero
+// values take the documented defaults (policy "chimera", window
+// 1000 µs, constraint 15 µs, seed 1).
+type JobSpec = jobspec.Spec
+
+// Scenario kinds accepted in JobSpec.Kind (re-exported from jobspec).
 const (
 	// KindSolo measures one benchmark's stand-alone progress rate.
-	KindSolo = "solo"
+	KindSolo = jobspec.KindSolo
 	// KindPeriodic runs a benchmark against the §4.1 periodic real-time
 	// task and reports violation/overhead metrics.
-	KindPeriodic = "periodic"
+	KindPeriodic = jobspec.KindPeriodic
 	// KindPair runs two benchmarks concurrently (§4.4) and reports
 	// ANTT/STP.
-	KindPair = "pair"
+	KindPair = jobspec.KindPair
 )
 
-// Policy names accepted in JobSpec.Policy.
+// Policy names accepted in JobSpec.Policy (re-exported from jobspec).
 const (
 	// PolicyChimera is Algorithm 1 — the default.
-	PolicyChimera = "chimera"
+	PolicyChimera = jobspec.PolicyChimera
 	// PolicySwitch, PolicyDrain and PolicyFlush are the single-technique
 	// baselines.
-	PolicySwitch = "switch"
+	PolicySwitch = jobspec.PolicySwitch
 	// PolicyDrain drains every block (see PolicySwitch).
-	PolicyDrain = "drain"
+	PolicyDrain = jobspec.PolicyDrain
 	// PolicyFlush flushes idempotent blocks (see PolicySwitch).
-	PolicyFlush = "flush"
+	PolicyFlush = jobspec.PolicyFlush
 	// PolicyFCFS is the non-preemptive serial baseline (pair jobs only).
-	PolicyFCFS = "fcfs"
+	PolicyFCFS = jobspec.PolicyFCFS
 )
-
-// JobSpec is one simulation-job submission. Zero values take server
-// defaults (policy "chimera", window 1000 µs, constraint 15 µs, seed 1).
-type JobSpec struct {
-	// Kind is the scenario family: "solo", "periodic" or "pair".
-	Kind string `json:"kind"`
-	// Bench is the catalog benchmark (the background benchmark for
-	// periodic jobs, the first process for pair jobs).
-	Bench string `json:"bench"`
-	// BenchB is the second process of a pair job.
-	BenchB string `json:"bench_b,omitempty"`
-	// Policy executes preemption requests: "chimera" (default),
-	// "switch", "drain", "flush", or "fcfs" (pair jobs only).
-	Policy string `json:"policy,omitempty"`
-	// WindowUs is the simulated duration in microseconds.
-	WindowUs float64 `json:"window_us,omitempty"`
-	// ConstraintUs is the preemption latency bound in microseconds.
-	ConstraintUs float64 `json:"constraint_us,omitempty"`
-	// Seed drives the simulation's deterministic RNG.
-	Seed uint64 `json:"seed,omitempty"`
-	// Priority orders admission: higher-priority jobs dequeue first;
-	// ties dequeue in submission order.
-	Priority int `json:"priority,omitempty"`
-	// TimeoutMs bounds the job's total service time (queue wait plus
-	// execution); past it the run is cancelled and the job fails with
-	// "deadline exceeded". Zero uses the server default.
-	TimeoutMs int64 `json:"timeout_ms,omitempty"`
-	// Trace records the full event stream (periodic jobs only). Traced
-	// jobs always execute — a trace is a side effect the result cache
-	// cannot replay — and serve Perfetto JSON at /jobs/{id}/trace.
-	Trace bool `json:"trace,omitempty"`
-}
-
-// normalize fills defaulted fields in place.
-func (j *JobSpec) normalize() {
-	if j.Policy == "" {
-		j.Policy = PolicyChimera
-	}
-	if j.WindowUs == 0 {
-		j.WindowUs = 1000
-	}
-	if j.ConstraintUs == 0 {
-		j.ConstraintUs = 15
-	}
-	if j.Seed == 0 {
-		j.Seed = 1
-	}
-}
-
-// parsePolicy maps a JobSpec policy name onto an engine policy; serial
-// reports the FCFS baseline (nil policy, serial execution).
-func parsePolicy(name string) (p engine.Policy, serial bool, err error) {
-	switch name {
-	case PolicyChimera:
-		return engine.ChimeraPolicy{}, false, nil
-	case PolicySwitch:
-		return engine.FixedPolicy{Technique: preempt.Switch}, false, nil
-	case PolicyDrain:
-		return engine.FixedPolicy{Technique: preempt.Drain}, false, nil
-	case PolicyFlush:
-		return engine.FixedPolicy{Technique: preempt.Flush}, false, nil
-	case PolicyFCFS:
-		return nil, true, nil
-	default:
-		return nil, false, fmt.Errorf("unknown policy %q", name)
-	}
-}
-
-// validate checks a normalized spec against the catalog and the API's
-// structural rules. It returns a client-facing error.
-func (j *JobSpec) validate(cat *kernels.Catalog) error {
-	switch j.Kind {
-	case KindSolo, KindPeriodic, KindPair:
-	default:
-		return fmt.Errorf("unknown kind %q (want solo, periodic or pair)", j.Kind)
-	}
-	if j.Bench == "" {
-		return fmt.Errorf("bench is required")
-	}
-	if _, err := cat.Benchmark(j.Bench); err != nil {
-		return fmt.Errorf("unknown bench %q", j.Bench)
-	}
-	if j.Kind == KindPair {
-		if j.BenchB == "" {
-			return fmt.Errorf("bench_b is required for pair jobs")
-		}
-		if _, err := cat.Benchmark(j.BenchB); err != nil {
-			return fmt.Errorf("unknown bench_b %q", j.BenchB)
-		}
-	} else if j.BenchB != "" {
-		return fmt.Errorf("bench_b is only valid for pair jobs")
-	}
-	_, serial, err := parsePolicy(j.Policy)
-	if err != nil {
-		return err
-	}
-	if serial && j.Kind != KindPair {
-		return fmt.Errorf("policy %q is only valid for pair jobs", PolicyFCFS)
-	}
-	if j.WindowUs < 0 || j.ConstraintUs < 0 {
-		return fmt.Errorf("window_us and constraint_us must be positive")
-	}
-	if j.TimeoutMs < 0 {
-		return fmt.Errorf("timeout_ms must not be negative")
-	}
-	if j.Trace && j.Kind != KindPeriodic {
-		return fmt.Errorf("trace is only supported for periodic jobs")
-	}
-	return nil
-}
 
 // JobState is a job's lifecycle phase.
 type JobState string

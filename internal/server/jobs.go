@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"chimera/internal/faults"
+	"chimera/internal/jobspec"
 	"chimera/internal/simjob"
 	"chimera/internal/trace"
 	"chimera/internal/units"
@@ -223,6 +224,9 @@ func (s *Server) cancelJob(j *job) bool {
 		j.mu.Unlock()
 		j.cancel()
 		s.cCanceled.Add(1)
+		// This terminal transition bypasses finish(), so the trace
+		// recorder must be fed here too.
+		s.record(j)
 		close(j.done)
 		return true
 	case StateRunning:
@@ -288,20 +292,20 @@ func (s *Server) executeWithRetry(ctx context.Context, spec JobSpec) (res *JobRe
 
 // execute runs one spec to completion (or cancellation) and returns the
 // result, whether a simulation actually executed (false = result cache
-// or singleflight dedup), and any recorded trace events.
+// or singleflight dedup), and any recorded trace events. All spec
+// interpretation happens in jobspec/workloads — the server only wires
+// its environment (registry, pool, watchdog, fault plane) into the
+// executor.
 func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, executed bool, events []trace.Event, err error) {
-	policy, serial, err := parsePolicy(spec.Policy)
-	if err != nil {
-		return nil, false, nil, err
-	}
-	window := units.FromMicroseconds(spec.WindowUs)
-	constraint := units.FromMicroseconds(spec.ConstraintUs)
-
 	if spec.Trace {
+		policy, _, err := jobspec.ParsePolicy(spec.Policy)
+		if err != nil {
+			return nil, false, nil, err
+		}
 		rec, err := workloads.RecordContext(ctx, workloads.RecordOptions{
 			Bench:      spec.Bench,
-			Window:     window,
-			Constraint: constraint,
+			Window:     units.FromMicroseconds(spec.WindowUs),
+			Constraint: units.FromMicroseconds(spec.ConstraintUs),
 			Seed:       spec.Seed,
 			Policy:     policy,
 			Metrics:    s.reg,
@@ -320,7 +324,8 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, exe
 		}, true, rec.Events, nil
 	}
 
-	runner, err := workloads.NewRunnerWith(s.catalog, window, constraint, spec.Seed)
+	runner, err := workloads.NewRunnerWith(s.catalog,
+		units.FromMicroseconds(spec.WindowUs), units.FromMicroseconds(spec.ConstraintUs), spec.Seed)
 	if err != nil {
 		return nil, false, nil, err
 	}
@@ -338,28 +343,16 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, exe
 		runner.Variant = p.Fingerprint()
 	}
 
-	switch spec.Kind {
-	case KindSolo:
-		rate, ran, err := runner.SoloRateCtx(ctx, spec.Bench)
-		if err != nil {
-			return nil, ran, nil, err
-		}
-		return &JobResult{Kind: spec.Kind, SoloRate: rate}, ran, nil, nil
-	case KindPeriodic:
-		pr, ran, err := runner.RunPeriodicCtx(ctx, spec.Bench, policy)
-		if err != nil {
-			return nil, ran, nil, err
-		}
-		return &JobResult{Kind: spec.Kind, Periodic: &pr}, ran, nil, nil
-	case KindPair:
-		pr, ran, err := runner.RunPairCtx(ctx, spec.Bench, spec.BenchB, policy, serial)
-		if err != nil {
-			return nil, ran, nil, err
-		}
-		return &JobResult{Kind: spec.Kind, Pair: &pr}, ran, nil, nil
-	default:
-		return nil, false, nil, fmt.Errorf("unknown kind %q", spec.Kind)
+	out, ran, err := workloads.NewExecutor(runner).Run(ctx, spec)
+	if err != nil {
+		return nil, ran, nil, err
 	}
+	return &JobResult{
+		Kind:     out.Kind,
+		SoloRate: out.SoloRate,
+		Periodic: out.Periodic,
+		Pair:     out.Pair,
+	}, ran, nil, nil
 }
 
 // finish records a job's outcome, updates the server counters, releases
@@ -409,6 +402,30 @@ func (s *Server) finish(j *job, res *JobResult, executed bool, events []trace.Ev
 		s.cFailed.Add(1)
 	}
 	s.hLatency.Observe(float64(latency) / float64(time.Millisecond))
+	s.record(j)
 	j.cancel()
 	close(j.done)
+}
+
+// record appends the job's terminal outcome to the workload trace
+// recorder, when one is configured (Config.Record). Records are written
+// at completion time, so the file is out of admission order; the
+// jobspec reader re-sorts by Seq.
+func (s *Server) record(j *job) {
+	if s.rec == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := jobspec.TraceRecord{
+		Seq:       j.seq,
+		ArrivalMs: float64(j.submitted.Sub(s.start)) / float64(time.Millisecond),
+		Spec:      j.spec,
+		Outcome:   string(j.state),
+		Deduped:   j.dedup,
+		Error:     j.errMsg,
+	}
+	j.mu.Unlock()
+	if err := s.rec.Append(rec); err != nil {
+		s.cRecordErrs.Add(1)
+	}
 }

@@ -14,12 +14,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"chimera/internal/faults"
+	"chimera/internal/jobspec"
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
 	"chimera/internal/simjob"
@@ -60,6 +62,12 @@ type Config struct {
 	// WatchdogK arms the engine preemption watchdog at k× the request's
 	// estimated latency for every job this server runs (0 = off).
 	WatchdogK float64
+	// Record, when set, receives a versioned JSONL workload trace
+	// (jobspec.TraceRecord): one line per admitted job at its terminal
+	// state, carrying the arrival offset, the full normalized spec and
+	// the outcome. The trace is the input format of chimerareplay and
+	// the output format of chimeraload -record (docs/jobs.md).
+	Record io.Writer
 }
 
 // Server is the chimerad service core: admission queue, workers, job
@@ -71,6 +79,8 @@ type Server struct {
 	reg     *metrics.Registry
 	cache   *simjob.Cache
 	pool    *simjob.Pool
+	rec     *jobspec.TraceWriter
+	start   time.Time
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -88,6 +98,7 @@ type Server struct {
 	cRejected   *metrics.Counter
 	cDeduped    *metrics.Counter
 	cRetries    *metrics.Counter
+	cRecordErrs *metrics.Counter
 	gQueueDepth *metrics.Counter
 	hLatency    *metrics.Histogram
 }
@@ -115,6 +126,9 @@ const (
 	MetricJobRetries = "server/job_retries"
 	// MetricJobLatency is the submit-to-done service-time histogram.
 	MetricJobLatency = "server/job_latency_ms"
+	// MetricRecordErrors counts workload-trace records that failed to
+	// write (Config.Record); the job itself is unaffected.
+	MetricRecordErrors = "server/record_errors"
 )
 
 // latencyBoundsMs buckets the job service-time histogram (milliseconds).
@@ -162,8 +176,14 @@ func New(cfg Config) *Server {
 		cRejected:   cfg.Registry.Counter(MetricJobsRejected),
 		cDeduped:    cfg.Registry.Counter(MetricJobsDeduped),
 		cRetries:    cfg.Registry.Counter(MetricJobRetries),
+		cRecordErrs: cfg.Registry.Counter(MetricRecordErrors),
 		gQueueDepth: cfg.Registry.Counter(MetricQueueDepth),
 		hLatency:    cfg.Registry.Histogram(MetricJobLatency, "ms", latencyBoundsMs),
+
+		start: time.Now(),
+	}
+	if cfg.Record != nil {
+		s.rec = jobspec.NewTraceWriter(cfg.Record)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -250,8 +270,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	spec.normalize()
-	if err := spec.validate(s.catalog); err != nil {
+	spec.Normalize()
+	if err := spec.Validate(s.catalog); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"chimera/internal/jobspec"
+)
+
+// TestWireFormatGolden pins the HTTP wire format across the jobspec
+// refactor: the exact bytes of the spec subtree echoed in job statuses,
+// for raw JSON submissions that predate internal/jobspec. Any change to
+// these strings is a breaking API change.
+func TestWireFormatGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	cases := []struct {
+		name string
+		body string
+		// want is the normalized spec subtree echoed back, byte for byte.
+		want string
+	}{
+		{
+			name: "solo defaults filled",
+			body: `{"kind":"solo","bench":"SAD","window_us":100}`,
+			want: `{"kind":"solo","bench":"SAD","policy":"chimera","window_us":100,"constraint_us":15,"seed":1}`,
+		},
+		{
+			name: "pair full spec",
+			body: `{"kind":"pair","bench":"SAD","bench_b":"MUM","policy":"fcfs","window_us":100,"constraint_us":30,"seed":4,"priority":2,"timeout_ms":30000}`,
+			want: `{"kind":"pair","bench":"SAD","bench_b":"MUM","policy":"fcfs","window_us":100,"constraint_us":30,"seed":4,"priority":2,"timeout_ms":30000}`,
+		},
+		{
+			name: "periodic with trace flag",
+			body: `{"kind":"periodic","bench":"SAD","policy":"drain","window_us":100,"trace":true}`,
+			want: `{"kind":"periodic","bench":"SAD","policy":"drain","window_us":100,"constraint_us":15,"seed":1,"trace":true}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader([]byte(c.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+			// Decode only the envelope; keep the spec subtree raw so the
+			// comparison sees the server's exact bytes.
+			var envelope struct {
+				ID   string          `json:"id"`
+				Spec json.RawMessage `json:"spec"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+				t.Fatal(err)
+			}
+			if string(envelope.Spec) != c.want {
+				t.Errorf("spec subtree drifted:\n got %s\nwant %s", envelope.Spec, c.want)
+			}
+			st := await(t, ts, envelope.ID)
+			if st.State != StateDone {
+				t.Fatalf("job finished %s: %s", st.State, st.Error)
+			}
+		})
+	}
+
+	// Unknown fields are still rejected (DisallowUnknownFields survives
+	// the refactor).
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json",
+		bytes.NewReader([]byte(`{"kind":"solo","bench":"SAD","does_not_exist":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted with status %d", resp.StatusCode)
+	}
+}
+
+// TestWireResultGolden pins the result payload's shape for each kind.
+func TestWireResultGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	st, code := postJob(t, ts, jobspec.Solo("SAD").WithWindowUs(100), "?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("submit = %d", code)
+	}
+	body, code := fetchResult(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	var res struct {
+		Kind     string          `json:"kind"`
+		SoloRate float64         `json:"solo_rate"`
+		Periodic json.RawMessage `json:"periodic"`
+		Pair     json.RawMessage `json:"pair"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "solo" || res.SoloRate <= 0 || res.Periodic != nil || res.Pair != nil {
+		t.Errorf("solo result drifted: %s", body)
+	}
+}

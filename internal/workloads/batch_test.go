@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"chimera/internal/engine"
+	"chimera/internal/jobspec"
 	"chimera/internal/simjob"
 	"chimera/internal/units"
 )
@@ -163,13 +164,13 @@ func TestPolicyKeyDistinguishesAblations(t *testing.T) {
 	}
 	seen := map[string]int{}
 	for i, p := range policies {
-		k := policyKey(p, false)
+		k := jobspec.PolicyKey(p, false)
 		if prev, dup := seen[k]; dup {
 			t.Errorf("policies %d and %d share key %q", prev, i, k)
 		}
 		seen[k] = i
 	}
-	if k := policyKey(nil, true); k != "FCFS" {
+	if k := jobspec.PolicyKey(nil, true); k != "FCFS" {
 		t.Errorf("serial key = %q", k)
 	}
 }

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"context"
+	"fmt"
+
+	"chimera/internal/jobspec"
+	"chimera/internal/simjob"
+	"chimera/internal/units"
+)
+
+// SpecResult is the outcome of executing one jobspec.Spec: exactly one
+// of the kind-specific payloads is populated, tagged by Kind.
+type SpecResult struct {
+	// Kind echoes the spec's scenario kind.
+	Kind string
+	// SoloRate is the stand-alone progress rate (solo specs).
+	SoloRate float64
+	// Periodic is the §4.1 periodic-task outcome (periodic specs).
+	Periodic *PeriodicResult
+	// Pair is the §4.4 ANTT/STP outcome (pair specs).
+	Pair *PairResult
+}
+
+// Executor runs canonical jobspec.Specs against the simulation engine.
+// It snapshots a Runner's environment (catalog, pool, engine telemetry,
+// warm/contention/device configuration, watchdog and fault plumbing) and
+// derives a per-spec Runner for each Spec, so every entry point that
+// speaks jobspec — chimerad, the exhibits, replay — funnels into the
+// exact same execution and cache-identity path as programmatic Runner
+// callers. Two specs with equal Hash() map onto the same simjob.Job and
+// therefore the same memoized result.
+type Executor struct {
+	base *Runner
+}
+
+// NewExecutor wraps an environment Runner. The Runner's Window,
+// Constraint, Seed, Headroom and Variant act as nothing more than
+// placeholders — each Run overrides them from the spec — while its
+// remaining fields (catalog, pool, Warm, Contention, Config, Metrics,
+// Watchdog, Stall, Variant fallback) define the execution environment
+// shared by every spec.
+func NewExecutor(r *Runner) *Executor {
+	return &Executor{base: r}
+}
+
+// NewDefaultExecutor builds an Executor over the shared Table 2 catalog
+// with the documented spec defaults as its environment.
+func NewDefaultExecutor() (*Executor, error) {
+	r, err := NewRunner(units.FromMicroseconds(1000), units.FromMicroseconds(15), 1)
+	if err != nil {
+		return nil, err
+	}
+	return NewExecutor(r), nil
+}
+
+// Runner exposes the environment Runner the Executor derives from.
+func (e *Executor) Runner() *Runner { return e.base }
+
+// runnerFor derives the per-spec Runner: the base environment with the
+// spec's simulation parameters substituted in. The spec must already be
+// normalized.
+func (e *Executor) runnerFor(spec jobspec.Spec) *Runner {
+	r := *e.base
+	r.Window = units.FromMicroseconds(spec.WindowUs)
+	r.Constraint = units.FromMicroseconds(spec.ConstraintUs)
+	r.Headroom = units.FromMicroseconds(spec.HeadroomUs)
+	r.Seed = spec.Seed
+	if spec.Variant != "" {
+		r.Variant = spec.Variant
+	}
+	return &r
+}
+
+// Run executes one spec. The spec is normalized and validated first, so
+// callers may pass sparse specs straight from user input. executed
+// reports whether the call ran a simulation (false = result cache or
+// singleflight hit) — the dedup signal chimerad and replay reports use.
+func (e *Executor) Run(ctx context.Context, spec jobspec.Spec) (res SpecResult, executed bool, err error) {
+	spec.Normalize()
+	if err := spec.Validate(e.base.cat); err != nil {
+		return SpecResult{}, false, err
+	}
+	policy, serial, err := jobspec.ParsePolicy(spec.Policy)
+	if err != nil {
+		return SpecResult{}, false, err
+	}
+	r := e.runnerFor(spec)
+	res.Kind = spec.Kind
+	switch spec.Kind {
+	case jobspec.KindSolo:
+		res.SoloRate, executed, err = r.SoloRateCtx(ctx, spec.Bench)
+	case jobspec.KindPeriodic:
+		var pr PeriodicResult
+		pr, executed, err = r.RunPeriodicCtx(ctx, spec.Bench, policy)
+		if err == nil {
+			res.Periodic = &pr
+		}
+	case jobspec.KindPair:
+		var pr PairResult
+		pr, executed, err = r.RunPairCtx(ctx, spec.Bench, spec.BenchB, policy, serial)
+		if err == nil {
+			res.Pair = &pr
+		}
+	default:
+		err = fmt.Errorf("workloads: unknown spec kind %q", spec.Kind)
+	}
+	if err != nil {
+		return SpecResult{}, executed, err
+	}
+	return res, executed, nil
+}
+
+// RunSpecs executes a batch of specs over the pool's workers and returns
+// results in enumeration order — like the other batch APIs, output is
+// byte-identical at any parallelism. The first error aborts the batch.
+func (e *Executor) RunSpecs(ctx context.Context, specs []jobspec.Spec) ([]SpecResult, error) {
+	out := make([]SpecResult, len(specs))
+	tasks := make([]func() error, len(specs))
+	for i, spec := range specs {
+		i, spec := i, spec
+		tasks[i] = func() error {
+			res, _, err := e.Run(ctx, spec)
+			if err != nil {
+				return fmt.Errorf("workloads: spec %s (%s %s): %w", spec.Hash(), spec.Kind, spec.Benchmarks(), err)
+			}
+			out[i] = res
+			return nil
+		}
+	}
+	if err := e.base.pool.Run(tasks...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SimJob returns the cache identity the spec executes under — the
+// bridge between a Spec's serializable Hash() and the in-process
+// simjob key. Equal spec hashes yield equal jobs under a fixed
+// environment, which the identity tests pin.
+func (e *Executor) SimJob(spec jobspec.Spec) (simjob.Job, error) {
+	spec.Normalize()
+	if err := spec.Validate(e.base.cat); err != nil {
+		return simjob.Job{}, err
+	}
+	policy, serial, err := jobspec.ParsePolicy(spec.Policy)
+	if err != nil {
+		return simjob.Job{}, err
+	}
+	r := e.runnerFor(spec)
+	switch spec.Kind {
+	case jobspec.KindSolo:
+		// Solo runs always execute under the fixed baseline options, so
+		// policy and headroom are normalized out of the key (see
+		// Runner.job).
+		return r.job(simjob.KindSolo, spec.Bench, "", false, 0), nil
+	case jobspec.KindPeriodic:
+		return r.job(simjob.KindPeriodic, spec.Bench, jobspec.PolicyKey(policy, false), false, r.Headroom), nil
+	default: // jobspec.KindPair
+		return r.job(simjob.KindPair, spec.Benchmarks(), jobspec.PolicyKey(policy, serial), serial, 0), nil
+	}
+}

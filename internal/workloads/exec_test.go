@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"context"
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/jobspec"
+	"chimera/internal/simjob"
+	"chimera/internal/units"
+)
+
+func newTestExecutor(t *testing.T) *Executor {
+	t.Helper()
+	r := newTestRunner(t, 1000, 15)
+	r.UsePool(simjob.NewPool(2, simjob.NewCache()))
+	return NewExecutor(r)
+}
+
+// TestExecutorMatchesRunner pins that the spec path and the programmatic
+// Runner path produce identical results and share one cache identity.
+func TestExecutorMatchesRunner(t *testing.T) {
+	e := newTestExecutor(t)
+	ctx := context.Background()
+
+	spec := jobspec.Periodic("SAD", jobspec.PolicyChimera).
+		WithWindowUs(1000).WithConstraintUs(15).WithSeed(7)
+	res, executed, err := e.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !executed {
+		t.Error("first run reported a cache hit")
+	}
+	if res.Kind != jobspec.KindPeriodic || res.Periodic == nil {
+		t.Fatalf("result = %+v, want periodic payload", res)
+	}
+
+	// The programmatic path with the same parameters must dedup against
+	// the spec path — they share a simjob identity.
+	r := e.Runner()
+	direct, executed, err := r.RunPeriodicCtx(ctx, "SAD", engine.ChimeraPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed {
+		t.Error("Runner path re-executed a simulation the spec path already cached")
+	}
+	if direct.ViolationRate != res.Periodic.ViolationRate || direct.Overhead != res.Periodic.Overhead {
+		t.Errorf("spec path %+v != runner path %+v", res.Periodic, direct)
+	}
+}
+
+// TestExecutorKinds smoke-tests each kind through the spec path.
+func TestExecutorKinds(t *testing.T) {
+	e := newTestExecutor(t)
+	ctx := context.Background()
+
+	solo, _, err := e.Run(ctx, jobspec.Solo("SAD").WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.SoloRate <= 0 {
+		t.Errorf("solo rate = %v", solo.SoloRate)
+	}
+
+	pair, _, err := e.Run(ctx, jobspec.Pair("SAD", "MUM", jobspec.PolicyFCFS).WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Pair == nil || pair.Pair.Policy != "FCFS" {
+		t.Errorf("pair result = %+v", pair.Pair)
+	}
+
+	if _, _, err := e.Run(ctx, jobspec.Solo("NOPE")); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// TestExecutorRunSpecs pins batch enumeration order.
+func TestExecutorRunSpecs(t *testing.T) {
+	e := newTestExecutor(t)
+	specs := []jobspec.Spec{
+		jobspec.Periodic("SAD", jobspec.PolicyDrain).WithSeed(7),
+		jobspec.Solo("SAD").WithSeed(7),
+		jobspec.Periodic("SAD", jobspec.PolicySwitch).WithSeed(7),
+	}
+	out, err := e.RunSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results", len(out))
+	}
+	if out[0].Periodic == nil || out[0].Periodic.Policy != "Drain" {
+		t.Errorf("result 0 = %+v", out[0])
+	}
+	if out[1].SoloRate <= 0 {
+		t.Errorf("result 1 = %+v", out[1])
+	}
+	if out[2].Periodic == nil || out[2].Periodic.Policy != "Switch" {
+		t.Errorf("result 2 = %+v", out[2])
+	}
+}
+
+// TestSpecHashIsSimJobIdentity pins the tentpole identity rule: under a
+// fixed environment, equal Spec.Hash() ⇔ equal derived simjob.Job.
+func TestSpecHashIsSimJobIdentity(t *testing.T) {
+	e := newTestExecutor(t)
+	specs := []jobspec.Spec{
+		jobspec.Solo("SAD"),
+		jobspec.Solo("SAD").WithSeed(1), // == default after Normalize
+		jobspec.Solo("SAD").WithSeed(2),
+		jobspec.Periodic("SAD", jobspec.PolicyChimera),
+		jobspec.Periodic("SAD", "Chimera"), // alias spelling
+		jobspec.Periodic("SAD", jobspec.PolicyDrain),
+		jobspec.Periodic("SAD", jobspec.PolicyChimera).WithHeadroomUs(2),
+		jobspec.Pair("SAD", "MUM", jobspec.PolicyChimera),
+		jobspec.Pair("SAD", "MUM", jobspec.PolicyFCFS),
+		jobspec.Pair("SAD", "MUM", jobspec.PolicyChimera).WithWindowUs(2000),
+		jobspec.Periodic("SAD", jobspec.PolicyChimera).WithVariant("faults:abc"),
+		// Scheduling metadata must perturb neither hash nor job.
+		jobspec.Periodic("SAD", jobspec.PolicyChimera).WithPriority(5).WithTimeoutMs(100),
+	}
+	jobs := make(map[string]simjob.Job, len(specs))
+	for _, s := range specs {
+		job, err := e.SimJob(s)
+		if err != nil {
+			t.Fatalf("SimJob(%+v): %v", s, err)
+		}
+		h := s.Hash()
+		if prev, ok := jobs[h]; ok {
+			if prev != job {
+				t.Errorf("hash %s maps to two distinct jobs:\n%+v\n%+v", h, prev, job)
+			}
+		} else {
+			for ph, pj := range jobs {
+				if pj == job {
+					t.Errorf("hashes %s and %s map to the same job %+v", ph, h, job)
+				}
+			}
+			jobs[h] = job
+		}
+	}
+	// The derived job reflects the spec's parameters exactly.
+	job, err := e.SimJob(jobspec.Periodic("SAD", jobspec.PolicyDrain).WithWindowUs(2000).WithSeed(9).WithHeadroomUs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Window != units.FromMicroseconds(2000) || job.Seed != 9 || job.Headroom != units.FromMicroseconds(3) {
+		t.Errorf("derived job %+v does not reflect spec parameters", job)
+	}
+	if job.Policy != jobspec.PolicyKey(engine.FixedPolicy{Technique: 1}, false) {
+		t.Errorf("derived job policy key %q", job.Policy)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"chimera/internal/engine"
+	"chimera/internal/jobspec"
 	"chimera/internal/metrics"
 	"chimera/internal/simjob"
 )
@@ -34,7 +35,7 @@ func (r *Runner) RunMulti(benches []string, policy engine.Policy, serial bool) (
 	if len(benches) == 0 {
 		return MultiResult{}, fmt.Errorf("workloads: RunMulti with no benchmarks")
 	}
-	job := r.job(simjob.KindMulti, MultiLabel(benches), policyKey(policy, serial), serial, 0)
+	job := r.job(simjob.KindMulti, MultiLabel(benches), jobspec.PolicyKey(policy, serial), serial, 0)
 	v, err := r.pool.Do(job, func() (any, error) {
 		return r.runMulti(benches, policy, serial)
 	})
@@ -99,7 +100,7 @@ func (r *Runner) runMulti(benches []string, policy engine.Policy, serial bool) (
 	}
 	return MultiResult{
 		Benchmarks:   append([]string(nil), benches...),
-		Policy:       policyName(policy, serial),
+		Policy:       jobspec.PolicyName(policy, serial),
 		ANTT:         antt,
 		STP:          stp,
 		Requests:     len(sim.Requests()),

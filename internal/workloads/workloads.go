@@ -21,6 +21,7 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/gpu"
+	"chimera/internal/jobspec"
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
 	"chimera/internal/preempt"
@@ -283,7 +284,7 @@ func (r *Runner) RunPeriodic(bench string, policy engine.Policy) (PeriodicResult
 // event and the aborted run is not cached. executed reports whether
 // this call ran the simulation (false = cache or singleflight hit).
 func (r *Runner) RunPeriodicCtx(ctx context.Context, bench string, policy engine.Policy) (res PeriodicResult, executed bool, err error) {
-	job := r.job(simjob.KindPeriodic, bench, policyKey(policy, false), false, r.Headroom)
+	job := r.job(simjob.KindPeriodic, bench, jobspec.PolicyKey(policy, false), false, r.Headroom)
 	v, err := r.pool.DoContext(ctx, job, func(ctx context.Context) (any, error) {
 		executed = true
 		return r.runPeriodic(ctx, bench, policy)
@@ -389,7 +390,7 @@ func (r *Runner) RunPair(a, b string, policy engine.Policy, serial bool) (PairRe
 // event loop (see RunPeriodicCtx). executed reports whether this call
 // ran the simulation (false = cache or singleflight hit).
 func (r *Runner) RunPairCtx(ctx context.Context, a, b string, policy engine.Policy, serial bool) (res PairResult, executed bool, err error) {
-	job := r.job(simjob.KindPair, a+"+"+b, policyKey(policy, serial), serial, 0)
+	job := r.job(simjob.KindPair, a+"+"+b, jobspec.PolicyKey(policy, serial), serial, 0)
 	v, err := r.pool.DoContext(ctx, job, func(ctx context.Context) (any, error) {
 		executed = true
 		return r.runPair(ctx, a, b, policy, serial)
@@ -462,7 +463,7 @@ func (r *Runner) runPair(ctx context.Context, a, b string, policy engine.Policy,
 	}
 	antt, err := metrics.ANTT(progs)
 	if err != nil {
-		return PairResult{}, fmt.Errorf("workloads: %s/%s under %s: %w", a, b, policyName(policy, serial), err)
+		return PairResult{}, fmt.Errorf("workloads: %s/%s under %s: %w", a, b, jobspec.PolicyName(policy, serial), err)
 	}
 	stp, err := metrics.STP(progs)
 	if err != nil {
@@ -470,35 +471,11 @@ func (r *Runner) runPair(ctx context.Context, a, b string, policy engine.Policy,
 	}
 	return PairResult{
 		A: a, B: b,
-		Policy:   policyName(policy, serial),
+		Policy:   jobspec.PolicyName(policy, serial),
 		ANTT:     antt,
 		STP:      stp,
 		Requests: len(sim.Requests()),
 	}, nil
-}
-
-// policyName is the display label used in result tables.
-func policyName(p engine.Policy, serial bool) string {
-	if serial {
-		return "FCFS"
-	}
-	if p == nil {
-		return "none"
-	}
-	return p.Name()
-}
-
-// policyKey uniquely identifies a policy configuration for job caching.
-// Unlike Name it must distinguish every ablation flag combination, so it
-// encodes the policy's concrete type and full field values.
-func policyKey(p engine.Policy, serial bool) string {
-	if serial {
-		return "FCFS"
-	}
-	if p == nil {
-		return "none"
-	}
-	return fmt.Sprintf("%T%+v", p, p)
 }
 
 // StandardPolicies returns the four §4 contenders in the paper's

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"chimera/internal/engine"
+	"chimera/internal/jobspec"
 	"chimera/internal/kernels"
 	"chimera/internal/preempt"
 	"chimera/internal/units"
@@ -155,13 +156,13 @@ func TestStandardPolicies(t *testing.T) {
 }
 
 func TestPolicyName(t *testing.T) {
-	if got := policyName(nil, true); got != "FCFS" {
+	if got := jobspec.PolicyName(nil, true); got != "FCFS" {
 		t.Errorf("serial name = %s", got)
 	}
-	if got := policyName(nil, false); got != "none" {
+	if got := jobspec.PolicyName(nil, false); got != "none" {
 		t.Errorf("nil policy name = %s", got)
 	}
-	if got := policyName(engine.ChimeraPolicy{}, false); got != "Chimera" {
+	if got := jobspec.PolicyName(engine.ChimeraPolicy{}, false); got != "Chimera" {
 		t.Errorf("chimera name = %s", got)
 	}
 }
