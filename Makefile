@@ -7,7 +7,7 @@ GO ?= go
 # when not, since offline containers cannot fetch it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test short cover bench bench-all race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke replay-smoke clean
+.PHONY: all build test short cover bench bench-all benchdiff verify-identical race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke replay-smoke clean
 
 all: build test
 
@@ -40,12 +40,48 @@ short:
 cover:
 	$(GO) test -cover ./...
 
-# Core perf baseline: the simulator inner loop (ns/sim-cycle), Algorithm
-# 1 selection, the idempotence analysis and the spec-addressed job layer
-# (jobs/sec). Regenerates the checked-in BENCH_core.json so perf PRs
-# have a before/after to diff.
+# Perf baselines (see docs/performance.md): the simulator inner loop
+# (ns/sim-cycle), Algorithm 1 selection, the idempotence analysis and
+# the spec-addressed job layer in BENCH_core.json; the multitasking
+# hot-loop scenario in BENCH_engine.json; the event-queue
+# microbenchmarks in BENCH_eventq.json. Regenerates the checked-in
+# files so perf PRs have a before/after to diff — `make benchdiff`
+# checks a fresh run against them.
 bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkSimulation|BenchmarkSelect|BenchmarkAnalyze|BenchmarkSimjobPool)$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineHot$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
+	$(GO) test -run '^$$' -bench '^BenchmarkEventQ' -benchmem -count=1 ./internal/eventq/ | $(GO) run ./cmd/benchjson -out BENCH_eventq.json
+
+# Non-regression gate: rerun the baseline benchmarks into a scratch
+# directory and compare against the checked-in BENCH_*.json with
+# cmd/benchdiff. The tolerance defaults to 30%; noisy machines can
+# widen it via BENCHDIFF_TOL (e.g. BENCHDIFF_TOL=0.75 on shared CI
+# runners). After a deliberate perf change, run `make bench` and commit
+# the refreshed baselines.
+BENCHDIFF_DIR ?= /tmp/chimera-benchdiff
+benchdiff:
+	mkdir -p $(BENCHDIFF_DIR)
+	$(GO) test -run '^$$' -bench '^(BenchmarkSimulation|BenchmarkSelect|BenchmarkAnalyze|BenchmarkSimjobPool)$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/core.json
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineHot$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/engine.json
+	$(GO) test -run '^$$' -bench '^BenchmarkEventQ' -benchmem -count=1 ./internal/eventq/ | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/eventq.json
+	$(GO) run ./cmd/benchdiff \
+		BENCH_core.json $(BENCHDIFF_DIR)/core.json \
+		BENCH_engine.json $(BENCHDIFF_DIR)/engine.json \
+		BENCH_eventq.json $(BENCHDIFF_DIR)/eventq.json
+
+# Metamorphic identity gate: the quick exhibit sweep must be
+# bit-reproducible (two runs byte-identical) and must still match the
+# checked-in canonical trace — the proof that perf work (pooling,
+# batching, queue swaps) changed no observable behavior.
+VERIFY_DIR ?= /tmp/chimera-verify
+verify-identical:
+	mkdir -p $(VERIFY_DIR)/a $(VERIFY_DIR)/b
+	$(GO) run ./cmd/chimerasim -quick -trace trace.json all > $(VERIFY_DIR)/a/results.txt 2>&1 && mv trace.json $(VERIFY_DIR)/a/trace.json
+	$(GO) run ./cmd/chimerasim -quick -trace trace.json all > $(VERIFY_DIR)/b/results.txt 2>&1 && mv trace.json $(VERIFY_DIR)/b/trace.json
+	cmp $(VERIFY_DIR)/a/results.txt $(VERIFY_DIR)/b/results.txt
+	cmp $(VERIFY_DIR)/a/trace.json $(VERIFY_DIR)/b/trace.json
+	cmp $(VERIFY_DIR)/a/trace.json trace_canonical.json
+	@echo "verify-identical: two quick sweeps byte-identical and equal to trace_canonical.json"
 
 # Every benchmark in the repository (slow; exhibits log their tables).
 bench-all:
@@ -76,10 +112,17 @@ docs-check:
 	@test -f docs/static-analysis.md || { echo "docs/static-analysis.md is missing"; exit 1; }
 	@test -f docs/faults.md || { echo "docs/faults.md is missing"; exit 1; }
 	@test -f docs/jobs.md || { echo "docs/jobs.md is missing"; exit 1; }
+	@test -f docs/performance.md || { echo "docs/performance.md is missing"; exit 1; }
 	@grep -q "docs/static-analysis.md" README.md || { echo "README.md does not link docs/static-analysis.md"; exit 1; }
 	@grep -q "static-analysis.md" DESIGN.md || { echo "DESIGN.md does not link docs/static-analysis.md"; exit 1; }
 	@grep -q "jobs.md" docs/server.md || { echo "docs/server.md does not link docs/jobs.md"; exit 1; }
 	@grep -q "jobspec" EXPERIMENTS.md || { echo "EXPERIMENTS.md does not reference the jobspec layer"; exit 1; }
+	@grep -q "docs/performance.md" README.md || { echo "README.md does not link docs/performance.md"; exit 1; }
+	@grep -q "performance.md" DESIGN.md || { echo "DESIGN.md does not link docs/performance.md"; exit 1; }
+	@grep -q "performance.md" docs/observability.md || { echo "docs/observability.md does not link docs/performance.md"; exit 1; }
+	@grep -q "jobspec" DESIGN.md || { echo "DESIGN.md does not reference the jobspec layer"; exit 1; }
+	@grep -q "jobspec" docs/paper-map.md || { echo "docs/paper-map.md does not reference the jobspec layer"; exit 1; }
+	@grep -q "performance.md" docs/paper-map.md || { echo "docs/paper-map.md does not reference docs/performance.md"; exit 1; }
 
 # End-to-end service smoke: boot chimerad on a random port, drive the
 # full client path (submit, poll, cancel, scrape /metrics), then SIGTERM

@@ -1,0 +1,195 @@
+// Command benchdiff compares a freshly generated benchmark baseline
+// (cmd/benchjson output) against a checked-in one and fails when any
+// tracked metric regressed beyond a tolerance. It is the CI guard that
+// keeps the BENCH_*.json perf trajectory honest: a PR that slows the
+// hot loop or reintroduces per-event allocations fails the gate instead
+// of silently shipping.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.30] BASELINE.json FRESH.json [BASELINE2.json FRESH2.json ...]
+//
+// Files are compared pairwise. For every benchmark present in the
+// baseline, the same benchmark must exist in the fresh run, and every
+// metric present in both is compared:
+//
+//   - metrics whose unit ends in "/sec" are throughputs — higher is
+//     better, a drop beyond the tolerance is a regression;
+//   - every other metric (ns/op, ns/sim-cycle, B/op, allocs/op, ...)
+//     is a cost — a rise beyond the tolerance is a regression.
+//
+// The tolerance is relative (0.30 = 30%) and deliberately loose:
+// wall-clock metrics wobble across machines and noisy CI runners, and
+// the gate exists to catch step changes (a 2× slowdown, a thousandfold
+// allocation increase), not single-digit drift. Improvements are never
+// failures — after a deliberate optimization, regenerate the baseline
+// with `make bench` and commit it so the trajectory ratchets forward.
+//
+// Flags and environment:
+//
+//	-tol FRACTION       allowed relative regression (default 0.30)
+//	BENCHDIFF_TOL       overrides the default when -tol is not given —
+//	                    the documented knob for noisy environments
+//	                    (e.g. BENCHDIFF_TOL=0.75 on shared CI runners)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the cmd/benchjson document.
+type baseline struct {
+	V          int     `json:"v"`
+	CPU        string  `json:"cpu"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// problem is one comparison failure.
+type problem struct {
+	file, bench, msg string
+}
+
+func main() {
+	tol := flag.Float64("tol", defaultTol(), "allowed relative regression (0.30 = 30%)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol FRACTION] BASELINE.json FRESH.json [...]")
+		os.Exit(2)
+	}
+	failed := false
+	for i := 0; i < len(args); i += 2 {
+		problems, err := diffFiles(args[i], args[i+1], *tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range problems {
+			fmt.Printf("REGRESSION %s %s: %s\n", p.file, p.bench, p.msg)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Printf("benchdiff: regressions beyond %.0f%% tolerance (override with BENCHDIFF_TOL or regenerate baselines with `make bench` if intentional)\n", *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: all metrics within %.0f%% of baseline\n", *tol*100)
+}
+
+// defaultTol resolves the tolerance default from BENCHDIFF_TOL.
+func defaultTol() float64 {
+	if s := os.Getenv("BENCHDIFF_TOL"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: ignoring invalid BENCHDIFF_TOL=%q\n", s)
+	}
+	return 0.30
+}
+
+// diffFiles loads one baseline/fresh pair and compares them.
+func diffFiles(basePath, freshPath string, tol float64) ([]problem, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return nil, err
+	}
+	if base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU {
+		fmt.Printf("note: %s baseline recorded on %q, fresh run on %q — wall-clock deltas reflect the machine too\n",
+			basePath, base.CPU, fresh.CPU)
+	}
+	problems := diff(base, fresh, tol)
+	for i := range problems {
+		problems[i].file = basePath
+	}
+	return problems, nil
+}
+
+func load(path string) (baseline, error) {
+	var b baseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.V != 1 {
+		return b, fmt.Errorf("%s: unsupported baseline version %d", path, b.V)
+	}
+	return b, nil
+}
+
+// diff compares every baseline benchmark/metric against the fresh run
+// and returns the regressions beyond tol. It also prints the per-metric
+// comparison table for the log.
+func diff(base, fresh baseline, tol float64) []problem {
+	freshBy := make(map[string]entry, len(fresh.Benchmarks))
+	for _, e := range fresh.Benchmarks {
+		freshBy[e.Name] = e
+	}
+	var problems []problem
+	for _, b := range base.Benchmarks {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			problems = append(problems, problem{bench: b.Name, msg: "benchmark missing from fresh run"})
+			continue
+		}
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			if _, ok := f.Metrics[k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			was, now := b.Metrics[k], f.Metrics[k]
+			worse := relativeRegression(k, was, now)
+			mark := ""
+			if worse > tol {
+				mark = "  <-- REGRESSION"
+				problems = append(problems, problem{
+					bench: b.Name,
+					msg:   fmt.Sprintf("%s %g -> %g (%+.1f%%, tolerance %.0f%%)", k, was, now, 100*change(was, now), 100*tol),
+				})
+			}
+			fmt.Printf("  %-14s %-14s %14g -> %-14g %+.1f%%%s\n", b.Name, k, was, now, 100*change(was, now), mark)
+		}
+	}
+	return problems
+}
+
+// change is the signed relative change from was to now.
+func change(was, now float64) float64 {
+	if was == 0 {
+		return 0
+	}
+	return (now - was) / was
+}
+
+// relativeRegression maps a metric delta onto "how much worse", taking
+// the metric's direction into account: "/sec" units are throughputs
+// (higher is better), everything else is a cost (lower is better).
+func relativeRegression(unit string, was, now float64) float64 {
+	if was == 0 {
+		return 0
+	}
+	if strings.HasSuffix(unit, "/sec") {
+		return (was - now) / was
+	}
+	return (now - was) / was
+}

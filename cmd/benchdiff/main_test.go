@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func bl(name string, metrics map[string]float64) baseline {
+	return baseline{V: 1, Benchmarks: []entry{{Name: name, Metrics: metrics}}}
+}
+
+func TestDiffWithinTolerance(t *testing.T) {
+	base := bl("Simulation", map[string]float64{"ns/sim-cycle": 10, "allocs/op": 1000})
+	fresh := bl("Simulation", map[string]float64{"ns/sim-cycle": 12, "allocs/op": 1100})
+	if p := diff(base, fresh, 0.30); len(p) != 0 {
+		t.Errorf("20%% slowdown under 30%% tolerance flagged: %v", p)
+	}
+}
+
+func TestDiffCostRegression(t *testing.T) {
+	base := bl("Simulation", map[string]float64{"ns/sim-cycle": 10})
+	fresh := bl("Simulation", map[string]float64{"ns/sim-cycle": 15})
+	if p := diff(base, fresh, 0.30); len(p) != 1 {
+		t.Fatalf("50%% slowdown not flagged: %v", p)
+	}
+}
+
+func TestDiffThroughputDirection(t *testing.T) {
+	base := bl("SimjobPool", map[string]float64{"jobs/sec": 800000})
+	// Throughput UP is an improvement, never a regression.
+	up := bl("SimjobPool", map[string]float64{"jobs/sec": 2000000})
+	if p := diff(base, up, 0.30); len(p) != 0 {
+		t.Errorf("throughput gain flagged as regression: %v", p)
+	}
+	down := bl("SimjobPool", map[string]float64{"jobs/sec": 400000})
+	if p := diff(base, down, 0.30); len(p) != 1 {
+		t.Errorf("50%% throughput drop not flagged: %v", p)
+	}
+}
+
+func TestDiffMissingBenchmark(t *testing.T) {
+	base := bl("EngineHot", map[string]float64{"ns/op": 1})
+	fresh := baseline{V: 1}
+	if p := diff(base, fresh, 0.30); len(p) != 1 {
+		t.Errorf("vanished benchmark not flagged: %v", p)
+	}
+}
+
+func TestDiffIgnoresNewMetricsAndBenchmarks(t *testing.T) {
+	base := bl("EngineHot", map[string]float64{"ns/op": 100})
+	fresh := baseline{V: 1, Benchmarks: []entry{
+		{Name: "EngineHot", Metrics: map[string]float64{"ns/op": 100, "extra/op": 5}},
+		{Name: "Brand New", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	if p := diff(base, fresh, 0.30); len(p) != 0 {
+		t.Errorf("additions flagged: %v", p)
+	}
+}

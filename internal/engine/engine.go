@@ -11,7 +11,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"chimera/internal/core"
 	"chimera/internal/eventq"
@@ -142,6 +141,64 @@ type Simulation struct {
 	// activeTransfers counts in-flight context save/restore streams for
 	// the contention model.
 	activeTransfers int
+
+	// tracing mirrors opts.Tracer != nil so hot paths can skip
+	// trace.Event construction (including its fmt.Sprintf detail
+	// strings) without touching opts.
+	tracing bool
+	// traceBuf stages trace events out of the inner event loop; it is
+	// flushed to the recorder in FIFO order at AdvanceTo/Finish
+	// boundaries and whenever it reaches traceBatch entries, so the
+	// recorder sees the exact sequence unbatched emission produced.
+	traceBuf []trace.Event
+
+	// tbFree recycles threadBlock structs within this simulation. The
+	// pool is per-run (never shared across simulations), so results stay
+	// bit-identical and memoizable: no state crosses between jobs.
+	tbFree []*threadBlock
+
+	// Rebalance working memory, reused across passes — the kernel
+	// scheduler runs on every launch, finish and SM release, so its
+	// scratch must not allocate. slotGen identifies the current pass for
+	// the kernelInstance slot stamps.
+	slotGen       uint64
+	demandScratch []sched.Demand
+	curScratch    []int
+	stableScratch []int
+	orderScratch  []int
+	// planScratch is the resident-list copy executePlan/escalate iterate
+	// while flushing mutates the live list. The engine is single-
+	// goroutine and neither function re-enters itself mid-iteration, so
+	// one shared buffer suffices.
+	planScratch []*threadBlock
+}
+
+// allocTB returns a recycled (or new) thread-block struct. The fire
+// closures are created once per struct and survive recycling: they
+// close over the struct pointer, which stays stable for the
+// simulation's lifetime.
+func (s *Simulation) allocTB() *threadBlock {
+	if n := len(s.tbFree); n > 0 {
+		tb := s.tbFree[n-1]
+		s.tbFree[n-1] = nil
+		s.tbFree = s.tbFree[:n-1]
+		return tb
+	}
+	tb := &threadBlock{}
+	tb.fireDone = func(now units.Cycles) { s.tbComplete(tb, now) }
+	tb.fireBreach = func(units.Cycles) { tb.breached = true }
+	return tb
+}
+
+// freeTB resets a terminal (completed or killed) block and returns it
+// to the pool. Callers must guarantee no pending event can still act on
+// the block: its done/breach events are fired or cancelled, and any
+// lingering save-batch callback belongs to a cancelled handover (a
+// no-op before it touches blocks).
+func (s *Simulation) freeTB(tb *threadBlock) {
+	fd, fb := tb.fireDone, tb.fireBreach
+	*tb = threadBlock{fireDone: fd, fireBreach: fb}
+	s.tbFree = append(s.tbFree, tb)
 }
 
 // process drives one application's launch stream and accumulates its
@@ -201,6 +258,7 @@ func New(opts Options) *Simulation {
 	if opts.Metrics != nil {
 		s.m = newSimMetrics(opts.Metrics)
 	}
+	s.tracing = opts.Tracer != nil
 	for i := 0; i < s.cfg.NumSMs; i++ {
 		sm := &smUnit{id: gpu.SMID(i), sim: s}
 		s.sms = append(s.sms, sm)
@@ -220,10 +278,44 @@ func (s *Simulation) AddProcess(spec ProcessSpec) {
 	s.processes = append(s.processes, &process{sim: s, name: spec.Name, spec: spec})
 }
 
-// emit records a trace event when tracing is enabled.
+// traceBatch is the staging-buffer capacity: events accumulate locally
+// and reach the recorder in batches, keeping sink dispatch (interface
+// calls, sink-side locking or formatting) out of the inner event loop.
+const traceBatch = 256
+
+// emit stages a trace event when tracing is enabled. Events reach the
+// recorder in emission order; AdvanceTo and Finish flush the staging
+// buffer, so the recorder is fully up to date whenever control returns
+// to the caller — the engine's documented observation boundary.
 func (s *Simulation) emit(e trace.Event) {
-	if s.opts.Tracer != nil {
-		s.opts.Tracer.Record(e)
+	if !s.tracing {
+		return
+	}
+	s.traceBuf = append(s.traceBuf, e)
+	if len(s.traceBuf) >= traceBatch {
+		s.flushTrace()
+	}
+}
+
+// flushTrace forwards every staged trace event to the recorder in FIFO
+// order and empties the staging buffer.
+func (s *Simulation) flushTrace() {
+	for i := range s.traceBuf {
+		s.opts.Tracer.Record(s.traceBuf[i])
+	}
+	s.traceBuf = s.traceBuf[:0]
+}
+
+// flushObs drains both staging layers — trace events and metric
+// observations — to their backends. Called at the AdvanceTo/Finish
+// boundaries so external observers (collectors, registries, scrapes)
+// see complete state whenever the engine yields control.
+func (s *Simulation) flushObs() {
+	if s.tracing {
+		s.flushTrace()
+	}
+	if s.m != nil {
+		s.m.flush()
 	}
 }
 
@@ -251,7 +343,7 @@ func (s *Simulation) launchKernel(p *process, l LaunchSpec, priority int, now un
 		priority:    priority,
 		arrival:     s.arrival,
 		outstanding: l.Grid,
-		sms:         make(map[gpu.SMID]*smUnit),
+		smSet:       make([]*smUnit, s.cfg.NumSMs),
 		stats:       s.statsFor(l.Params.Label),
 		rng:         s.rnd.Split(),
 	}
@@ -264,8 +356,10 @@ func (s *Simulation) launchKernel(p *process, l LaunchSpec, priority int, now un
 	if s.opts.Serial {
 		s.serialQ = append(s.serialQ, k)
 	}
-	s.emit(trace.Event{At: now, Kind: trace.KernelLaunch, Kernel: k.params.Label, SM: -1, TB: -1,
-		Detail: fmt.Sprintf("grid=%d", l.Grid)})
+	if s.tracing {
+		s.emit(trace.Event{At: now, Kind: trace.KernelLaunch, Kernel: k.params.Label, SM: -1, TB: -1,
+			Detail: fmt.Sprintf("grid=%d", l.Grid)})
+	}
 	s.rebalance(now)
 	return k
 }
@@ -293,6 +387,7 @@ func (s *Simulation) tbComplete(tb *threadBlock, now units.Cycles) {
 	tb.sm = nil
 	k.outstanding--
 	wasDraining := tb.draining
+	s.freeTB(tb)
 
 	if wasDraining {
 		sm.drainedComplete(now)
@@ -315,10 +410,12 @@ func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
 		panic(fmt.Sprintf("engine: %s done with %d queued blocks", k.params.Label, len(k.pendingQ)))
 	}
 	// Free in SMID order: the free list's order decides which physical
-	// SM a later kernel lands on, so map-iteration order here would leak
-	// scheduling nondeterminism into otherwise-seeded runs.
-	for _, id := range sortedSMIDs(k.sms) {
-		sm := k.sms[id]
+	// SM a later kernel lands on. smSet's index order gives that
+	// determinism by construction.
+	for _, sm := range k.smSet {
+		if sm == nil {
+			continue
+		}
 		if sm.handover != nil && len(sm.resident) == 0 {
 			// The kernel has nothing left to run here, but an injected
 			// stall is still holding the handover open. The SM stays
@@ -333,7 +430,7 @@ func (s *Simulation) kernelFinished(k *kernelInstance, now units.Cycles) {
 		sm.kernel = nil
 		sm.restoreTail = 0
 		s.free = append(s.free, sm)
-		delete(k.sms, sm.id)
+		k.removeSM(sm)
 	}
 	s.emit(trace.Event{At: now, Kind: trace.KernelFinish, Kernel: k.params.Label, SM: -1, TB: -1,
 		Dur: now - k.launchedAt})
@@ -350,20 +447,31 @@ func (s *Simulation) killKernel(k *kernelInstance, now units.Cycles) {
 	k.done = true
 	k.finishedAt = now
 	// SMID order, for the same free-list determinism as kernelFinished.
-	for _, id := range sortedSMIDs(k.sms) {
-		sm := k.sms[id]
-		for _, tb := range append([]*threadBlock(nil), sm.resident...) {
+	for _, sm := range k.smSet {
+		if sm == nil {
+			continue
+		}
+		recyclable := sm.handover == nil // frozen-batch callbacks may still hold blocks
+		for len(sm.resident) > 0 {
+			tb := sm.resident[len(sm.resident)-1]
 			tb.sync(now)
 			tb.cancelEvents(&s.q)
 			tb.phase = tbDone
 			sm.removeResident(tb, now)
 			tb.sm = nil
+			if recyclable {
+				s.freeTB(tb)
+			}
 		}
 		sm.kernel = nil
 		sm.restoreTail = 0
 		s.free = append(s.free, sm)
 	}
-	k.sms = make(map[gpu.SMID]*smUnit)
+	clear(k.smSet)
+	k.nsms = 0
+	for _, tb := range k.pendingQ {
+		s.freeTB(tb)
+	}
 	k.pendingQ = nil
 	s.emit(trace.Event{At: now, Kind: trace.KernelKill, Kernel: k.params.Label, SM: -1, TB: -1,
 		Dur: now - k.launchedAt})
@@ -389,7 +497,7 @@ func (s *Simulation) removeActive(k *kernelInstance) {
 // releaseSM returns an SM whose kernel has nothing left to run on it.
 func (s *Simulation) releaseSM(sm *smUnit, now units.Cycles) {
 	if sm.kernel != nil {
-		delete(sm.kernel.sms, sm.id)
+		sm.kernel.removeSM(sm)
 		sm.kernel = nil
 	}
 	sm.restoreTail = 0
@@ -401,7 +509,7 @@ func (s *Simulation) releaseSM(sm *smUnit, now units.Cycles) {
 func (s *Simulation) assignSM(sm *smUnit, k *kernelInstance, now units.Cycles) {
 	sm.kernel = k
 	sm.restoreTail = 0
-	k.sms[sm.id] = sm
+	k.addSM(sm)
 	sm.fill(now)
 }
 
@@ -434,7 +542,7 @@ func (s *Simulation) rebalance(now units.Cycles) {
 	}
 	s.rebalancing = true
 	if s.m != nil {
-		s.m.rebalances.Add(1)
+		s.m.stRebalances++
 	}
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
@@ -458,8 +566,15 @@ func (s *Simulation) rebalanceOnce(now units.Cycles) {
 	if len(s.active) == 0 {
 		return
 	}
-	// SM partitioning policy (orthogonal to preemption, §3.1).
-	demands := make([]sched.Demand, len(s.active))
+	// SM partitioning policy (orthogonal to preemption, §3.1). The
+	// scheduler's working memory (demands, holdings, order) lives in
+	// reusable scratch buffers: a rebalance fires on every launch,
+	// finish and SM release, so this path must not allocate.
+	n := len(s.active)
+	if cap(s.demandScratch) < n {
+		s.demandScratch = make([]sched.Demand, n)
+	}
+	demands := s.demandScratch[:n]
 	for i, k := range s.active {
 		weight := 0
 		if k.process != nil {
@@ -471,42 +586,53 @@ func (s *Simulation) rebalanceOnce(now units.Cycles) {
 
 	// Current effective holdings: stably owned SMs plus incoming
 	// handovers; SMs being handed away no longer count for the victim.
-	cur := make([]int, len(s.active))
-	stable := make([]int, len(s.active))
-	idxOf := make(map[*kernelInstance]int, len(s.active))
+	// Kernels are located by a generation-stamped slot instead of a
+	// per-pass map.
+	s.slotGen++
 	for i, k := range s.active {
-		idxOf[k] = i
+		k.slot, k.slotGen = i, s.slotGen
 	}
+	if cap(s.curScratch) < n {
+		s.curScratch = make([]int, n)
+		s.stableScratch = make([]int, n)
+		s.orderScratch = make([]int, n)
+	}
+	cur := s.curScratch[:n]
+	stable := s.stableScratch[:n]
+	clear(cur)
+	clear(stable)
 	for _, sm := range s.sms {
 		if sm.kernel == nil {
 			continue
 		}
-		ki, ok := idxOf[sm.kernel]
 		if sm.handover == nil {
-			if ok {
-				cur[ki]++
-				stable[ki]++
+			if k := sm.kernel; k.slotGen == s.slotGen {
+				cur[k.slot]++
+				stable[k.slot]++
 			}
 			continue
 		}
-		if to := sm.handover.req.requester; to != nil {
-			if ti, ok := idxOf[to]; ok {
-				cur[ti]++
-			}
+		if to := sm.handover.req.requester; to != nil && to.slotGen == s.slotGen {
+			cur[to.slot]++
 		}
 	}
 
-	order := make([]int, len(s.active))
+	order := s.orderScratch[:n]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ka, kb := s.active[order[a]], s.active[order[b]]
-		if ka.priority != kb.priority {
-			return ka.priority > kb.priority
+	// Stable insertion sort (priority desc, arrival asc): n is the
+	// number of active kernels — a handful — and this avoids the
+	// closure/interface allocations of sort.SliceStable.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			ka, kb := s.active[order[j]], s.active[order[j-1]]
+			if ka.priority < kb.priority || (ka.priority == kb.priority && ka.arrival >= kb.arrival) {
+				break
+			}
+			order[j], order[j-1] = order[j-1], order[j]
 		}
-		return ka.arrival < kb.arrival
-	})
+	}
 
 	// Phase 1: hand out free SMs.
 	for _, i := range order {
@@ -564,7 +690,7 @@ func (s *Simulation) rebalanceSerial(now units.Cycles) {
 		return
 	}
 	head := s.serialQ[0]
-	for len(head.sms) < head.wantSMs() {
+	for head.nsms < head.wantSMs() {
 		sm := s.popFree()
 		if sm == nil {
 			return
@@ -581,9 +707,8 @@ func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, n
 		return 0
 	}
 	var in core.Input
-	for _, id := range sortedSMIDs(victim.sms) {
-		sm := victim.sms[id]
-		if sm.handover != nil {
+	for _, sm := range victim.smSet {
+		if sm == nil || sm.handover != nil {
 			continue
 		}
 		in.SMs = append(in.SMs, sm.snapshot(now))
@@ -624,15 +749,17 @@ func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, n
 	if rec.EstLatencyCycles > 0 && rec.EstLatencyCycles < preempt.Infeasible {
 		estLat = units.Cycles(rec.EstLatencyCycles)
 	}
-	s.emit(trace.Event{At: now, Kind: trace.Request, Kernel: victim.params.Label, SM: -1, TB: -1,
-		Other: requester.params.Label, EstLat: estLat,
-		Detail: fmt.Sprintf("sms=%d forced=%d", rec.NumSMs, rec.Forced)})
+	if s.tracing {
+		s.emit(trace.Event{At: now, Kind: trace.Request, Kernel: victim.params.Label, SM: -1, TB: -1,
+			Other: requester.params.Label, EstLat: estLat,
+			Detail: fmt.Sprintf("sms=%d forced=%d", rec.NumSMs, rec.Forced)})
+	}
 	var stall units.Cycles
 	if f := s.opts.FaultStall; f != nil && estLat > 0 {
 		stall = f(len(s.requests)-1, estLat)
 		if stall > 0 {
 			if s.m != nil {
-				s.m.stallsInjected.Add(1)
+				s.m.stStallsInjected++
 			}
 			s.emit(trace.Event{At: now, Kind: trace.Stall, Kernel: victim.params.Label, SM: -1, TB: -1,
 				Other: requester.params.Label, Dur: stall})
@@ -667,20 +794,13 @@ func (s *Simulation) watchdogCheck(rec *RequestRecord, now units.Cycles) {
 	}
 	rec.Escalations++
 	if s.m != nil {
-		s.m.escalations.Add(1)
+		s.m.stEscalations++
 	}
-	s.emit(trace.Event{At: now, Kind: trace.Escalate, Kernel: rec.Victim, SM: -1, TB: -1,
-		Other: rec.Requester, Lat: now - rec.At,
-		Detail: fmt.Sprintf("k=%g", s.opts.WatchdogK)})
-}
-
-func sortedSMIDs(m map[gpu.SMID]*smUnit) []gpu.SMID {
-	ids := make([]gpu.SMID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
+	if s.tracing {
+		s.emit(trace.Event{At: now, Kind: trace.Escalate, Kernel: rec.Victim, SM: -1, TB: -1,
+			Other: rec.Requester, Lat: now - rec.At,
+			Detail: fmt.Sprintf("k=%g", s.opts.WatchdogK)})
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return ids
 }
 
 // Run starts every process at cycle 0 and executes events until the
@@ -747,10 +867,12 @@ func (s *Simulation) AdvanceTo(ctx context.Context, to units.Cycles) error {
 	if _, cancelled := s.q.RunUntilDone(to, done); cancelled {
 		s.q.Clear()
 		if s.m != nil {
-			s.m.canceled.Add(1)
+			s.m.stCanceled++
 		}
+		s.flushObs()
 		return ctx.Err()
 	}
+	s.flushObs()
 	return nil
 }
 
@@ -774,6 +896,7 @@ func (s *Simulation) Finish(window units.Cycles) {
 	if s.periodic != nil {
 		s.periodic.finalize(window)
 	}
+	s.flushObs()
 }
 
 // Pending reports how many simulation events are still queued. After a
@@ -848,7 +971,7 @@ func (s *Simulation) dumpState(now units.Cycles) {
 	fmt.Printf("=== rebalance stuck at %v ===\n", now)
 	for _, k := range s.active {
 		fmt.Printf("kernel %s id=%d prio=%d grid=%d fresh=%d pending=%d outstanding=%d sms=%d want=%d\n",
-			k.params.Label, k.id, k.priority, k.grid, k.nextFresh, len(k.pendingQ), k.outstanding, len(k.sms), k.wantSMs())
+			k.params.Label, k.id, k.priority, k.grid, k.nextFresh, len(k.pendingQ), k.outstanding, k.nsms, k.wantSMs())
 	}
 	fmt.Printf("free=%d\n", len(s.free))
 	for _, sm := range s.sms {

@@ -30,14 +30,41 @@ type kernelInstance struct {
 	// (§3.1) so the queue stays bounded.
 	pendingQ []*threadBlock
 
-	// sms is the set of SMs currently assigned to this kernel.
-	sms map[gpu.SMID]*smUnit
+	// smSet is the set of SMs currently assigned to this kernel, as a
+	// dense slice indexed by SMID (nil = not owned) with nsms tracking
+	// the live count. Index order is SMID order, so every iteration is
+	// deterministic by construction — the property kernelFinished's
+	// free-list handling needs — without the sort a map would force.
+	smSet []*smUnit
+	nsms  int
+
+	// slot/slotGen stamp the kernel's index in the scheduler's active
+	// list for the rebalance pass identified by slotGen, replacing a
+	// per-pass map.
+	slot    int
+	slotGen uint64
 
 	// stats aggregates the §3.2 estimator inputs; shared per kernel
 	// label across launches.
 	stats *gpu.KernelStats
 
 	rng *rng.Source
+}
+
+// addSM records ownership of an SM.
+func (k *kernelInstance) addSM(sm *smUnit) {
+	if k.smSet[sm.id] == nil {
+		k.nsms++
+	}
+	k.smSet[sm.id] = sm
+}
+
+// removeSM drops ownership of an SM (no-op if not owned).
+func (k *kernelInstance) removeSM(sm *smUnit) {
+	if k.smSet[sm.id] != nil {
+		k.nsms--
+		k.smSet[sm.id] = nil
+	}
 }
 
 // wantSMs is the kernel's SM demand for the partitioning policy: the SMs
@@ -50,8 +77,8 @@ type kernelInstance struct {
 // immediately, re-triggering rebalancing forever).
 func (k *kernelInstance) wantSMs() int {
 	used := 0
-	for _, sm := range k.sms {
-		if len(sm.resident) > 0 && sm.handover == nil {
+	for _, sm := range k.smSet {
+		if sm != nil && len(sm.resident) > 0 && sm.handover == nil {
 			used++
 		}
 	}
@@ -75,12 +102,11 @@ func (k *kernelInstance) nextTB() *threadBlock {
 		return tb
 	}
 	if k.nextFresh < k.grid {
-		tb := &threadBlock{
-			kernel:     k,
-			index:      k.nextFresh,
-			insts:      k.params.InstsPerTB,
-			breachInst: k.params.BreachInst(),
-		}
+		tb := k.process.sim.allocTB()
+		tb.kernel = k
+		tb.index = k.nextFresh
+		tb.insts = k.params.InstsPerTB
+		tb.breachInst = k.params.BreachInst()
 		k.nextFresh++
 		return tb
 	}

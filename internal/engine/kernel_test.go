@@ -10,11 +10,13 @@ import (
 )
 
 func testInstance(params gpu.KernelParams, grid int) *kernelInstance {
+	sim := &Simulation{cfg: gpu.DefaultConfig()}
 	return &kernelInstance{
 		params:      params,
+		process:     &process{sim: sim},
 		grid:        grid,
 		outstanding: grid,
-		sms:         make(map[gpu.SMID]*smUnit),
+		smSet:       make([]*smUnit, sim.cfg.NumSMs),
 		stats:       &gpu.KernelStats{},
 		rng:         rng.New(1),
 	}

@@ -43,6 +43,64 @@ type simMetrics struct {
 	// the observable signal that a server-side cancel actually stopped
 	// the engine.
 	canceled *metrics.Counter
+
+	// Staged shadows: the single-goroutine engine accumulates counter
+	// increments and histogram observations locally and flushes them in
+	// batches (one lock/atomic per batch instead of per observation).
+	// Flushes happen at the AdvanceTo/Finish boundaries and whenever a
+	// staging slice reaches metricsBatch entries, so registry readers
+	// see complete totals whenever the engine yields control. Per-
+	// histogram observation order is preserved, keeping even the
+	// floating-point sums bit-identical to unbatched recording.
+	stRequests, stForced, stMisses, stRebalances int64
+	stEscalations, stStallsInjected, stCanceled  int64
+	stLatency, stEstErr, stSlack, stIdleGap      []float64
+	stLatencyBy                                  [preempt.NumTechniques][]float64
+}
+
+// metricsBatch caps a staging slice before an inline flush.
+const metricsBatch = 512
+
+// stage appends one histogram observation, flushing the slice when it
+// reaches the batch cap.
+func stage(buf *[]float64, h *metrics.Histogram, v float64) {
+	*buf = append(*buf, v)
+	if len(*buf) >= metricsBatch {
+		h.ObserveBatch(*buf)
+		*buf = (*buf)[:0]
+	}
+}
+
+// flush drains every staged counter increment and histogram
+// observation into the registry handles.
+func (m *simMetrics) flush() {
+	drain := func(c *metrics.Counter, n *int64) {
+		if *n != 0 {
+			c.Add(*n)
+			*n = 0
+		}
+	}
+	drain(m.requests, &m.stRequests)
+	drain(m.forced, &m.stForced)
+	drain(m.misses, &m.stMisses)
+	drain(m.rebalances, &m.stRebalances)
+	drain(m.escalations, &m.stEscalations)
+	drain(m.stallsInjected, &m.stStallsInjected)
+	drain(m.canceled, &m.stCanceled)
+
+	hists := func(h *metrics.Histogram, buf *[]float64) {
+		if len(*buf) > 0 {
+			h.ObserveBatch(*buf)
+			*buf = (*buf)[:0]
+		}
+	}
+	hists(m.latency, &m.stLatency)
+	hists(m.estErr, &m.stEstErr)
+	hists(m.slack, &m.stSlack)
+	hists(m.idleGap, &m.stIdleGap)
+	for t := range m.stLatencyBy {
+		hists(m.latencyBy[t], &m.stLatencyBy[t])
+	}
 }
 
 // Metric names are package-level constants (enforced by chimeravet's
@@ -111,9 +169,9 @@ func (s *Simulation) observeRequestIssued(rec *RequestRecord) {
 	if s.m == nil {
 		return
 	}
-	s.m.requests.Add(1)
+	s.m.stRequests++
 	if rec.Forced > 0 {
-		s.m.forced.Add(1)
+		s.m.stForced++
 	}
 }
 
@@ -123,12 +181,12 @@ func (s *Simulation) observeRequestComplete(rec *RequestRecord) {
 		return
 	}
 	lat := rec.LatencyCycles.Microseconds()
-	s.m.latency.Observe(lat)
+	stage(&s.m.stLatency, s.m.latency, lat)
 	if tech, ok := rec.Dominant(); ok {
-		s.m.latencyBy[tech].Observe(lat)
+		stage(&s.m.stLatencyBy[tech], s.m.latencyBy[tech], lat)
 	}
 	if rec.EstLatencyCycles > 0 && rec.EstLatencyCycles < preempt.Infeasible {
-		s.m.estErr.Observe(rec.EstLatencyCycles/units.CyclesPerMicrosecond - lat)
+		stage(&s.m.stEstErr, s.m.estErr, rec.EstLatencyCycles/units.CyclesPerMicrosecond-lat)
 	}
 }
 
@@ -138,9 +196,9 @@ func (s *Simulation) observeDeadline(met bool, slack units.Cycles) {
 		return
 	}
 	if met {
-		s.m.slack.Observe(slack.Microseconds())
+		stage(&s.m.stSlack, s.m.slack, slack.Microseconds())
 	} else {
-		s.m.misses.Add(1)
+		s.m.stMisses++
 	}
 }
 
@@ -150,5 +208,5 @@ func (s *Simulation) observeIdleGap(gap units.Cycles) {
 	if s.m == nil {
 		return
 	}
-	s.m.idleGap.Observe(gap.Microseconds())
+	stage(&s.m.stIdleGap, s.m.idleGap, gap.Microseconds())
 }

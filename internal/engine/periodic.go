@@ -132,7 +132,7 @@ func (t *periodicTask) deadlineCheck(k *kernelInstance, idx int, now units.Cycle
 		return // already killed or (impossibly fast) finished
 	}
 	rec := &t.records[idx]
-	if len(k.sms) >= t.spec.SMs {
+	if k.nsms >= t.spec.SMs {
 		rec.AcquireLatency = t.acquireLatency(k, now)
 		t.sim.observeDeadline(true, t.sim.opts.Constraint-rec.AcquireLatency)
 		return
@@ -140,7 +140,7 @@ func (t *periodicTask) deadlineCheck(k *kernelInstance, idx int, now units.Cycle
 	rec.Violated = true
 	t.sim.observeDeadline(false, 0)
 	t.sim.emit(trace.Event{At: now, Kind: trace.DeadlineMiss, Kernel: t.spec.Label, SM: -1, TB: -1,
-		Detail: fmt.Sprintf("acquired=%d/%d", len(k.sms), t.spec.SMs)})
+		Detail: fmt.Sprintf("acquired=%d/%d", k.nsms, t.spec.SMs)})
 	t.sim.killKernel(k, now)
 }
 
@@ -148,7 +148,10 @@ func (t *periodicTask) deadlineCheck(k *kernelInstance, idx int, now units.Cycle
 // the latest block start among its (immediately dispatched) blocks.
 func (t *periodicTask) acquireLatency(k *kernelInstance, now units.Cycles) units.Cycles {
 	var last units.Cycles
-	for _, sm := range k.sms {
+	for _, sm := range k.smSet {
+		if sm == nil {
+			continue
+		}
 		for _, tb := range sm.resident {
 			if tb.startAt > last {
 				last = tb.startAt

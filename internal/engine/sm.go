@@ -36,6 +36,10 @@ type smUnit struct {
 	// the between-busy-spans idle gaps for the metrics registry.
 	idleSince units.Cycles
 	everBusy  bool
+
+	// snapScratch backs the TB slice of this SM's snapshots, reused
+	// across preemption-planning rounds.
+	snapScratch []gpu.TBSnapshot
 }
 
 // noteResidentChange maintains the busy-time account around a resident
@@ -96,9 +100,11 @@ func (h *handoverState) removeFrozen(tb *threadBlock) {
 }
 
 // snapshot captures the scheduler-visible state of the SM for cost
-// estimation.
+// estimation. The TB slice is scratch owned by the SM, valid until the
+// next snapshot of the same SM — the policy's Select reads it
+// synchronously and does not retain it.
 func (sm *smUnit) snapshot(now units.Cycles) gpu.SMSnapshot {
-	snap := gpu.SMSnapshot{SM: sm.id}
+	snap := gpu.SMSnapshot{SM: sm.id, TBs: sm.snapScratch[:0]}
 	for _, tb := range sm.resident {
 		run := tb.runCycles
 		if tb.phase == tbRunning && !tb.frozen && now > tb.startAt {
@@ -111,6 +117,7 @@ func (sm *smUnit) snapshot(now units.Cycles) gpu.SMSnapshot {
 			Breached:  tb.breachedAt(now),
 		})
 	}
+	sm.snapScratch = snap.TBs
 	return snap
 }
 
@@ -145,12 +152,14 @@ func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
 		sm.restoreTail = start
 		tb.needsRestore = false
 		sm.sim.trackTransfer(now, begin, start)
-		sm.sim.emit(trace.Event{At: now, Kind: trace.RestoreTB, Kernel: k.params.Label,
-			SM: int(sm.id), TB: tb.index,
-			Lat:   start - now,
-			Dur:   k.params.TBSwitchCycles(sm.sim.cfg),
-			Bytes: k.params.ContextBytesPerTB,
-			Detail: fmt.Sprintf("resume@%v", start)})
+		if sm.sim.tracing {
+			sm.sim.emit(trace.Event{At: now, Kind: trace.RestoreTB, Kernel: k.params.Label,
+				SM: int(sm.id), TB: tb.index,
+				Lat:   start - now,
+				Dur:   k.params.TBSwitchCycles(sm.sim.cfg),
+				Bytes: k.params.ContextBytesPerTB,
+				Detail: fmt.Sprintf("resume@%v", start)})
+		}
 	}
 	if tb.executed == 0 {
 		// Fresh run (first dispatch or re-execution after a flush).
@@ -171,15 +180,16 @@ func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
 }
 
 // scheduleEvents arms the completion and breach events of a running
-// block whose segment begins at start.
+// block whose segment begins at start. The callbacks are the block's
+// pooled closures — no allocation per segment.
 func (sm *smUnit) scheduleEvents(tb *threadBlock, start units.Cycles) {
 	q := &sm.sim.q
 	rem := tb.insts - tb.executed
 	doneAt := start + cyclesCeil(float64(rem)*tb.cpi)
-	tb.doneEv = q.Schedule(doneAt, func(now units.Cycles) { sm.sim.tbComplete(tb, now) })
+	tb.doneEv = q.Schedule(doneAt, tb.fireDone)
 	if !tb.breached && tb.executed < tb.breachInst && tb.breachInst < tb.insts {
 		breachAt := start + cyclesCeil(float64(tb.breachInst-tb.executed)*tb.cpi)
-		tb.breachEv = q.Schedule(breachAt, func(units.Cycles) { tb.breached = true })
+		tb.breachEv = q.Schedule(breachAt, tb.fireBreach)
 	}
 }
 
@@ -215,16 +225,23 @@ func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, stall, no
 		h.stallEv = sm.sim.q.Schedule(now+stall, func(at units.Cycles) { sm.stallExpired(h, at) })
 	}
 
-	techFor := make(map[int]preempt.Technique, len(plan.TBs))
-	for _, tp := range plan.TBs {
-		techFor[tp.Index] = tp.Technique
-	}
-
 	var saveCycles units.Cycles
-	// Iterate over a copy: flushing mutates sm.resident.
-	blocks := append([]*threadBlock(nil), sm.resident...)
+	// Iterate over a copy: flushing mutates sm.resident. The copy lives
+	// in the simulation's scratch buffer; no nested executePlan/escalate
+	// can run before this loop finishes (both only recurse through
+	// completeHandover, called after their loops).
+	blocks := append(sm.sim.planScratch[:0], sm.resident...)
+	sm.sim.planScratch = blocks
 	for _, tb := range blocks {
-		tech, ok := techFor[tb.index]
+		// Plans carry at most TBsPerSM entries, so a linear scan beats
+		// any map here.
+		tech, ok := preempt.Drain, false
+		for _, tp := range plan.TBs {
+			if tp.Index == tb.index {
+				tech, ok = tp.Technique, true
+				break
+			}
+		}
 		if !ok {
 			// A block that appeared after the snapshot (cannot happen:
 			// plans are built and executed at the same cycle) would be
@@ -246,8 +263,10 @@ func (sm *smUnit) executePlan(plan preempt.SMPlan, req *RequestRecord, stall, no
 			h.outstanding++
 			k.stats.Preemptions[preempt.Drain]++
 			req.mix[preempt.Drain]++
-			sm.sim.emit(trace.Event{At: now, Kind: trace.DrainTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
-				Insts: tb.executedAt(now), Dur: tb.remainingCycles(now)})
+			if sm.sim.tracing {
+				sm.sim.emit(trace.Event{At: now, Kind: trace.DrainTB, Kernel: k.params.Label, SM: int(sm.id), TB: tb.index,
+					Insts: tb.executedAt(now), Dur: tb.remainingCycles(now)})
+			}
 		case preempt.Switch:
 			tb.sync(now)
 			tb.frozen = true
@@ -305,8 +324,11 @@ func (sm *smUnit) escalate(now units.Cycles) bool {
 	k := sm.kernel
 	var batch []*threadBlock
 	var saveCycles units.Cycles
-	// Iterate over a copy: flushing mutates sm.resident.
-	for _, tb := range append([]*threadBlock(nil), sm.resident...) {
+	// Iterate over a copy: flushing mutates sm.resident (same scratch
+	// discipline as executePlan).
+	blocks := append(sm.sim.planScratch[:0], sm.resident...)
+	sm.sim.planScratch = blocks
+	for _, tb := range blocks {
 		if !tb.draining {
 			continue
 		}
@@ -418,7 +440,7 @@ func (sm *smUnit) completeHandover(now units.Cycles) {
 	}
 	sm.handover = nil
 	victim := sm.kernel
-	delete(victim.sms, sm.id)
+	victim.removeSM(sm)
 	sm.kernel = nil
 	sm.restoreTail = 0
 	wasComplete := h.req.Completed

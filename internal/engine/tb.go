@@ -56,6 +56,15 @@ type threadBlock struct {
 
 	doneEv   *eventq.Event
 	breachEv *eventq.Event
+
+	// fireDone/fireBreach are the block's event callbacks, created once
+	// when the struct is first allocated and kept across free-list
+	// recycling (they close over the struct pointer, whose identity
+	// persists). Re-arming a block's events this way costs zero closure
+	// allocations per execution segment — the engine's hottest
+	// allocation site before pooling.
+	fireDone   func(now units.Cycles)
+	fireBreach func(now units.Cycles)
 }
 
 // executedAt returns the block's warp-instruction counter at cycle now.

@@ -1,7 +1,26 @@
 // Package eventq implements the deterministic discrete-event queue that
 // drives the GPU simulation. Events are ordered by cycle; events at the
 // same cycle are delivered in insertion order (FIFO) so that simulation
-// outcomes do not depend on heap internals.
+// outcomes do not depend on queue internals.
+//
+// The queue is a bucketed calendar queue tuned for the simulation's
+// dominant access pattern — bursts of events landing on the same cycle
+// (a preemption plan freezes several blocks at once, a rebalance
+// schedules a batch of completions). Consecutive same-cycle schedules
+// share a bucket (an append-only FIFO slice), so a burst of B events
+// costs one heap operation instead of B. Scheduling a cycle other than
+// the most recent one opens a fresh bucket even if that cycle already
+// has one: buckets carry a creation sequence number and the heap orders
+// by (cycle, sequence), which keeps FIFO within a cycle exact — every
+// event in an earlier bucket was scheduled before every event in a
+// later one — without any cycle-indexed map. Bucket shells live in an
+// index-addressed slab, so the min-heap holds plain value triples with
+// no pointers: comparisons never dereference, swaps never take a write
+// barrier. Event structs are carved from chunked arenas and exhausted
+// bucket shells are recycled on a free list, so steady-state scheduling
+// allocates (amortized) nothing. All pooling is per-queue — and
+// therefore per-simulation — which keeps runs bit-identical and
+// memoizable: no state crosses from one job to the next.
 package eventq
 
 import "chimera/internal/units"
@@ -11,35 +30,112 @@ import "chimera/internal/units"
 type Event struct {
 	At     units.Cycles
 	Fire   func(now units.Cycles)
-	seq    uint64
-	index  int
 	staled bool
+	fired  bool
 }
 
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.staled }
 
+// bucket holds a run of consecutively scheduled events of one cycle in
+// insertion (FIFO) order. head is the next dispatch position; entries
+// before it have already been delivered or skipped as stale.
+type bucket struct {
+	events []*Event
+	head   int
+}
+
+// heapEntry is one occupied bucket in the min-heap: its cycle, its
+// creation sequence (the within-cycle FIFO tie-break) and its slab
+// index. Pure values — heap operations touch no pointers.
+type heapEntry struct {
+	at  units.Cycles
+	seq uint64
+	idx int32
+}
+
+// arenaChunk is the number of Event structs allocated at once. One
+// chunk allocation amortizes over this many Schedule calls.
+const arenaChunk = 256
+
 // Queue is a time-ordered event queue. The zero value is ready to use.
 type Queue struct {
-	heap []*Event
-	seq  uint64
+	// heap is a min-heap over the occupied buckets, ordered by cycle
+	// then creation sequence.
+	heap []heapEntry
+	// buckets is the slab the heap indexes into; freeIdx recycles
+	// exhausted shells (and their event slices).
+	buckets []bucket
+	freeIdx []int32
+	// lastIdx/lastAt cache the most recently opened bucket (index+1; 0
+	// means none): a same-cycle burst appends without a heap operation.
+	lastIdx int32
+	lastAt  units.Cycles
+	// seq numbers buckets in creation order for the FIFO tie-break.
+	seq uint64
+
+	// live counts pending (scheduled, not yet fired, not cancelled)
+	// events so Len is O(1) — it is called on cancellation drain paths.
+	live int
 	now  units.Cycles
+
+	// arena is the current Event chunk; arenaUsed its fill level.
+	// Handles returned by Schedule stay valid forever (chunks are never
+	// reused), they just stop costing one allocation each.
+	arena     []Event
+	arenaUsed int
 }
 
 // Now returns the current simulation time: the fire time of the most
 // recently dispatched event.
 func (q *Queue) Now() units.Cycles { return q.now }
 
-// Len returns the number of pending (non-cancelled) events. Cancelled
-// events still occupy the heap until popped but are not counted.
-func (q *Queue) Len() int {
-	n := 0
-	for _, e := range q.heap {
-		if !e.staled {
-			n++
-		}
+// Len returns the number of pending (non-cancelled) events. It is O(1):
+// the queue keeps a live counter instead of scanning for stale entries.
+func (q *Queue) Len() int { return q.live }
+
+// allocEvent carves one Event from the chunked arena.
+func (q *Queue) allocEvent(at units.Cycles, fire func(now units.Cycles)) *Event {
+	if q.arenaUsed == len(q.arena) {
+		q.arena = make([]Event, arenaChunk)
+		q.arenaUsed = 0
 	}
-	return n
+	e := &q.arena[q.arenaUsed]
+	q.arenaUsed++
+	*e = Event{At: at, Fire: fire}
+	return e
+}
+
+// openBucket recycles (or creates) an empty bucket shell and returns
+// its slab index.
+func (q *Queue) openBucket() int32 {
+	if n := len(q.freeIdx); n > 0 {
+		idx := q.freeIdx[n-1]
+		q.freeIdx = q.freeIdx[:n-1]
+		return idx
+	}
+	q.buckets = append(q.buckets, bucket{})
+	return int32(len(q.buckets) - 1)
+}
+
+// releaseMin retires the exhausted minimum bucket: its heap entry pops
+// and its shell goes back on the free list.
+func (q *Queue) releaseMin() {
+	idx := q.heap[0].idx
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	b := &q.buckets[idx]
+	clear(b.events)
+	b.events = b.events[:0]
+	b.head = 0
+	if q.lastIdx == idx+1 {
+		q.lastIdx = 0
+	}
+	q.freeIdx = append(q.freeIdx, idx)
 }
 
 // Schedule enqueues fire to run at cycle at. Scheduling in the past (at <
@@ -49,9 +145,21 @@ func (q *Queue) Schedule(at units.Cycles, fire func(now units.Cycles)) *Event {
 	if at < q.now {
 		panic("eventq: scheduling into the past")
 	}
-	e := &Event{At: at, Fire: fire, seq: q.seq}
-	q.seq++
-	q.push(e)
+	e := q.allocEvent(at, fire)
+	if li := q.lastIdx; li != 0 && q.lastAt == at {
+		b := &q.buckets[li-1]
+		b.events = append(b.events, e)
+	} else {
+		idx := q.openBucket()
+		b := &q.buckets[idx]
+		b.events = append(b.events, e)
+		q.seq++
+		q.heap = append(q.heap, heapEntry{at: at, seq: q.seq, idx: idx})
+		q.up(len(q.heap) - 1)
+		q.lastIdx = idx + 1
+		q.lastAt = at
+	}
+	q.live++
 	return e
 }
 
@@ -61,27 +169,51 @@ func (q *Queue) ScheduleAfter(delay units.Cycles, fire func(now units.Cycles)) *
 }
 
 // Cancel removes an event from the queue if it has not fired. Cancelling
-// is O(1): the event is marked stale and discarded when it reaches the
-// top of the heap.
+// is O(1): the event is marked stale and skipped when its bucket drains.
 func (q *Queue) Cancel(e *Event) {
-	if e != nil {
-		e.staled = true
+	if e == nil || e.staled {
+		return
 	}
+	e.staled = true
+	if !e.fired {
+		q.live--
+	}
+}
+
+// peek returns the next pending event without dispatching it, skipping
+// (and discarding) stale entries and exhausted buckets along the way.
+func (q *Queue) peek() *Event {
+	for len(q.heap) > 0 {
+		b := &q.buckets[q.heap[0].idx]
+		for b.head < len(b.events) {
+			if e := b.events[b.head]; !e.staled {
+				return e
+			}
+			b.head++
+		}
+		q.releaseMin()
+	}
+	return nil
 }
 
 // Step dispatches the next pending event and returns true, or returns
 // false when the queue is empty.
 func (q *Queue) Step() bool {
-	for len(q.heap) > 0 {
-		e := q.pop()
-		if e.staled {
-			continue
-		}
-		q.now = e.At
-		e.Fire(e.At)
-		return true
+	e := q.peek()
+	if e == nil {
+		return false
 	}
-	return false
+	// peek left the event at the minimum bucket's head.
+	b := &q.buckets[q.heap[0].idx]
+	b.head++
+	if b.head == len(b.events) {
+		q.releaseMin()
+	}
+	e.fired = true
+	q.live--
+	q.now = e.At
+	e.Fire(e.At)
+	return true
 }
 
 // RunUntil dispatches events until the queue is exhausted or the next
@@ -126,11 +258,19 @@ func (q *Queue) RunUntilDone(limit units.Cycles, done <-chan struct{}) (n int, c
 // empty at the current time. It is the cleanup step of an abandoned
 // (cancelled) simulation: no callback fires, no event survives.
 func (q *Queue) Clear() {
-	for _, e := range q.heap {
-		e.staled = true
-		e.index = -1
+	for _, he := range q.heap {
+		b := &q.buckets[he.idx]
+		for _, e := range b.events[b.head:] {
+			e.staled = true
+		}
+		clear(b.events)
+		b.events = b.events[:0]
+		b.head = 0
+		q.freeIdx = append(q.freeIdx, he.idx)
 	}
-	q.heap = nil
+	q.heap = q.heap[:0]
+	q.lastIdx = 0
+	q.live = 0
 }
 
 // Run dispatches events until the queue is empty and returns the number
@@ -143,59 +283,21 @@ func (q *Queue) Run() int {
 	return n
 }
 
-func (q *Queue) peek() *Event {
-	for len(q.heap) > 0 {
-		e := q.heap[0]
-		if !e.staled {
-			return e
-		}
-		q.pop()
-	}
-	return nil
-}
-
-// less orders events by time, breaking ties by insertion sequence so that
-// same-cycle events fire in the order they were scheduled.
-func (q *Queue) less(i, j int) bool {
-	a, b := q.heap[i], q.heap[j]
-	if a.At != b.At {
-		return a.At < b.At
-	}
-	return a.seq < b.seq
-}
-
-func (q *Queue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.heap[i].index = i
-	q.heap[j].index = j
-}
-
-func (q *Queue) push(e *Event) {
-	e.index = len(q.heap)
-	q.heap = append(q.heap, e)
-	q.up(e.index)
-}
-
-func (q *Queue) pop() *Event {
-	n := len(q.heap) - 1
-	q.swap(0, n)
-	e := q.heap[n]
-	q.heap[n] = nil
-	q.heap = q.heap[:n]
-	if n > 0 {
-		q.down(0)
-	}
-	e.index = -1
-	return e
+// less orders heap entries by cycle, then by bucket creation sequence:
+// a bucket opened earlier holds only events scheduled before every
+// event of a later bucket at the same cycle, so (cycle, sequence) plus
+// in-bucket append order is exactly global FIFO within a cycle.
+func (q *Queue) less(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 func (q *Queue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !q.less(q.heap[i], q.heap[parent]) {
 			break
 		}
-		q.swap(i, parent)
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
 		i = parent
 	}
 }
@@ -208,13 +310,13 @@ func (q *Queue) down(i int) {
 			break
 		}
 		smallest := left
-		if right := left + 1; right < n && q.less(right, left) {
+		if right := left + 1; right < n && q.less(q.heap[right], q.heap[left]) {
 			smallest = right
 		}
-		if !q.less(smallest, i) {
+		if !q.less(q.heap[smallest], q.heap[i]) {
 			break
 		}
-		q.swap(i, smallest)
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
 		i = smallest
 	}
 }

@@ -20,9 +20,18 @@ type frame struct {
 
 // newCursor starts at the top of the program.
 func newCursor(p *kernelir.Program) *cursor {
-	c := &cursor{frames: []frame{{body: p.Body, idx: 0, iter: 1}}}
-	c.descend()
+	c := &cursor{}
+	c.init(p)
 	return c
+}
+
+// init (re)positions the cursor at the top of the program, reusing the
+// frame stack's capacity. It lets callers embed cursors by value — one
+// warp array instead of a pointer and a frames slice per warp.
+func (c *cursor) init(p *kernelir.Program) {
+	c.frames = append(c.frames[:0], frame{body: p.Body, idx: 0, iter: 1})
+	c.rep = 0
+	c.descend()
 }
 
 // descend moves past exhausted frames and into loops until the cursor

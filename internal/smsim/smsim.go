@@ -106,9 +106,11 @@ func (r Result) CPI() float64 {
 	return float64(r.Cycles) / float64(r.Insts)
 }
 
-// warpState is one warp's execution cursor and hazard state.
+// warpState is one warp's execution cursor and hazard state. Warps are
+// stored by value in one contiguous array (the cursor is embedded), so
+// the per-cycle scans walk linear memory instead of chasing pointers.
 type warpState struct {
-	cursor *cursor
+	cursor cursor
 	// block is the thread block the warp belongs to (barriers are
 	// block-scoped).
 	block int
@@ -146,37 +148,47 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	warps := make([]*warpState, cfg.Warps*nBlocks)
+	// Warps live in one value array (cursors embedded): the per-cycle
+	// scans below walk contiguous memory, and setup costs one allocation
+	// instead of two per warp.
+	warps := make([]warpState, cfg.Warps*nBlocks)
 	for i := range warps {
-		warps[i] = &warpState{cursor: newCursor(p), block: i / cfg.Warps, pendingLoad: -1}
+		w := &warps[i]
+		w.block = i / cfg.Warps
+		w.pendingLoad = -1
+		w.cursor.init(p)
 	}
 
 	var res Result
 	var now int64
 	outstanding := 0
 	barrierParked := make([]int, nBlocks)
+	// live counts the not-done warps per block, and liveTotal across
+	// blocks, maintained incrementally as warps retire — the inner loop
+	// never recounts (or reallocates) them.
+	live := make([]int, nBlocks)
+	for b := range live {
+		live[b] = cfg.Warps
+	}
+	liveTotal := len(warps)
 	rr := 0 // round-robin pointer
 
 	for {
 		// Retire completed loads at the current cycle.
-		for _, w := range warps {
+		for i := range warps {
+			w := &warps[i]
 			if w.pendingLoad >= 0 && w.pendingLoad <= now {
 				w.pendingLoad = -1
 				outstanding--
 			}
 		}
 		// Release a block's barrier once every live warp of the block
-		// reached it (barriers are intra-block, §2.1).
-		live := make([]int, nBlocks)
-		for _, w := range warps {
-			if !w.done {
-				live[w.block]++
-			}
-		}
+		// reached it (barriers are intra-block, §2.1). Block b's warps
+		// are the contiguous run [b·Warps, (b+1)·Warps).
 		for b := 0; b < nBlocks; b++ {
 			if live[b] > 0 && barrierParked[b] == live[b] {
-				for _, w := range warps {
-					if w.block == b && w.atBarrier {
+				for i := b * cfg.Warps; i < (b+1)*cfg.Warps; i++ {
+					if w := &warps[i]; w.atBarrier {
 						w.atBarrier = false
 						w.cursor.advance()
 					}
@@ -188,17 +200,25 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 		// Issue up to IssueWidth instructions from ready warps.
 		issuedThisCycle := 0
 		for scan := 0; scan < len(warps) && issuedThisCycle < cfg.IssueWidth; scan++ {
-			w := warps[(rr+scan)%len(warps)]
+			i := rr + scan
+			if i >= len(warps) {
+				i -= len(warps)
+			}
+			w := &warps[i]
 			if w.done || w.atBarrier || w.readyAt > now || w.pendingLoad >= 0 {
 				continue
 			}
 			in, ok := w.cursor.peek()
 			if !ok {
 				w.done = true
+				live[w.block]--
+				liveTotal--
 				continue
 			}
 			if cfg.MaxInstsPerWarp > 0 && w.issued >= cfg.MaxInstsPerWarp {
 				w.done = true
+				live[w.block]--
+				liveTotal--
 				res.Truncated = true
 				continue
 			}
@@ -238,17 +258,13 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 			}
 			w.cursor.advance()
 		}
-		rr = (rr + 1) % len(warps)
+		rr++
+		if rr == len(warps) {
+			rr = 0
+		}
 
 		// Termination: every warp done.
-		alive := false
-		for _, w := range warps {
-			if !w.done {
-				alive = true
-				break
-			}
-		}
-		if !alive {
+		if liveTotal == 0 {
 			res.Cycles = units.Cycles(now)
 			return res, nil
 		}
@@ -256,38 +272,30 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 		if issuedThisCycle == 0 {
 			// Fast-forward to the next cycle anything can change.
 			next := int64(-1)
-			consider := func(t int64) {
-				if t > now && (next < 0 || t < next) {
-					next = t
-				}
-			}
-			for _, w := range warps {
+			for i := range warps {
+				w := &warps[i]
 				if w.done {
 					continue
 				}
 				if w.pendingLoad >= 0 {
-					consider(w.pendingLoad)
+					if w.pendingLoad > now && (next < 0 || w.pendingLoad < next) {
+						next = w.pendingLoad
+					}
 				} else if !w.atBarrier {
-					consider(w.readyAt)
+					if w.readyAt > now && (next < 0 || w.readyAt < next) {
+						next = w.readyAt
+					}
 				}
 			}
 			if next < 0 {
 				// No timed event pending. If some block has every live
 				// warp parked at its barrier, the release happens at the
-				// top of the next loop pass without time advancing.
-				parked := make([]int, nBlocks)
-				liveNow := make([]int, nBlocks)
-				for _, w := range warps {
-					if w.atBarrier {
-						parked[w.block]++
-					}
-					if !w.done {
-						liveNow[w.block]++
-					}
-				}
+				// top of the next loop pass without time advancing. The
+				// live/parked counters are already maintained, so this
+				// check costs one pass over the blocks.
 				releasable := false
 				for b := 0; b < nBlocks; b++ {
-					if liveNow[b] > 0 && parked[b] == liveNow[b] {
+					if live[b] > 0 && barrierParked[b] == live[b] {
 						releasable = true
 					}
 				}
