@@ -7,7 +7,7 @@ GO ?= go
 # when not, since offline containers cannot fetch it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test short cover bench bench-all benchdiff verify-identical race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke replay-smoke clean
+.PHONY: all build test short cover bench bench-all benchdiff verify-identical race results quick-results fuzz fuzz-smoke examples vet lint docs-check serve-smoke replay-smoke fleet-smoke clean
 
 all: build test
 
@@ -51,6 +51,7 @@ bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkSimulation|BenchmarkSelect|BenchmarkAnalyze|BenchmarkSimjobPool)$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_core.json
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineHot$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
 	$(GO) test -run '^$$' -bench '^BenchmarkEventQ' -benchmem -count=1 ./internal/eventq/ | $(GO) run ./cmd/benchjson -out BENCH_eventq.json
+	$(GO) test -run '^$$' -bench '^BenchmarkFleet' -benchmem -count=1 ./internal/cluster/ | $(GO) run ./cmd/benchjson -out BENCH_cluster.json
 
 # Non-regression gate: rerun the baseline benchmarks into a scratch
 # directory and compare against the checked-in BENCH_*.json with
@@ -64,10 +65,12 @@ benchdiff:
 	$(GO) test -run '^$$' -bench '^(BenchmarkSimulation|BenchmarkSelect|BenchmarkAnalyze|BenchmarkSimjobPool)$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/core.json
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineHot$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/engine.json
 	$(GO) test -run '^$$' -bench '^BenchmarkEventQ' -benchmem -count=1 ./internal/eventq/ | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/eventq.json
+	$(GO) test -run '^$$' -bench '^BenchmarkFleet' -benchmem -count=1 ./internal/cluster/ | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/cluster.json
 	$(GO) run ./cmd/benchdiff \
 		BENCH_core.json $(BENCHDIFF_DIR)/core.json \
 		BENCH_engine.json $(BENCHDIFF_DIR)/engine.json \
-		BENCH_eventq.json $(BENCHDIFF_DIR)/eventq.json
+		BENCH_eventq.json $(BENCHDIFF_DIR)/eventq.json \
+		BENCH_cluster.json $(BENCHDIFF_DIR)/cluster.json
 
 # Metamorphic identity gate: the quick exhibit sweep must be
 # bit-reproducible (two runs byte-identical) and must still match the
@@ -108,7 +111,7 @@ quick-results:
 # cross-linked from README and DESIGN.
 docs-check:
 	$(GO) build ./examples/...
-	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults ./internal/jobspec ./internal/replay
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults ./internal/jobspec ./internal/replay ./internal/cluster
 	@test -f docs/static-analysis.md || { echo "docs/static-analysis.md is missing"; exit 1; }
 	@test -f docs/faults.md || { echo "docs/faults.md is missing"; exit 1; }
 	@test -f docs/jobs.md || { echo "docs/jobs.md is missing"; exit 1; }
@@ -123,6 +126,9 @@ docs-check:
 	@grep -q "jobspec" DESIGN.md || { echo "DESIGN.md does not reference the jobspec layer"; exit 1; }
 	@grep -q "jobspec" docs/paper-map.md || { echo "docs/paper-map.md does not reference the jobspec layer"; exit 1; }
 	@grep -q "performance.md" docs/paper-map.md || { echo "docs/paper-map.md does not reference docs/performance.md"; exit 1; }
+	@test -f docs/cluster.md || { echo "docs/cluster.md is missing"; exit 1; }
+	@grep -q "cluster.md" docs/server.md || { echo "docs/server.md does not link docs/cluster.md"; exit 1; }
+	@grep -q "docs/cluster.md" README.md || { echo "README.md does not link docs/cluster.md"; exit 1; }
 
 # End-to-end service smoke: boot chimerad on a random port, drive the
 # full client path (submit, poll, cancel, scrape /metrics), then SIGTERM
@@ -139,6 +145,17 @@ replay-smoke:
 	$(GO) build -o bin/chimerad ./cmd/chimerad
 	$(GO) build -o bin/chimerareplay ./cmd/chimerareplay
 	$(GO) run ./cmd/replaysmoke -daemon bin/chimerad -replay bin/chimerareplay
+
+# End-to-end fleet smoke: boot two chimerad replicas (peer cache armed)
+# plus a chimerafront on random ports, drive a duplicate-heavy workload
+# through the front and check the fleet-as-one-cache arithmetic, then a
+# chaos leg that arms one replica's HTTP fault plane and SIGTERMs it
+# mid-run — the front must fail its ring range over with zero failed
+# jobs. See docs/cluster.md.
+fleet-smoke:
+	$(GO) build -o bin/chimerad ./cmd/chimerad
+	$(GO) build -o bin/chimerafront ./cmd/chimerafront
+	$(GO) run ./cmd/fleetsmoke -chimerad bin/chimerad -front bin/chimerafront
 
 # Fuzz the kernel-IR parser for 30 seconds.
 fuzz:

@@ -27,6 +27,11 @@
 //	                 jobspec.TraceRecord per admitted job at its
 //	                 terminal state; docs/jobs.md) — the input of
 //	                 chimerareplay
+//	-peers LIST      comma-separated base URLs of every fleet replica
+//	                 (including this one); arms the cluster peer
+//	                 result-cache (docs/cluster.md)
+//	-self URL        this replica's own advertised base URL (required
+//	                 with -peers; never consulted as a peer)
 //
 // Deterministic fault injection (docs/faults.md) is armed by the
 // -fault-* flags; all rates are probabilities in [0,1] and a zero rate
@@ -64,9 +69,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"chimera/internal/cluster"
 	"chimera/internal/faults"
 	"chimera/internal/server"
 )
@@ -82,6 +89,8 @@ type options struct {
 	watchdogK   float64
 	retryBudget int
 	record      string
+	peers       string
+	self        string
 	faults      faults.Config
 }
 
@@ -96,6 +105,8 @@ func main() {
 	flag.Float64Var(&o.watchdogK, "watchdog", 0, "arm the engine preemption watchdog at K× a request's estimated latency (0 = off)")
 	flag.IntVar(&o.retryBudget, "retry-budget", 0, "re-execute a job up to N times when its run panicked")
 	flag.StringVar(&o.record, "record", "", "append a JSONL workload trace of admitted jobs to FILE")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated base URLs of every fleet replica (arms the cluster peer cache)")
+	flag.StringVar(&o.self, "self", "", "this replica's advertised base URL (required with -peers)")
 	flag.Uint64Var(&o.faults.Seed, "fault-seed", 0, "fault-injection decision seed")
 	flag.Float64Var(&o.faults.JobPanic, "fault-job-panic", 0, "simjob execution panic rate [0,1]")
 	flag.IntVar(&o.faults.MaxPanicsPerJob, "fault-panic-cap", 1, "max injected panics per distinct job (0 = no cap)")
@@ -133,6 +144,26 @@ func run(o options) error {
 		DefaultTimeout: o.timeout,
 		WatchdogK:      o.watchdogK,
 		RetryBudget:    o.retryBudget,
+	}
+	if o.peers != "" {
+		if o.self == "" {
+			return fmt.Errorf("-peers requires -self (this replica's advertised base URL)")
+		}
+		var peers []string
+		for _, p := range strings.Split(o.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		cfg.Cluster = &cluster.Node{
+			Self: o.self,
+			Ring: cluster.NewRing(peers, 0),
+			// Peer fetches sit on the job hot path; a short transport
+			// deadline on top of the server's PeerTimeout keeps a dead
+			// peer from ever stalling admission.
+			Fetch: cluster.NewHTTPFetch(&http.Client{Timeout: time.Second}),
+		}
+		fmt.Printf("chimerad cluster ring over %d replicas (self %s)\n", cfg.Cluster.Ring.Len(), o.self)
 	}
 	var plan *faults.Plan
 	if faultsArmed(o.faults) {

@@ -28,11 +28,15 @@
 //
 // Usage:
 //
-//	chimeraload -addr HOST:PORT [flags]
+//	chimeraload -addr HOST:PORT [-addr HOST:PORT ...] [flags]
 //
 // Flags:
 //
-//	-addr HOST:PORT  chimerad address (required)
+//	-addr HOST:PORT  chimerad or chimerafront address; repeat the flag
+//	                 to spread jobs round-robin over several targets
+//	                 (direct replicas, or several fronts) — the report
+//	                 then includes a per-target latency table
+//	                 (at least one required)
 //	-n N             total jobs to run (default 200)
 //	-c N             closed loop: concurrent clients (default 8)
 //	-arrival A       arrival process: closed, poisson or bursty
@@ -59,6 +63,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,9 +75,34 @@ import (
 	"chimera/internal/server/client"
 )
 
+// addrList collects repeated -addr flags.
+type addrList []string
+
+// String renders the accumulated list (flag.Value contract).
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+
+// Set appends one -addr occurrence (flag.Value contract).
+func (a *addrList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty address")
+	}
+	*a = append(*a, v)
+	return nil
+}
+
+// baseURL accepts both the documented HOST:PORT form and a full
+// http(s):// base URL (the form chimerad/chimerafront print and the
+// fleet docs use for replica lists).
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
 // options carries the flag-settable knobs into the run functions.
 type options struct {
-	addr     string
+	addrs    addrList
 	n        int
 	conc     int
 	arrival  string
@@ -88,7 +118,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.addr, "addr", "", "chimerad address (host:port, required)")
+	flag.Var(&o.addrs, "addr", "chimerad or chimerafront address (host:port or http://base URL); repeatable for round-robin fan-out")
 	flag.IntVar(&o.n, "n", 200, "total jobs to run")
 	flag.IntVar(&o.conc, "c", 8, "closed loop: concurrent clients")
 	flag.StringVar(&o.arrival, "arrival", "closed", "arrival process: closed, poisson or bursty")
@@ -102,8 +132,8 @@ func main() {
 	flag.BoolVar(&o.distinct, "distinct", true, "vary each job's seed so every job simulates")
 	flag.Parse()
 
-	if o.addr == "" {
-		fmt.Fprintln(os.Stderr, "chimeraload: -addr is required")
+	if len(o.addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "chimeraload: at least one -addr is required")
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
@@ -167,26 +197,34 @@ func arrivalGaps(process string, n int, rate float64, seed uint64) ([]time.Durat
 	return gaps, nil
 }
 
-// loadStats aggregates one run's outcomes across worker goroutines.
+// loadStats aggregates one run's outcomes across worker goroutines,
+// both fleet-wide and split per -addr target.
 type loadStats struct {
-	hist    *metrics.Histogram
-	deduped atomic.Int64
-	failed  atomic.Int64
-	errMu   sync.Mutex
-	err     error
+	hist      *metrics.Histogram
+	perTarget []*metrics.Histogram
+	deduped   atomic.Int64
+	failed    atomic.Int64
+	errMu     sync.Mutex
+	err       error
 }
 
-func newLoadStats() *loadStats {
-	return &loadStats{
-		// Service latency in milliseconds through the repo's own
-		// fixed-bucket histogram (the same estimator behind the engine's
-		// latency exhibits).
+func newLoadStats(targets int) *loadStats {
+	// Service latency in milliseconds through the repo's own
+	// fixed-bucket histogram (the same estimator behind the engine's
+	// latency exhibits).
+	s := &loadStats{
 		hist: metrics.NewHistogram("load/latency_ms", "ms", metrics.ExpBuckets(0.25, 1.5, 32)),
 	}
+	for i := 0; i < targets; i++ {
+		s.perTarget = append(s.perTarget,
+			metrics.NewHistogram(fmt.Sprintf("load/latency_ms_t%d", i), "ms", metrics.ExpBuckets(0.25, 1.5, 32)))
+	}
+	return s
 }
 
-// note records one job outcome (thread-safe).
-func (s *loadStats) note(i int64, st server.JobStatus, lat time.Duration, err error) {
+// note records one job outcome (thread-safe). target is the index into
+// the -addr list the job was submitted to.
+func (s *loadStats) note(i int64, target int, st server.JobStatus, lat time.Duration, err error) {
 	switch {
 	case err != nil:
 		s.failed.Add(1)
@@ -195,7 +233,9 @@ func (s *loadStats) note(i int64, st server.JobStatus, lat time.Duration, err er
 		if st.Deduped {
 			s.deduped.Add(1)
 		}
-		s.hist.Observe(float64(lat) / float64(time.Millisecond))
+		ms := float64(lat) / float64(time.Millisecond)
+		s.hist.Observe(ms)
+		s.perTarget[target].Observe(ms)
 	default:
 		s.failed.Add(1)
 		s.setErr(fmt.Errorf("job %d finished %s: %s", i, st.State, st.Error))
@@ -218,8 +258,11 @@ func run(o options) error {
 	if o.conc > o.n {
 		o.conc = o.n
 	}
-	c := client.New("http://" + o.addr)
-	stats := newLoadStats()
+	clients := make([]*client.Client, len(o.addrs))
+	for i, a := range o.addrs {
+		clients[i] = client.New(baseURL(a))
+	}
+	stats := newLoadStats(len(clients))
 
 	var rec *jobspec.TraceWriter
 	if o.record != "" {
@@ -234,9 +277,9 @@ func run(o options) error {
 	start := time.Now()
 	var err error
 	if o.arrival == "closed" {
-		err = runClosed(o, c, stats, rec, start)
+		err = runClosed(o, clients, stats, rec, start)
 	} else {
-		err = runOpen(o, c, stats, rec)
+		err = runOpen(o, clients, stats, rec)
 	}
 	if err != nil {
 		return err
@@ -253,6 +296,14 @@ func run(o options) error {
 		fmt.Printf("               %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
 			stats.hist.Quantile(0.50), stats.hist.Quantile(0.95), stats.hist.Quantile(0.99),
 			stats.hist.Mean(), stats.hist.Max())
+	}
+	if len(o.addrs) > 1 {
+		fmt.Println("  per-target latency(ms)           p50        p95        p99        jobs")
+		for t, a := range o.addrs {
+			h := stats.perTarget[t]
+			fmt.Printf("    %-28s %-10.3f %-10.3f %-10.3f %d\n",
+				a, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Count())
+		}
 	}
 	if rec != nil {
 		fmt.Printf("  recorded %d trace records to %s\n", rec.Count(), o.record)
@@ -292,8 +343,9 @@ func record(rec *jobspec.TraceWriter, i int64, arrival time.Duration, spec jobsp
 }
 
 // runClosed is the saturation probe: conc clients, each re-submitting
-// as soon as its previous job finishes.
-func runClosed(o options, c *client.Client, stats *loadStats, rec *jobspec.TraceWriter, start time.Time) error {
+// as soon as its previous job finishes. Job i goes to target i mod
+// len(clients), so the round-robin split is deterministic.
+func runClosed(o options, clients []*client.Client, stats *loadStats, rec *jobspec.TraceWriter, start time.Time) error {
 	ctx := context.Background()
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -306,11 +358,12 @@ func runClosed(o options, c *client.Client, stats *loadStats, rec *jobspec.Trace
 				if i >= int64(o.n) {
 					return
 				}
+				target := int(i) % len(clients)
 				spec := o.specFor(i)
 				arrival := time.Since(start)
 				t0 := time.Now()
-				st, err := c.SubmitWait(ctx, spec)
-				stats.note(i, st, time.Since(t0), err)
+				st, err := clients[target].SubmitWait(ctx, spec)
+				stats.note(i, target, st, time.Since(t0), err)
 				record(rec, i, arrival, spec, st, err)
 			}
 		}()
@@ -322,7 +375,7 @@ func runClosed(o options, c *client.Client, stats *loadStats, rec *jobspec.Trace
 // runOpen fires jobs on the precomputed deterministic arrival schedule
 // regardless of how fast the server keeps up, and waits for the
 // stragglers at the end.
-func runOpen(o options, c *client.Client, stats *loadStats, rec *jobspec.TraceWriter) error {
+func runOpen(o options, clients []*client.Client, stats *loadStats, rec *jobspec.TraceWriter) error {
 	gaps, err := arrivalGaps(o.arrival, o.n, o.rate, o.seed)
 	if err != nil {
 		return err
@@ -336,10 +389,11 @@ func runOpen(o options, c *client.Client, stats *loadStats, rec *jobspec.TraceWr
 		wg.Add(1)
 		go func(i int64, arrival time.Duration) {
 			defer wg.Done()
+			target := int(i) % len(clients)
 			spec := o.specFor(i)
 			t0 := time.Now()
-			st, err := c.SubmitWait(ctx, spec)
-			stats.note(i, st, time.Since(t0), err)
+			st, err := clients[target].SubmitWait(ctx, spec)
+			stats.note(i, target, st, time.Since(t0), err)
 			record(rec, i, arrival, spec, st, err)
 		}(int64(i), arrival)
 	}

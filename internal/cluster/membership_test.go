@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestMembershipMarks(t *testing.T) {
+	m := NewMembership([]string{"http://b", "http://a", "http://a"})
+	if got, want := m.Members(), []string{"http://a", "http://b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members() = %v, want %v", got, want)
+	}
+	if !m.IsAlive("http://a") || !m.IsAlive("http://b") {
+		t.Fatal("fresh view must presume every member alive")
+	}
+	if m.IsAlive("http://nope") {
+		t.Fatal("unknown members must not be alive")
+	}
+
+	m.MarkDown("http://a")
+	if m.IsAlive("http://a") {
+		t.Fatal("MarkDown did not stick")
+	}
+	if got, want := m.Alive(), []string{"http://b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Alive() = %v, want %v", got, want)
+	}
+	m.MarkUp("http://a")
+	if !m.IsAlive("http://a") {
+		t.Fatal("MarkUp did not revive")
+	}
+}
+
+func TestMembershipProbeOnce(t *testing.T) {
+	m := NewMembership([]string{"http://a", "http://b", "http://c"})
+	dead := map[string]bool{"http://b": true}
+	probe := func(_ context.Context, member string) error {
+		if dead[member] {
+			return errors.New("down")
+		}
+		return nil
+	}
+	if got := m.ProbeOnce(context.Background(), probe); got != 1 {
+		t.Fatalf("ProbeOnce reported %d down, want 1", got)
+	}
+	if got, want := m.Alive(), []string{"http://a", "http://c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Alive() after probe = %v, want %v", got, want)
+	}
+
+	// Recovery on the next round, including a member MarkDown'd on
+	// demand in between.
+	m.MarkDown("http://c")
+	dead = map[string]bool{}
+	if got := m.ProbeOnce(context.Background(), probe); got != 0 {
+		t.Fatalf("ProbeOnce reported %d down, want 0", got)
+	}
+	if got := m.Alive(); len(got) != 3 {
+		t.Fatalf("Alive() after recovery = %v, want all 3", got)
+	}
+}

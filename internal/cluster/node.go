@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// CachePathPrefix is the peer result-cache route every replica serves:
+// GET {replica}/internal/cache/{hash} answers 200 with the finished
+// JobResult JSON when the replica holds a completed result for that
+// jobspec content hash, and 404 otherwise. The route never computes
+// anything — it is a pure read of the replica's finished-result index.
+const CachePathPrefix = "/internal/cache/"
+
+// ErrCacheMiss reports that a consulted peer does not hold the result
+// (an HTTP 404 from the peer-cache route).
+var ErrCacheMiss = errors.New("cluster: peer cache miss")
+
+// FetchFunc retrieves the finished result for one jobspec hash from
+// one member's peer cache. It returns ErrCacheMiss when the member
+// answers 404 and a transport or status error otherwise; NewHTTPFetch
+// is the production implementation, tests inject fakes.
+type FetchFunc func(ctx context.Context, member, hash string) ([]byte, error)
+
+// NewHTTPFetch returns a FetchFunc speaking the HTTP peer-cache
+// protocol against member base URLs ("http://host:port"). The caller
+// bounds each fetch through ctx — peer-cache reads sit on the job hot
+// path, so daemons wrap them in a short deadline and treat any error
+// as a miss.
+func NewHTTPFetch(hc *http.Client) FetchFunc {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return func(ctx context.Context, member, hash string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+CachePathPrefix+hash, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+		case http.StatusNotFound:
+			return nil, ErrCacheMiss
+		default:
+			return nil, fmt.Errorf("cluster: peer cache %s: unexpected status %d", member, resp.StatusCode)
+		}
+	}
+}
+
+// Node is one replica's view of the fleet: its own advertised base
+// URL, the shared ring, and the fetch transport. A server configured
+// with a Node consults the hash-owner's peer cache before recomputing
+// a job another replica already finished, so a fleet of N approximates
+// one shared memoizing cache. Every field is immutable after
+// construction.
+type Node struct {
+	// Self is this replica's advertised base URL; Lookup never
+	// consults it (its results are already local).
+	Self string
+	// Ring maps jobspec hashes to owning members. All replicas and the
+	// front build the ring from the same seed list, so they agree on
+	// ownership without coordination.
+	Ring *Ring
+	// Fetch retrieves one hash from one member's peer cache.
+	Fetch FetchFunc
+	// MaxPeers bounds how many members of the hash's failover sequence
+	// are consulted (0 = 1, the owner alone). 2 additionally covers the
+	// owner-died-and-successor-recomputed case at the cost of one more
+	// round trip on a true miss.
+	MaxPeers int
+}
+
+// Lookup asks the hash-owner peers for a finished result. It returns
+// the payload and the member that served it; ErrCacheMiss when every
+// consulted peer missed; and the last transport error when one peer
+// failed and none hit. Self is skipped — a nil error never means
+// "compute anyway", and any error means exactly that.
+func (n *Node) Lookup(ctx context.Context, hash string) (payload []byte, from string, err error) {
+	if n == nil || n.Ring == nil || n.Fetch == nil {
+		return nil, "", ErrCacheMiss
+	}
+	max := n.MaxPeers
+	if max <= 0 {
+		max = 1
+	}
+	err = ErrCacheMiss
+	consulted := 0
+	for _, member := range n.Ring.Sequence(hash) {
+		if member == n.Self {
+			continue
+		}
+		if consulted >= max {
+			break
+		}
+		consulted++
+		b, ferr := n.Fetch(ctx, member, hash)
+		if ferr == nil {
+			return b, member, nil
+		}
+		if !errors.Is(ferr, ErrCacheMiss) {
+			err = ferr
+		}
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+	}
+	return nil, "", err
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// fakeFetch builds a FetchFunc over a static member→payload table and
+// records the consultation order.
+func fakeFetch(table map[string][]byte, errs map[string]error, calls *[]string) FetchFunc {
+	return func(_ context.Context, member, hash string) ([]byte, error) {
+		*calls = append(*calls, member)
+		if err := errs[member]; err != nil {
+			return nil, err
+		}
+		if b, ok := table[member]; ok {
+			return b, nil
+		}
+		return nil, ErrCacheMiss
+	}
+}
+
+func testNode(self string, fetch FetchFunc, maxPeers int) *Node {
+	return &Node{
+		Self:     self,
+		Ring:     NewRing([]string{"http://a", "http://b", "http://c"}, 0),
+		Fetch:    fetch,
+		MaxPeers: maxPeers,
+	}
+}
+
+func TestNodeLookupHit(t *testing.T) {
+	var calls []string
+	hash := "deadbeef00000001"
+	n := testNode("http://self-not-on-ring",
+		fakeFetch(map[string][]byte{
+			"http://a": []byte(`{"a":1}`),
+			"http://b": []byte(`{"b":1}`),
+			"http://c": []byte(`{"c":1}`),
+		}, nil, &calls), 1)
+	payload, from, err := n.Lookup(context.Background(), hash)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	owner := n.Ring.Owner(hash)
+	if from != owner {
+		t.Errorf("served by %q, want owner %q", from, owner)
+	}
+	if string(payload) != string(map[string][]byte{
+		"http://a": []byte(`{"a":1}`),
+		"http://b": []byte(`{"b":1}`),
+		"http://c": []byte(`{"c":1}`),
+	}[owner]) {
+		t.Errorf("payload %q not the owner's", payload)
+	}
+	if len(calls) != 1 {
+		t.Errorf("consulted %v, want exactly the owner", calls)
+	}
+}
+
+func TestNodeLookupSkipsSelf(t *testing.T) {
+	var calls []string
+	hash := "deadbeef00000001"
+	owner := NewRing([]string{"http://a", "http://b", "http://c"}, 0).Owner(hash)
+	// Self is the owner: Lookup must go to the next member instead.
+	n := testNode(owner, fakeFetch(nil, nil, &calls), 1)
+	if _, _, err := n.Lookup(context.Background(), hash); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("Lookup err = %v, want ErrCacheMiss", err)
+	}
+	if len(calls) != 1 || calls[0] == owner {
+		t.Errorf("consulted %v; must skip self %q and ask exactly one peer", calls, owner)
+	}
+}
+
+func TestNodeLookupMaxPeers(t *testing.T) {
+	var calls []string
+	n := testNode("", fakeFetch(nil, nil, &calls), 2)
+	if _, _, err := n.Lookup(context.Background(), "somehash"); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("err = %v, want ErrCacheMiss", err)
+	}
+	if len(calls) != 2 {
+		t.Errorf("consulted %v, want exactly MaxPeers=2", calls)
+	}
+}
+
+func TestNodeLookupTransportError(t *testing.T) {
+	var calls []string
+	boom := errors.New("boom")
+	hash := "deadbeef00000001"
+	owner := NewRing([]string{"http://a", "http://b", "http://c"}, 0).Owner(hash)
+	n := testNode("", fakeFetch(nil, map[string]error{owner: boom}, &calls), 1)
+	if _, _, err := n.Lookup(context.Background(), hash); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the transport error", err)
+	}
+}
+
+func TestNodeLookupNil(t *testing.T) {
+	var n *Node
+	if _, _, err := n.Lookup(context.Background(), "x"); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("nil node err = %v, want ErrCacheMiss", err)
+	}
+}
+
+func TestHTTPFetchProtocol(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case CachePathPrefix + "have":
+			fmt.Fprint(w, `{"ok":true}`)
+		case CachePathPrefix + "miss":
+			http.NotFound(w, r)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	fetch := NewHTTPFetch(ts.Client())
+	ctx := context.Background()
+	if b, err := fetch(ctx, ts.URL, "have"); err != nil || string(b) != `{"ok":true}` {
+		t.Errorf("have: %q, %v", b, err)
+	}
+	if _, err := fetch(ctx, ts.URL, "miss"); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("miss: err = %v, want ErrCacheMiss", err)
+	}
+	if _, err := fetch(ctx, ts.URL, "boom"); err == nil || errors.Is(err, ErrCacheMiss) {
+		t.Errorf("500: err = %v, want a status error", err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package cluster is the fleet tier over chimerad: a deterministic
+// consistent-hash ring that assigns every job (by its jobspec content
+// hash) to one owning replica, a bounded-stale membership view over a
+// static seed list, a peer result-cache protocol that lets any replica
+// (or the front proxy) fetch a finished result from the hash-owner
+// instead of recomputing it, and the chimerafront proxy that admits
+// jobs fleet-wide with load shedding and routes them to replicas with
+// failover.
+//
+// Correctness never depends on the cluster tier: every peer-cache miss,
+// fetch error or dead owner falls through to a local recompute, and the
+// simulation itself stays bit-deterministic per spec. The protocol and
+// its failure semantics are documented in docs/cluster.md.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the default number of virtual nodes each member
+// contributes to the ring. 64 points per member keeps the ownership
+// split within a few percent of even for small fleets while keeping
+// ring construction trivially cheap.
+const DefaultVNodes = 64
+
+// point is one virtual node: a position on the 64-bit hash circle and
+// the member that owns it.
+type point struct {
+	pos    uint64
+	member int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over a fixed member list.
+// Keys (jobspec content hashes) map to the member owning the first
+// virtual node at or clockwise after the key's position; Sequence
+// yields the full failover order. Construction is deterministic: the
+// same member list and vnode count always produce the same ring, on
+// every process, so independently-built rings (front, replicas,
+// clients) agree on ownership without any coordination.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (vnodes <= 0 uses DefaultVNodes). The member list is deduplicated
+// and sorted, so callers need not agree on seed-list order, only on
+// its contents.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make(map[string]bool, len(members))
+	ms := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || uniq[m] {
+			continue
+		}
+		uniq[m] = true
+		ms = append(ms, m)
+	}
+	sort.Strings(ms)
+	r := &Ring{members: ms, points: make([]point, 0, len(ms)*vnodes)}
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{pos: hash64(fmt.Sprintf("%s#%d", m, v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Virtual-node position collisions are astronomically rare but
+		// must still break deterministically: lowest member index wins.
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// hash64 positions a string on the ring: FNV-1a (64-bit) followed by a
+// splitmix64-style finalizer. Raw FNV-1a avalanches poorly on the short
+// near-identical strings virtual nodes are named with ("m#0", "m#1",
+// …): without the finalizer every member's vnodes land in one tight
+// band and the ring degenerates to one effective point per member.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Members returns the ring's member list in sorted order. The slice is
+// shared; callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Len reports the number of distinct members on the ring.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.members) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.search(key)].member]
+}
+
+// search finds the index of the first virtual node at or clockwise
+// after key's position (wrapping past the top of the circle).
+func (r *Ring) search(key string) int {
+	pos := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Sequence returns every member in ring order starting from key's
+// owner: the deterministic failover order a router walks when the
+// owner is dead. All members appear exactly once.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.members) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic proves the coordination-free agreement claim:
+// rings built independently from permuted (and duplicated) seed lists
+// assign every key identically.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a", ""}, 0)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member canonicalization differs: %v vs %v", a.Members(), b.Members())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %q: owner %q vs %q", key, ao, bo)
+		}
+		if as, bs := a.Sequence(key), b.Sequence(key); !reflect.DeepEqual(as, bs) {
+			t.Fatalf("key %q: sequence %v vs %v", key, as, bs)
+		}
+	}
+}
+
+// TestRingSequence checks the failover order: starts at the owner and
+// visits every member exactly once.
+func TestRingSequence(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != r.Len() {
+			t.Fatalf("key %q: sequence %v does not cover all %d members", key, seq, r.Len())
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("key %q: sequence starts at %q, owner is %q", key, seq[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("key %q: member %q appears twice in %v", key, m, seq)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingBalance spot-checks that vnodes keep the ownership split
+// reasonable: with 3 members no member owns less than 10% of keys.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range r.Members() {
+		if counts[m] < n/10 {
+			t.Errorf("member %q owns only %d/%d keys — ring badly unbalanced: %v", m, counts[m], n, counts)
+		}
+	}
+}
+
+// TestRingConsistency checks the property consistent hashing exists
+// for: growing the fleet remaps only the keys the new member takes —
+// every other key keeps its owner.
+func TestRingConsistency(t *testing.T) {
+	small := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	big := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, 0)
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		so, bo := small.Owner(key), big.Owner(key)
+		if so == bo {
+			continue
+		}
+		if bo != "http://d" {
+			t.Fatalf("key %q moved %q -> %q, not to the new member", key, so, bo)
+		}
+		moved++
+	}
+	if moved == 0 || moved > n/2 {
+		t.Errorf("adding one member to 3 moved %d/%d keys, want roughly n/4", moved, n)
+	}
+}
+
+// TestRingEmpty checks the degenerate cases stay total.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Len() != 0 || r.Owner("x") != "" || r.Sequence("x") != nil {
+		t.Errorf("empty ring: Len=%d Owner=%q Sequence=%v", r.Len(), r.Owner("x"), r.Sequence("x"))
+	}
+}

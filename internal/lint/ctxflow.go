@@ -19,6 +19,11 @@ var CtxFlowPackages = []string{
 	"chimera/internal/jobspec",
 	"chimera/internal/replay",
 	"chimera/cmd/chimerareplay",
+	// The fleet tier extends the chain one hop upward: front → replica
+	// → peer cache. A severed context here would leak proxied requests
+	// or peer fetches past their caller's deadline.
+	"chimera/internal/cluster",
+	"chimera/cmd/chimerafront",
 }
 
 // CtxFlow guards the cancellation chain with two rules:

@@ -28,6 +28,11 @@ var DeterminismCriticalPackages = []string{
 	"chimera/internal/jobspec",
 	"chimera/internal/replay",
 	"chimera/cmd/chimerareplay",
+	// The cluster tier promises coordination-free agreement: rings,
+	// failover sequences and the front's merged views must be pure
+	// functions of the member list, never of map iteration order.
+	"chimera/internal/cluster",
+	"chimera/cmd/chimerafront",
 }
 
 // DetMap flags `for … range` over a map in determinism-critical

@@ -28,6 +28,11 @@ var SimClockPackages = []string{
 	// daemon-facing command.)
 	"chimera/internal/jobspec",
 	"chimera/internal/replay",
+	// The cluster tier (ring, membership, front routing) is written
+	// wallclock-free by design: probe cadence and peer-fetch deadlines
+	// are injected by the daemons (cmd/chimerafront, cmd/chimerad),
+	// which sit under the chimera/cmd injected-clock exemption.
+	"chimera/internal/cluster",
 }
 
 // InjectedClockPackages are exempt from WallClock: they interact with

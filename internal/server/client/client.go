@@ -6,18 +6,29 @@
 // Retry policy: idempotent requests (GET, DELETE) are retried on
 // transport errors and on 429/503 responses. POST submissions are
 // retried only on 429/503 — responses that prove the server did NOT
-// admit the job — and never after any other response or a transport
-// error, where the submission may already have committed. Backoff is
-// exponential with full jitter and honors Retry-After.
+// admit the job — or on a connect error (the request never reached a
+// server), and never after any other response or transport error,
+// where the submission may already have committed. Backoff is
+// exponential with full jitter and honors Retry-After; an unparseable
+// Retry-After surfaces as a typed *RetryAfterError instead of being
+// silently replaced by backoff.
+//
+// Ring awareness: a client built with NewRing (or WithFallbacks) holds
+// several replica base URLs and fails over to the next one on exactly
+// the conditions above — connect errors and 429/503 — so a chimerad
+// fleet (docs/cluster.md) stays reachable through replica deaths
+// without weakening the POST-commit safety rule.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -39,10 +50,35 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("chimerad: %d: %s", e.StatusCode, e.Message)
 }
 
-// Client talks to one chimerad base URL. The zero value is not usable;
-// construct with New. A Client is safe for concurrent use.
+// RetryAfterError reports a retriable response (429/503) whose
+// Retry-After header could not be parsed as non-negative integer
+// seconds. The client refuses to guess a wait it cannot honor — the
+// request fails with this typed error instead of silently substituting
+// exponential backoff, so a misconfigured proxy or server surfaces at
+// the first occurrence rather than as mystery latency.
+type RetryAfterError struct {
+	// Value is the unparseable Retry-After header value.
+	Value string
+	// StatusCode is the response status that carried it.
+	StatusCode int
+	// Response is the decoded error envelope of that response.
+	Response error
+}
+
+// Error renders the offending header value and status.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("chimerad: %d with unparseable Retry-After %q", e.StatusCode, e.Value)
+}
+
+// Unwrap exposes the response's error envelope.
+func (e *RetryAfterError) Unwrap() error { return e.Response }
+
+// Client talks to one chimerad base URL — or, when built with NewRing
+// or WithFallbacks, to a replica fleet with failover. The zero value is
+// not usable; construct with New or NewRing. A Client is safe for
+// concurrent use.
 type Client struct {
-	base  string
+	bases []string
 	hc    *http.Client
 	max   int
 	delay time.Duration
@@ -88,10 +124,16 @@ func WithRand(fn func() float64) Option {
 	return func(c *Client) { c.rnd = fn }
 }
 
+// WithFallbacks appends additional replica base URLs the client fails
+// over to on a connect error or a 429/503 from the current target.
+func WithFallbacks(bases ...string) Option {
+	return func(c *Client) { c.bases = append(c.bases, bases...) }
+}
+
 // New builds a client for the given base URL ("http://host:port").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:  base,
+		bases: []string{base},
 		hc:    &http.Client{Timeout: 5 * time.Minute},
 		max:   4,
 		delay: 100 * time.Millisecond,
@@ -113,22 +155,55 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
+// NewRing builds a ring-aware client over a replica fleet: requests
+// start at the first base URL and fail over to the next (wrapping) on
+// a connect error or 429/503. Equivalent to New(bases[0],
+// WithFallbacks(bases[1:]...)).
+func NewRing(bases []string, opts ...Option) *Client {
+	if len(bases) == 0 {
+		panic("client.NewRing: at least one base URL is required")
+	}
+	return New(bases[0], append([]Option{WithFallbacks(bases[1:]...)}, opts...)...)
+}
+
+// parseRetryAfter interprets a Retry-After header: -1 for an absent
+// header, the non-negative seconds value otherwise. Anything else
+// (HTTP-dates included — chimerad never sends them) is a parse error
+// the caller must surface.
+func parseRetryAfter(v string) (int, error) {
+	if v == "" {
+		return -1, nil
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return -1, fmt.Errorf("unparseable Retry-After %q", v)
+	}
+	return secs, nil
+}
+
 // backoff computes the jittered wait before attempt+1 (attempt is
-// 0-based), preferring the server's Retry-After when present.
-func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+// 0-based), preferring the server's Retry-After (retryAfterSecs >= 0)
+// when present.
+func (c *Client) backoff(attempt, retryAfterSecs int) time.Duration {
 	d := c.delay << uint(attempt)
-	if retryAfter != "" {
-		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-			d = time.Duration(secs) * time.Second
-			if d == 0 {
-				d = c.delay
-			}
+	if retryAfterSecs >= 0 {
+		d = time.Duration(retryAfterSecs) * time.Second
+		if d == 0 {
+			d = c.delay
 		}
 	}
 	// Full jitter into [d/2, d] keeps retries spread out while retaining
 	// the exponential envelope.
 	half := d / 2
 	return half + time.Duration(c.rnd()*float64(half))
+}
+
+// isConnectError reports whether a transport error happened while
+// dialing — before any byte of the request reached a server — making
+// it safe to fail the request over to another replica even for a POST.
+func isConnectError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // retriableStatus reports whether a response status signals a transient
@@ -140,15 +215,20 @@ func retriableStatus(code int) bool {
 
 // do issues one request, retrying per the package policy.
 // retryTransport additionally retries transport-level failures — set
-// only for idempotent methods.
+// only for idempotent methods. Each retriable failure also advances to
+// the next base URL (a no-op for single-base clients), so a ring-aware
+// client walks the replica list: connect errors and 429/503 provably
+// left no job behind on the refusing replica, which is exactly when
+// moving the request elsewhere is safe.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, retryTransport bool) (*http.Response, error) {
 	var lastErr error
+	target := 0
 	for attempt := 0; attempt < c.max; attempt++ {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, c.bases[target%len(c.bases)]+path, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -158,18 +238,33 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, retry
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			lastErr = err
-			if !retryTransport || ctx.Err() != nil {
+			if ctx.Err() != nil {
 				return nil, err
 			}
-			if err := c.sleep(ctx, c.backoff(attempt, "")); err != nil {
+			// A non-idempotent request may already have committed after
+			// any transport error except a failed dial; only a connect
+			// error with somewhere else to go is safe to move.
+			if !retryTransport && !(isConnectError(err) && len(c.bases) > 1) {
+				return nil, err
+			}
+			target++
+			if err := c.sleep(ctx, c.backoff(attempt, -1)); err != nil {
 				return nil, err
 			}
 			continue
 		}
 		if retriableStatus(resp.StatusCode) && attempt < c.max-1 {
-			retryAfter := resp.Header.Get("Retry-After")
+			retryAfterSecs, perr := parseRetryAfter(resp.Header.Get("Retry-After"))
+			if perr != nil {
+				return nil, &RetryAfterError{
+					Value:      resp.Header.Get("Retry-After"),
+					StatusCode: resp.StatusCode,
+					Response:   decodeError(resp),
+				}
+			}
 			lastErr = decodeError(resp)
-			if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			target++
+			if err := c.sleep(ctx, c.backoff(attempt, retryAfterSecs)); err != nil {
 				return nil, err
 			}
 			continue

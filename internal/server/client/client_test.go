@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -326,5 +327,123 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if len(list) != 2 {
 		t.Fatalf("listed %d jobs, want 2", len(list))
+	}
+}
+
+// TestRetryAfterUnparseableSurfacesTyped proves an unparseable
+// Retry-After fails fast with *RetryAfterError instead of silently
+// degrading to exponential backoff.
+func TestRetryAfterUnparseableSurfacesTyped(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "Fri, 07 Aug 2026 00:00:00 GMT")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"busy"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRand(func() float64 { return 0 }))
+	sleeps := recordedSleeps(c)
+	_, err := c.Status(context.Background(), "j1")
+	var rae *RetryAfterError
+	if !errors.As(err, &rae) {
+		t.Fatalf("err = %v (%T), want *RetryAfterError", err, err)
+	}
+	if rae.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("StatusCode = %d, want 429", rae.StatusCode)
+	}
+	if rae.Value != "Fri, 07 Aug 2026 00:00:00 GMT" {
+		t.Errorf("Value = %q", rae.Value)
+	}
+	// The wrapped envelope stays reachable for callers that branch on
+	// the server's message.
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Message != "busy" {
+		t.Errorf("unwrapped envelope = %v, want the decoded APIError", rae.Response)
+	}
+	// Fail-fast: exactly one request, zero backoff sleeps.
+	if hits.Load() != 1 {
+		t.Errorf("server hit %d times, want 1", hits.Load())
+	}
+	if len(*sleeps) != 0 {
+		t.Errorf("slept %v, want no backoff", *sleeps)
+	}
+	// Negative seconds are equally unparseable.
+	if _, err := parseRetryAfter("-3"); err == nil {
+		t.Error("parseRetryAfter(-3) accepted a negative wait")
+	}
+	if secs, err := parseRetryAfter(""); err != nil || secs != -1 {
+		t.Errorf("parseRetryAfter(\"\") = %d, %v", secs, err)
+	}
+}
+
+// TestRingFailoverOn503 proves a ring client walks to the next replica
+// when the first sheds, without re-posting to the refusing one.
+func TestRingFailoverOn503(t *testing.T) {
+	var refusals atomic.Int64
+	refusing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		refusals.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer refusing.Close()
+	var accepts atomic.Int64
+	accepting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accepts.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(server.JobStatus{ID: "j9", State: server.StateQueued})
+	}))
+	defer accepting.Close()
+
+	c := NewRing([]string{refusing.URL, accepting.URL}, WithRand(func() float64 { return 0 }))
+	recordedSleeps(c)
+	st, err := c.Submit(context.Background(), server.JobSpec{Kind: server.KindSolo, Bench: "SAD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j9" {
+		t.Fatalf("status %+v", st)
+	}
+	if refusals.Load() != 1 || accepts.Load() != 1 {
+		t.Errorf("refusing hit %d times, accepting %d — want 1 and 1", refusals.Load(), accepts.Load())
+	}
+}
+
+// TestRingFailoverOnConnectError proves the POST-commit safety carve-
+// out: a failed dial provably never delivered the request, so even a
+// POST may move to the next replica — but only when there is one.
+func TestRingFailoverOnConnectError(t *testing.T) {
+	// A listener bound and immediately closed yields an address that
+	// refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	accepting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(server.JobStatus{ID: "j2", State: server.StateQueued})
+	}))
+	defer accepting.Close()
+
+	c := NewRing([]string{deadURL, accepting.URL}, WithRand(func() float64 { return 0 }))
+	recordedSleeps(c)
+	st, err := c.Submit(context.Background(), server.JobSpec{Kind: server.KindSolo, Bench: "SAD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j2" {
+		t.Fatalf("status %+v", st)
+	}
+
+	// A single-base client must NOT retry the POST: with nowhere safe to
+	// go, the connect error surfaces.
+	solo := New(deadURL, WithRand(func() float64 { return 0 }))
+	recordedSleeps(solo)
+	if _, err := solo.Submit(context.Background(), server.JobSpec{Kind: server.KindSolo, Bench: "SAD"}); err == nil {
+		t.Fatal("single-base POST to a dead replica did not surface the connect error")
 	}
 }

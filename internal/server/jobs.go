@@ -267,8 +267,8 @@ func (s *Server) worker() {
 		j.started = time.Now()
 		j.mu.Unlock()
 
-		res, executed, events, err := s.executeWithRetry(j.ctx, j.spec)
-		s.finish(j, res, executed, events, err)
+		res, raw, executed, events, err := s.executeWithRetry(j.ctx, j.spec)
+		s.finish(j, res, raw, executed, events, err)
 	}
 }
 
@@ -277,30 +277,42 @@ func (s *Server) worker() {
 // surface as typed *simjob.JobError values — never cached, so a retry
 // genuinely re-runs the simulation, and the fault plan's per-attempt
 // hashing means a retried job draws fresh fault decisions.
-func (s *Server) executeWithRetry(ctx context.Context, spec JobSpec) (res *JobResult, executed bool, events []trace.Event, err error) {
+func (s *Server) executeWithRetry(ctx context.Context, spec JobSpec) (res *JobResult, raw []byte, executed bool, events []trace.Event, err error) {
 	for attempt := 0; ; attempt++ {
-		res, executed, events, err = s.execute(ctx, spec)
+		res, raw, executed, events, err = s.execute(ctx, spec)
 		if err == nil || !simjob.IsPanic(err) {
-			return res, executed, events, err
+			return res, raw, executed, events, err
 		}
 		if attempt >= s.cfg.RetryBudget || ctx.Err() != nil {
-			return res, executed, events, err
+			return res, raw, executed, events, err
 		}
 		s.cRetries.Add(1)
 	}
 }
 
-// execute runs one spec to completion (or cancellation) and returns the
-// result, whether a simulation actually executed (false = result cache
-// or singleflight dedup), and any recorded trace events. All spec
-// interpretation happens in jobspec/workloads — the server only wires
-// its environment (registry, pool, watchdog, fault plane) into the
-// executor.
-func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, executed bool, events []trace.Event, err error) {
+// execute runs one spec to completion (or cancellation) and returns
+// the result, the raw peer-served payload when the fleet already held
+// it (nil for locally-computed results), whether a simulation actually
+// executed (false = result cache, singleflight dedup or peer-cache
+// hit), and any recorded trace events. All spec interpretation happens
+// in jobspec/workloads — the server only wires its environment
+// (registry, pool, watchdog, fault plane, fleet) into the executor.
+func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, raw []byte, executed bool, events []trace.Event, err error) {
+	// Fleet short-circuit: if the hash owner already finished this
+	// spec, serve its payload byte-for-byte instead of recomputing.
+	// A payload that fails to decode is treated as a miss — the local
+	// compute below is always a correct fallback.
+	if payload, ok := s.peerLookup(ctx, spec); ok {
+		var peerRes JobResult
+		if jerr := json.Unmarshal(payload, &peerRes); jerr == nil {
+			return &peerRes, payload, false, nil, nil
+		}
+	}
+
 	if spec.Trace {
 		policy, _, err := jobspec.ParsePolicy(spec.Policy)
 		if err != nil {
-			return nil, false, nil, err
+			return nil, nil, false, nil, err
 		}
 		rec, err := workloads.RecordContext(ctx, workloads.RecordOptions{
 			Bench:      spec.Bench,
@@ -311,7 +323,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, exe
 			Metrics:    s.reg,
 		})
 		if err != nil {
-			return nil, true, nil, err
+			return nil, nil, true, nil, err
 		}
 		return &JobResult{
 			Kind: spec.Kind,
@@ -321,13 +333,13 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, exe
 				Violations: rec.Violations,
 				Requests:   rec.Requests,
 			},
-		}, true, rec.Events, nil
+		}, nil, true, rec.Events, nil
 	}
 
 	runner, err := workloads.NewRunnerWith(s.catalog,
 		units.FromMicroseconds(spec.WindowUs), units.FromMicroseconds(spec.ConstraintUs), spec.Seed)
 	if err != nil {
-		return nil, false, nil, err
+		return nil, nil, false, nil, err
 	}
 	runner.Metrics = s.reg
 	runner.UsePool(s.pool)
@@ -345,21 +357,23 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, exe
 
 	out, ran, err := workloads.NewExecutor(runner).Run(ctx, spec)
 	if err != nil {
-		return nil, ran, nil, err
+		return nil, nil, ran, nil, err
 	}
 	return &JobResult{
 		Kind:     out.Kind,
 		SoloRate: out.SoloRate,
 		Periodic: out.Periodic,
 		Pair:     out.Pair,
-	}, ran, nil, nil
+	}, nil, ran, nil, nil
 }
 
 // finish records a job's outcome, updates the server counters, releases
-// the deadline timer, and wakes every waiter.
-func (s *Server) finish(j *job, res *JobResult, executed bool, events []trace.Event, err error) {
-	var payload []byte
-	if err == nil {
+// the deadline timer, and wakes every waiter. raw, when non-nil, is the
+// byte-exact payload a fleet peer served — it is stored verbatim so
+// fleet-served and locally-computed results stay byte-identical.
+func (s *Server) finish(j *job, res *JobResult, raw []byte, executed bool, events []trace.Event, err error) {
+	payload := raw
+	if err == nil && payload == nil {
 		payload, err = json.Marshal(res)
 	}
 
@@ -395,6 +409,11 @@ func (s *Server) finish(j *job, res *JobResult, executed bool, events []trace.Ev
 		s.cCompleted.Add(1)
 		if dedup {
 			s.cDeduped.Add(1)
+		}
+		if !j.spec.Trace {
+			// Feed the peer-cache index so other replicas (and the
+			// front) can serve this result without recomputing.
+			s.storeResult(j.spec.Hash(), payload)
 		}
 	case StateCanceled:
 		s.cCanceled.Add(1)

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"chimera/internal/cluster"
 	"chimera/internal/faults"
 	"chimera/internal/jobspec"
 	"chimera/internal/kernels"
@@ -68,6 +69,21 @@ type Config struct {
 	// the outcome. The trace is the input format of chimerareplay and
 	// the output format of chimeraload -record (docs/jobs.md).
 	Record io.Writer
+	// Cluster, when set, makes this server one replica of a fleet
+	// (docs/cluster.md): before executing a job whose consistent-hash
+	// owner is another replica, the server asks the owner's peer cache
+	// (GET /internal/cache/{hash}) for the finished result, and serves
+	// its own finished results to peers on the same route. Correctness
+	// never depends on it — every miss or fetch error falls through to
+	// a local compute.
+	Cluster *cluster.Node
+	// PeerTimeout bounds one peer-cache lookup on the job path
+	// (default 250 ms): a slow or dead peer costs at most this before
+	// the job is recomputed locally.
+	PeerTimeout time.Duration
+	// ResultIndexCap bounds the finished-result index the peer-cache
+	// route serves from, in entries (FIFO eviction; default 4096).
+	ResultIndexCap int
 }
 
 // Server is the chimerad service core: admission queue, workers, job
@@ -91,6 +107,14 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// The finished-result index behind GET /internal/cache/{hash}:
+	// spec hash → terminal JobResult payload, FIFO-bounded by
+	// Config.ResultIndexCap. Peers (and the front) read it through the
+	// cluster peer-cache protocol instead of recomputing.
+	idxMu    sync.Mutex
+	resIdx   map[string][]byte
+	resOrder []string
+
 	cSubmitted  *metrics.Counter
 	cCompleted  *metrics.Counter
 	cFailed     *metrics.Counter
@@ -101,6 +125,10 @@ type Server struct {
 	cRecordErrs *metrics.Counter
 	gQueueDepth *metrics.Counter
 	hLatency    *metrics.Histogram
+	cPeerHits   *metrics.Counter
+	cPeerMisses *metrics.Counter
+	cPeerErrors *metrics.Counter
+	cPeerServed *metrics.Counter
 }
 
 // Metric names exposed on /metrics, as package-level constants
@@ -129,6 +157,18 @@ const (
 	// MetricRecordErrors counts workload-trace records that failed to
 	// write (Config.Record); the job itself is unaffected.
 	MetricRecordErrors = "server/record_errors"
+	// MetricPeerHits counts jobs served from another replica's peer
+	// cache instead of recomputing (Config.Cluster).
+	MetricPeerHits = "server/peer_hits"
+	// MetricPeerMisses counts peer-cache lookups where no consulted
+	// peer held the result (the job then computes locally).
+	MetricPeerMisses = "server/peer_misses"
+	// MetricPeerErrors counts peer-cache lookups that failed in
+	// transport (dead owner, timeout); the job computes locally.
+	MetricPeerErrors = "server/peer_errors"
+	// MetricPeerServed counts finished results this replica served to
+	// peers over GET /internal/cache/{hash}.
+	MetricPeerServed = "server/peer_served"
 )
 
 // latencyBoundsMs buckets the job service-time histogram (milliseconds).
@@ -151,6 +191,12 @@ func New(cfg Config) *Server {
 	if cfg.Catalog == nil {
 		cfg.Catalog = kernels.Load()
 	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 250 * time.Millisecond
+	}
+	if cfg.ResultIndexCap <= 0 {
+		cfg.ResultIndexCap = 4096
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.NewRegistry()
 	}
@@ -166,8 +212,9 @@ func New(cfg Config) *Server {
 		cache:   cache,
 		// The simjob pool bounds engine parallelism independently of the
 		// worker count; jobs run on worker goroutines, so size it to them.
-		pool: simjob.NewPool(cfg.Workers, cache),
-		jobs: make(map[string]*job),
+		pool:   simjob.NewPool(cfg.Workers, cache),
+		jobs:   make(map[string]*job),
+		resIdx: make(map[string][]byte),
 
 		cSubmitted:  cfg.Registry.Counter(MetricJobsSubmitted),
 		cCompleted:  cfg.Registry.Counter(MetricJobsCompleted),
@@ -179,6 +226,10 @@ func New(cfg Config) *Server {
 		cRecordErrs: cfg.Registry.Counter(MetricRecordErrors),
 		gQueueDepth: cfg.Registry.Counter(MetricQueueDepth),
 		hLatency:    cfg.Registry.Histogram(MetricJobLatency, "ms", latencyBoundsMs),
+		cPeerHits:   cfg.Registry.Counter(MetricPeerHits),
+		cPeerMisses: cfg.Registry.Counter(MetricPeerMisses),
+		cPeerErrors: cfg.Registry.Counter(MetricPeerErrors),
+		cPeerServed: cfg.Registry.Counter(MetricPeerServed),
 
 		start: time.Now(),
 	}
@@ -243,7 +294,71 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET "+cluster.CachePathPrefix+"{hash}", s.handlePeerCache)
 	return mux
+}
+
+// handlePeerCache serves the cluster peer-cache protocol
+// (docs/cluster.md): a pure read of the finished-result index, 200
+// with the terminal JobResult payload or 404. It never computes.
+func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	payload, ok := s.lookupResult(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no finished result for that hash")
+		return
+	}
+	s.cPeerServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// storeResult indexes one finished result payload under its spec hash,
+// evicting the oldest entries past ResultIndexCap.
+func (s *Server) storeResult(hash string, payload []byte) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if _, exists := s.resIdx[hash]; !exists {
+		s.resOrder = append(s.resOrder, hash)
+	}
+	s.resIdx[hash] = payload
+	for len(s.resOrder) > s.cfg.ResultIndexCap {
+		delete(s.resIdx, s.resOrder[0])
+		s.resOrder = s.resOrder[1:]
+	}
+}
+
+// lookupResult reads the finished-result index.
+func (s *Server) lookupResult(hash string) ([]byte, bool) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	payload, ok := s.resIdx[hash]
+	return payload, ok
+}
+
+// peerLookup consults the fleet for an already-finished result before
+// this replica recomputes it. It returns the exact payload the owner
+// served (kept byte-for-byte so fleet results stay identical to
+// single-node results) or false to compute locally — any error path
+// degrades to a miss.
+func (s *Server) peerLookup(ctx context.Context, spec JobSpec) ([]byte, bool) {
+	n := s.cfg.Cluster
+	if n == nil || spec.Trace {
+		return nil, false
+	}
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	payload, _, err := n.Lookup(pctx, spec.Hash())
+	switch {
+	case err == nil:
+		s.cPeerHits.Add(1)
+		return payload, true
+	case errors.Is(err, cluster.ErrCacheMiss):
+		s.cPeerMisses.Add(1)
+	default:
+		s.cPeerErrors.Add(1)
+	}
+	return nil, false
 }
 
 // writeJSON renders one JSON response.
