@@ -123,6 +123,9 @@ docs-check:
 	@grep -q "docs/performance.md" README.md || { echo "README.md does not link docs/performance.md"; exit 1; }
 	@grep -q "performance.md" DESIGN.md || { echo "DESIGN.md does not link docs/performance.md"; exit 1; }
 	@grep -q "performance.md" docs/observability.md || { echo "docs/observability.md does not link docs/performance.md"; exit 1; }
+	@grep -q "static-analysis.md" docs/performance.md || { echo "docs/performance.md does not link docs/static-analysis.md"; exit 1; }
+	@grep -q "chimera:hot" docs/static-analysis.md || { echo "docs/static-analysis.md does not document the //chimera:hot contract"; exit 1; }
+	@grep -q "hotalloc" DESIGN.md || { echo "DESIGN.md does not describe the hotalloc analyzer"; exit 1; }
 	@grep -q "jobspec" DESIGN.md || { echo "DESIGN.md does not reference the jobspec layer"; exit 1; }
 	@grep -q "jobspec" docs/paper-map.md || { echo "docs/paper-map.md does not reference the jobspec layer"; exit 1; }
 	@grep -q "performance.md" docs/paper-map.md || { echo "docs/paper-map.md does not reference docs/performance.md"; exit 1; }

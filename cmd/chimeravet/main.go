@@ -1,11 +1,11 @@
 // Command chimeravet runs the project's custom static-analysis suite:
-// four analyzers that prove the simulator's core invariants at build
+// seven analyzers that prove the simulator's core invariants at build
 // time instead of hunting their violations in flaky test output.
 //
 // Usage:
 //
-//	chimeravet [-dir d] [packages...]   # analyze packages (default ./...)
-//	chimeravet -selftest [-dir d]       # prove the fixture corpus still fails
+//	chimeravet [-dir d] [-json] [packages...]  # analyze packages (default ./...)
+//	chimeravet -selftest [-dir d]              # prove the fixture corpus still fails
 //
 // The analyzers (see internal/lint and docs/static-analysis.md):
 //
@@ -13,9 +13,16 @@
 //	wallclock   — no host-clock reads or global math/rand in simulation packages
 //	ctxflow     — exported blocking APIs take a context; no Background/TODO laundering
 //	schemaconst — trace event kinds and metric names are named constants
+//	locksafe    — no blocking operation while a sync mutex is held; every Lock is
+//	              released on every path, with defer recognized
+//	golifecycle — every go statement in long-lived packages has a provable shutdown
+//	              path (ctx/done-channel, WaitGroup join, or a reasoned allow)
+//	hotalloc    — no always-heap-allocating construct in //chimera:hot functions
 //
 // Findings print as file:line:col: message [analyzer] and set exit
-// status 1; a genuine exception is silenced in source with
+// status 1; with -json each finding is instead one JSON object per
+// line ({"file","line","col","analyzer","message"}) for CI annotation
+// renderers. A genuine exception is silenced in source with
 // //chimera:allow <analyzer> <reason>.
 //
 // -selftest runs each analyzer over its internal/lint/testdata fixture
@@ -26,6 +33,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,8 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	selftest := fs.Bool("selftest", false, "run the analyzers over the seeded-violation fixture corpus and fail unless every analyzer fires")
 	dir := fs.String("dir", ".", "directory to resolve packages (and the fixture corpus) from")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (file, line, col, analyzer, message) instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: chimeravet [-dir d] [packages...]\n       chimeravet -selftest [-dir d]\n\n")
+		fmt.Fprintf(stderr, "usage: chimeravet [-dir d] [-json] [packages...]\n       chimeravet -selftest [-dir d]\n\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -74,14 +83,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "chimeravet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "chimeravet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(stderr, "chimeravet: %d findings\n", n)
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire shape: one object per line, stable
+// field names for CI annotation renderers.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders diagnostics as newline-delimited JSON.
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		f := jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fixtureCases maps each analyzer to its seeded-violation fixture
@@ -96,6 +140,9 @@ var fixtureCases = []struct {
 	{lint.WallClock, "wallclock/sim", "chimera/internal/engine/lintfixture"},
 	{lint.CtxFlow, "ctxflow/server", "chimera/internal/simjob/lintfixture"},
 	{lint.SchemaConst, "schemaconst/obs", "chimera/internal/engine/lintfixture"},
+	{lint.LockSafe, "locksafe/sync", "chimera/internal/server/lintfixture"},
+	{lint.GoLifecycle, "golifecycle/longlived", "chimera/internal/cluster/lintfixture"},
+	{lint.HotAlloc, "hotalloc/hot", "chimera/internal/engine/lintfixture"},
 }
 
 // runSelftest proves the gate still bites: every analyzer must produce

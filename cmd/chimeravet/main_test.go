@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chimera/internal/lint"
 )
 
 // TestCleanPackageExitsZero runs the driver over a package known to be
@@ -47,9 +51,80 @@ func TestSelftestDetectsSeededCorpus(t *testing.T) {
 	if code := run([]string{"-selftest", "-dir", "../.."}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
 	}
-	for _, a := range []string{"detmap", "wallclock", "ctxflow", "schemaconst"} {
+	for _, a := range []string{"detmap", "wallclock", "ctxflow", "schemaconst", "locksafe", "golifecycle", "hotalloc"} {
 		if !strings.Contains(out.String(), a+": ") {
 			t.Errorf("selftest output missing analyzer %s:\n%s", a, out.String())
+		}
+	}
+}
+
+// TestJSONOutput seeds the same wallclock violation and checks the
+// -json wire shape: one JSON object per line with the file, line, col,
+// analyzer and message fields CI annotation renderers key on.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module chimera\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "engine", "bad.go"), `package engine
+
+import "time"
+
+// Boot records the host boot time, which a simulation package must not.
+func Boot() time.Time { return time.Now() }
+`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", dir, "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d JSON lines, want 1:\n%s", len(lines), out.String())
+	}
+	var f jsonFinding
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if filepath.Base(f.File) != "bad.go" {
+		t.Errorf("file = %q, want base bad.go", f.File)
+	}
+	if f.Line != 6 {
+		t.Errorf("line = %d, want 6", f.Line)
+	}
+	if f.Col <= 0 {
+		t.Errorf("col = %d, want > 0", f.Col)
+	}
+	if f.Analyzer != "wallclock" {
+		t.Errorf("analyzer = %q, want wallclock", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "time.Now reads the host clock") {
+		t.Errorf("message = %q, want the wallclock finding text", f.Message)
+	}
+}
+
+// TestWriteJSONEncoding checks the encoder directly: stable field
+// names, one object per line, exact round-trip of every field.
+func TestWriteJSONEncoding(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 7}, Analyzer: "locksafe", Message: "m1"},
+		{Pos: token.Position{Filename: "b.go", Line: 12, Column: 1}, Analyzer: "hotalloc", Message: `quote " and \ backslash`},
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(diags), buf.String())
+	}
+	for i, line := range lines {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		d := diags[i]
+		if f.File != d.Pos.Filename || f.Line != d.Pos.Line || f.Col != d.Pos.Column ||
+			f.Analyzer != d.Analyzer || f.Message != d.Message {
+			t.Errorf("line %d round-trip mismatch: got %+v, want %+v", i, f, d)
 		}
 	}
 }

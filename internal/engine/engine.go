@@ -177,6 +177,8 @@ type Simulation struct {
 // closures are created once per struct and survive recycling: they
 // close over the struct pointer, which stays stable for the
 // simulation's lifetime.
+//
+//chimera:hot
 func (s *Simulation) allocTB() *threadBlock {
 	if n := len(s.tbFree); n > 0 {
 		tb := s.tbFree[n-1]
@@ -184,9 +186,9 @@ func (s *Simulation) allocTB() *threadBlock {
 		s.tbFree = s.tbFree[:n-1]
 		return tb
 	}
-	tb := &threadBlock{}
-	tb.fireDone = func(now units.Cycles) { s.tbComplete(tb, now) }
-	tb.fireBreach = func(units.Cycles) { tb.breached = true }
+	tb := &threadBlock{}                                          //chimera:allow hotalloc pool growth: one struct per high-water mark, recycled forever after
+	tb.fireDone = func(now units.Cycles) { s.tbComplete(tb, now) } //chimera:allow hotalloc closure created once per pooled struct, reused across every segment
+	tb.fireBreach = func(units.Cycles) { tb.breached = true }      //chimera:allow hotalloc closure created once per pooled struct, reused across every segment
 	return tb
 }
 
@@ -195,6 +197,8 @@ func (s *Simulation) allocTB() *threadBlock {
 // the block: its done/breach events are fired or cancelled, and any
 // lingering save-batch callback belongs to a cancelled handover (a
 // no-op before it touches blocks).
+//
+//chimera:hot
 func (s *Simulation) freeTB(tb *threadBlock) {
 	fd, fb := tb.fireDone, tb.fireBreach
 	*tb = threadBlock{fireDone: fd, fireBreach: fb}
@@ -287,6 +291,8 @@ const traceBatch = 256
 // recorder in emission order; AdvanceTo and Finish flush the staging
 // buffer, so the recorder is fully up to date whenever control returns
 // to the caller — the engine's documented observation boundary.
+//
+//chimera:hot
 func (s *Simulation) emit(e trace.Event) {
 	if !s.tracing {
 		return
@@ -299,6 +305,8 @@ func (s *Simulation) emit(e trace.Event) {
 
 // flushTrace forwards every staged trace event to the recorder in FIFO
 // order and empties the staging buffer.
+//
+//chimera:hot
 func (s *Simulation) flushTrace() {
 	for i := range s.traceBuf {
 		s.opts.Tracer.Record(s.traceBuf[i])
@@ -310,6 +318,8 @@ func (s *Simulation) flushTrace() {
 // observations — to their backends. Called at the AdvanceTo/Finish
 // boundaries so external observers (collectors, registries, scrapes)
 // see complete state whenever the engine yields control.
+//
+//chimera:hot
 func (s *Simulation) flushObs() {
 	if s.tracing {
 		s.flushTrace()
@@ -374,6 +384,8 @@ func (s *Simulation) flushLegal(tb *threadBlock, now units.Cycles) bool {
 }
 
 // tbComplete handles a thread block finishing.
+//
+//chimera:hot
 func (s *Simulation) tbComplete(tb *threadBlock, now units.Cycles) {
 	k := tb.kernel
 	sm := tb.sm
@@ -522,6 +534,8 @@ func (s *Simulation) freeSM(sm *smUnit, now units.Cycles) {
 }
 
 // popFree removes and returns one free SM (nil when none).
+//
+//chimera:hot
 func (s *Simulation) popFree() *smUnit {
 	n := len(s.free)
 	if n == 0 {
@@ -535,6 +549,8 @@ func (s *Simulation) popFree() *smUnit {
 // rebalance recomputes the SM-to-kernel mapping and issues any needed
 // preemption requests. Re-entrant calls (triggered by synchronous
 // handovers inside the rebalance itself) coalesce into another pass.
+//
+//chimera:hot
 func (s *Simulation) rebalance(now units.Cycles) {
 	if s.rebalancing {
 		s.rebalanceAgain = true
@@ -558,6 +574,7 @@ func (s *Simulation) rebalance(now units.Cycles) {
 	s.rebalancing = false
 }
 
+//chimera:hot
 func (s *Simulation) rebalanceOnce(now units.Cycles) {
 	if s.opts.Serial {
 		s.rebalanceSerial(now)

@@ -63,6 +63,8 @@ const metricsBatch = 512
 
 // stage appends one histogram observation, flushing the slice when it
 // reaches the batch cap.
+//
+//chimera:hot
 func stage(buf *[]float64, h *metrics.Histogram, v float64) {
 	*buf = append(*buf, v)
 	if len(*buf) >= metricsBatch {
@@ -73,6 +75,8 @@ func stage(buf *[]float64, h *metrics.Histogram, v float64) {
 
 // flush drains every staged counter increment and histogram
 // observation into the registry handles.
+//
+//chimera:hot
 func (m *simMetrics) flush() {
 	drain := func(c *metrics.Counter, n *int64) {
 		if *n != 0 {
@@ -165,6 +169,8 @@ func newSimMetrics(reg *metrics.Registry) *simMetrics {
 }
 
 // observeRequestIssued fires once per preemption request at issue time.
+//
+//chimera:hot
 func (s *Simulation) observeRequestIssued(rec *RequestRecord) {
 	if s.m == nil {
 		return
@@ -176,6 +182,8 @@ func (s *Simulation) observeRequestIssued(rec *RequestRecord) {
 }
 
 // observeRequestComplete fires when the last SM of a request arrives.
+//
+//chimera:hot
 func (s *Simulation) observeRequestComplete(rec *RequestRecord) {
 	if s.m == nil {
 		return
@@ -191,6 +199,8 @@ func (s *Simulation) observeRequestComplete(rec *RequestRecord) {
 }
 
 // observeDeadline fires at every periodic-task deadline check.
+//
+//chimera:hot
 func (s *Simulation) observeDeadline(met bool, slack units.Cycles) {
 	if s.m == nil {
 		return
@@ -204,6 +214,8 @@ func (s *Simulation) observeDeadline(met bool, slack units.Cycles) {
 
 // observeIdleGap fires when an SM transitions idle→busy after having
 // been busy before; gap is the idle span's length.
+//
+//chimera:hot
 func (s *Simulation) observeIdleGap(gap units.Cycles) {
 	if s.m == nil {
 		return

@@ -45,6 +45,8 @@ type smUnit struct {
 // noteResidentChange maintains the busy-time account around a resident
 // list mutation: call with the count before the change and the current
 // cycle after applying it.
+//
+//chimera:hot
 func (sm *smUnit) noteResidentChange(before int, now units.Cycles) {
 	after := len(sm.resident)
 	switch {
@@ -61,6 +63,8 @@ func (sm *smUnit) noteResidentChange(before int, now units.Cycles) {
 }
 
 // busyAt reports the SM's accumulated busy time as of cycle now.
+//
+//chimera:hot
 func (sm *smUnit) busyAt(now units.Cycles) units.Cycles {
 	total := sm.busyCycles
 	if len(sm.resident) > 0 {
@@ -103,6 +107,8 @@ func (h *handoverState) removeFrozen(tb *threadBlock) {
 // estimation. The TB slice is scratch owned by the SM, valid until the
 // next snapshot of the same SM — the policy's Select reads it
 // synchronously and does not retain it.
+//
+//chimera:hot
 func (sm *smUnit) snapshot(now units.Cycles) gpu.SMSnapshot {
 	snap := gpu.SMSnapshot{SM: sm.id, TBs: sm.snapScratch[:0]}
 	for _, tb := range sm.resident {
@@ -124,6 +130,8 @@ func (sm *smUnit) snapshot(now units.Cycles) gpu.SMSnapshot {
 // fill dispatches thread blocks into free slots. If the SM ends up
 // completely empty with nothing left to dispatch, it is released back to
 // the device (the size-bound tail of a kernel frees SMs early, §4).
+//
+//chimera:hot
 func (sm *smUnit) fill(now units.Cycles) {
 	k := sm.kernel
 	if k == nil || sm.handover != nil || k.done {
@@ -138,6 +146,8 @@ func (sm *smUnit) fill(now units.Cycles) {
 }
 
 // place starts (or resumes) a thread block on this SM.
+//
+//chimera:hot
 func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
 	k := sm.kernel
 	start := now
@@ -158,7 +168,7 @@ func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
 				Lat:   start - now,
 				Dur:   k.params.TBSwitchCycles(sm.sim.cfg),
 				Bytes: k.params.ContextBytesPerTB,
-				Detail: fmt.Sprintf("resume@%v", start)})
+				Detail: fmt.Sprintf("resume@%v", start)}) //chimera:allow hotalloc tracing-only: guarded by sm.sim.tracing, off on the measured path
 		}
 	}
 	if tb.executed == 0 {
@@ -182,6 +192,8 @@ func (sm *smUnit) place(tb *threadBlock, now units.Cycles) {
 // scheduleEvents arms the completion and breach events of a running
 // block whose segment begins at start. The callbacks are the block's
 // pooled closures — no allocation per segment.
+//
+//chimera:hot
 func (sm *smUnit) scheduleEvents(tb *threadBlock, start units.Cycles) {
 	q := &sm.sim.q
 	rem := tb.insts - tb.executed
@@ -195,6 +207,8 @@ func (sm *smUnit) scheduleEvents(tb *threadBlock, start units.Cycles) {
 
 // removeResident detaches a block from the SM's resident list at cycle
 // now (the busy-time account needs the timestamp).
+//
+//chimera:hot
 func (sm *smUnit) removeResident(tb *threadBlock, now units.Cycles) {
 	for i, r := range sm.resident {
 		if r == tb {
@@ -204,7 +218,7 @@ func (sm *smUnit) removeResident(tb *threadBlock, now units.Cycles) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("engine: SM%d: block %d not resident", sm.id, tb.index))
+	panic(fmt.Sprintf("engine: SM%d: block %d not resident", sm.id, tb.index)) //chimera:allow hotalloc panic path: formats once while crashing, never on the steady state
 }
 
 // executePlan carries out a preemption plan on this SM at cycle now:

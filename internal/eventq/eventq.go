@@ -95,9 +95,11 @@ func (q *Queue) Now() units.Cycles { return q.now }
 func (q *Queue) Len() int { return q.live }
 
 // allocEvent carves one Event from the chunked arena.
+//
+//chimera:hot
 func (q *Queue) allocEvent(at units.Cycles, fire func(now units.Cycles)) *Event {
 	if q.arenaUsed == len(q.arena) {
-		q.arena = make([]Event, arenaChunk)
+		q.arena = make([]Event, arenaChunk) //chimera:allow hotalloc arena refill: one allocation amortized over arenaChunk Schedule calls
 		q.arenaUsed = 0
 	}
 	e := &q.arena[q.arenaUsed]
@@ -108,6 +110,8 @@ func (q *Queue) allocEvent(at units.Cycles, fire func(now units.Cycles)) *Event 
 
 // openBucket recycles (or creates) an empty bucket shell and returns
 // its slab index.
+//
+//chimera:hot
 func (q *Queue) openBucket() int32 {
 	if n := len(q.freeIdx); n > 0 {
 		idx := q.freeIdx[n-1]
@@ -120,6 +124,8 @@ func (q *Queue) openBucket() int32 {
 
 // releaseMin retires the exhausted minimum bucket: its heap entry pops
 // and its shell goes back on the free list.
+//
+//chimera:hot
 func (q *Queue) releaseMin() {
 	idx := q.heap[0].idx
 	n := len(q.heap) - 1
@@ -141,6 +147,8 @@ func (q *Queue) releaseMin() {
 // Schedule enqueues fire to run at cycle at. Scheduling in the past (at <
 // Now) is a programming error and panics: a discrete-event simulation
 // that silently reorders time produces corrupt results.
+//
+//chimera:hot
 func (q *Queue) Schedule(at units.Cycles, fire func(now units.Cycles)) *Event {
 	if at < q.now {
 		panic("eventq: scheduling into the past")
@@ -164,12 +172,16 @@ func (q *Queue) Schedule(at units.Cycles, fire func(now units.Cycles)) *Event {
 }
 
 // ScheduleAfter enqueues fire to run delay cycles after the current time.
+//
+//chimera:hot
 func (q *Queue) ScheduleAfter(delay units.Cycles, fire func(now units.Cycles)) *Event {
 	return q.Schedule(q.now+delay, fire)
 }
 
 // Cancel removes an event from the queue if it has not fired. Cancelling
 // is O(1): the event is marked stale and skipped when its bucket drains.
+//
+//chimera:hot
 func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.staled {
 		return
@@ -182,6 +194,8 @@ func (q *Queue) Cancel(e *Event) {
 
 // peek returns the next pending event without dispatching it, skipping
 // (and discarding) stale entries and exhausted buckets along the way.
+//
+//chimera:hot
 func (q *Queue) peek() *Event {
 	for len(q.heap) > 0 {
 		b := &q.buckets[q.heap[0].idx]
@@ -198,6 +212,8 @@ func (q *Queue) peek() *Event {
 
 // Step dispatches the next pending event and returns true, or returns
 // false when the queue is empty.
+//
+//chimera:hot
 func (q *Queue) Step() bool {
 	e := q.peek()
 	if e == nil {
@@ -232,6 +248,8 @@ func (q *Queue) RunUntil(limit units.Cycles) int {
 // the clock stays at the last dispatched event's time — it is NOT
 // advanced to limit — and pending events remain queued; callers that
 // abandon the simulation should follow up with Clear.
+//
+//chimera:hot
 func (q *Queue) RunUntilDone(limit units.Cycles, done <-chan struct{}) (n int, cancelled bool) {
 	for {
 		if done != nil {
@@ -287,10 +305,13 @@ func (q *Queue) Run() int {
 // a bucket opened earlier holds only events scheduled before every
 // event of a later bucket at the same cycle, so (cycle, sequence) plus
 // in-bucket append order is exactly global FIFO within a cycle.
+//
+//chimera:hot
 func (q *Queue) less(a, b heapEntry) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
+//chimera:hot
 func (q *Queue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -302,6 +323,7 @@ func (q *Queue) up(i int) {
 	}
 }
 
+//chimera:hot
 func (q *Queue) down(i int) {
 	n := len(q.heap)
 	for {

@@ -24,6 +24,11 @@ var CtxFlowPackages = []string{
 	// or peer fetches past their caller's deadline.
 	"chimera/internal/cluster",
 	"chimera/cmd/chimerafront",
+	// kernelir analyses run inside simulation jobs and idemscan drives
+	// them from the CLI; neither may launder a caller's context or grow
+	// an unbounded exported blocking API.
+	"chimera/internal/kernelir",
+	"chimera/cmd/idemscan",
 }
 
 // CtxFlow guards the cancellation chain with two rules:

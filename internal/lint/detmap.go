@@ -33,6 +33,10 @@ var DeterminismCriticalPackages = []string{
 	// functions of the member list, never of map iteration order.
 	"chimera/internal/cluster",
 	"chimera/cmd/chimerafront",
+	// idemscan renders the idempotence-analysis table the paper's §2.3
+	// claims rest on; a map-ordered row or column would make the
+	// printed exhibit differ between runs.
+	"chimera/cmd/idemscan",
 }
 
 // DetMap flags `for … range` over a map in determinism-critical

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLifecyclePackages are the long-lived packages — the daemon-side
+// tiers that run for the life of the process — where a fire-and-forget
+// goroutine is a leak: under sustained traffic it accumulates until it
+// is the p99 story. Short-lived command mains and pure-computation
+// packages are out of scope; a goroutine there dies with the process.
+var GoLifecyclePackages = []string{
+	"chimera/internal/server",
+	"chimera/internal/cluster",
+	"chimera/internal/simjob",
+	"chimera/internal/metrics",
+	"chimera/internal/faults",
+}
+
+// GoLifecycle requires every `go` statement in a long-lived package to
+// have a provable shutdown path. Evidence, checked over the spawned
+// function's signature and body (function literals inline; named
+// same-package functions and methods through their declarations):
+//
+//   - a context.Context parameter or a captured context (the goroutine
+//     can observe cancellation);
+//   - a channel-typed parameter or captured channel (a done/quit
+//     channel, or a work channel whose close terminates a range);
+//   - a sync.WaitGroup Done or Wait call (the goroutine participates
+//     in a join that some shutdown path waits on).
+//
+// A goroutine that legitimately outlives all of these — none exist in
+// the tree today — carries //chimera:allow golifecycle <reason>.
+var GoLifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc: "every go statement in long-lived packages (server, cluster, simjob, metrics, faults) " +
+		"must have a provable shutdown path: a ctx/done-channel, a WaitGroup join, or an allow annotation",
+	Run: runGoLifecycle,
+}
+
+func runGoLifecycle(pass *Pass) error {
+	if !hasPrefixPath(pass.PkgPath, GoLifecyclePackages) {
+		return nil
+	}
+	decls := declMap(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			ft, body := spawnedFunc(pass, g.Call, decls)
+			if body == nil {
+				// Target declared in another package (or dynamic): the
+				// call site itself must carry the evidence — a ctx or
+				// channel argument the callee can watch.
+				for _, arg := range g.Call.Args {
+					if exprCarriesShutdown(pass.Info, arg) {
+						return true
+					}
+				}
+				pass.Reportf(g.Pos(), "goroutine calls an out-of-package function with no ctx or channel argument: "+
+					"pass a shutdown signal, or annotate //chimera:allow golifecycle <reason>")
+				return true
+			}
+			if !hasShutdownEvidence(pass, ft, body) {
+				pass.Reportf(g.Pos(), "goroutine has no provable shutdown path "+
+					"(no ctx/done-channel parameter or capture, no WaitGroup join): "+
+					"thread one through, or annotate //chimera:allow golifecycle <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declMap indexes this package's function declarations by their type
+// objects, so a `go s.worker()` can be followed to worker's body.
+func declMap(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				m[obj] = fd
+			}
+		}
+	}
+	return m
+}
+
+// spawnedFunc resolves the function a go statement runs: a literal's
+// own type and body, or a same-package declaration's. A nil body means
+// the target is out of reach (another package, a function value).
+func spawnedFunc(pass *Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) (*ast.FuncType, *ast.BlockStmt) {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Type, fun.Body
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[obj]; fd != nil {
+				return fd.Type, fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[obj]; fd != nil {
+				return fd.Type, fd.Body
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasShutdownEvidence reports whether the spawned function can be shut
+// down: its signature takes a context or channel, or its body uses a
+// captured context/channel or joins a WaitGroup.
+func hasShutdownEvidence(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) bool {
+	if ft != nil && ft.Params != nil {
+		for _, field := range ft.Params.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if isShutdownType(tv.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isShutdownType(obj.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+					obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+					(obj.Name() == "Done" || obj.Name() == "Wait") {
+					if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, name := namedTypePath(sig.Recv().Type()); name == "WaitGroup" {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprCarriesShutdown reports whether an argument expression is a
+// context or channel a callee could watch.
+func exprCarriesShutdown(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isShutdownType(tv.Type)
+}
+
+// isShutdownType matches context.Context and every channel type.
+func isShutdownType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if pkg, name := namedTypePath(t); pkg == "context" && name == "Context" {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+// TestGoLifecycleLongLived checks the seeded fire-and-forget spawns
+// (inline, named method, package function, out-of-package call) against
+// the shutdown-evidence escapes (ctx parameter, captured done channel,
+// WaitGroup join) and the suppression annotation.
+func TestGoLifecycleLongLived(t *testing.T) {
+	RunFixture(t, "testdata/golifecycle/longlived", "chimera/internal/cluster/lintfixture", GoLifecycle)
+}
+
+// TestGoLifecycleExempt proves the analyzer stays silent outside the
+// long-lived package set.
+func TestGoLifecycleExempt(t *testing.T) {
+	RunFixture(t, "testdata/golifecycle/exempt", "chimera/cmd/chimerasim/lintfixture", GoLifecycle)
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+// TestHotAllocHot checks the always-heap constructs inside
+// //chimera:hot functions (make, map literal, fresh-slice append,
+// capturing closure, Sprintf, &composite, interface boxing, string
+// concat) against the amortized idioms it must admit (cap-guarded
+// grow, scratch-buffer reslice append) and the suppression annotation;
+// unannotated functions are ignored entirely.
+func TestHotAllocHot(t *testing.T) {
+	RunFixture(t, "testdata/hotalloc/hot", "chimera/internal/engine/lintfixture", HotAlloc)
+}

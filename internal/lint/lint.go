@@ -7,12 +7,15 @@
 // only probe after the fact: results must be bit-for-bit deterministic,
 // simulated time must come from the event queue (never the host clock),
 // cancellation contexts must flow unbroken from the HTTP layer to the
-// engine, and the published event/metric schema must live in named
-// constants so docs cannot silently drift. The four analyzers in this
-// package (DetMap, WallClock, CtxFlow and SchemaConst) prove those
-// properties at build time — the same move the Chimera paper makes with
-// its static may-breach pass (§3.4): analyze up front instead of
-// detecting at runtime.
+// engine, the published event/metric schema must live in named
+// constants so docs cannot silently drift, locks must never be held
+// across blocking operations (or leak on early returns), long-lived
+// goroutines must have provable shutdown paths, and the hot loop must
+// not re-grow the allocations PR 7 removed. The seven analyzers in
+// this package (DetMap, WallClock, CtxFlow, SchemaConst, LockSafe,
+// GoLifecycle and HotAlloc) prove those properties at build time — the
+// same move the Chimera paper makes with its static may-breach pass
+// (§3.4): analyze up front instead of detecting at runtime.
 //
 // # Suppression grammar
 //
@@ -219,19 +222,29 @@ func suppress(diags []Diagnostic, allows map[string][]allowAnnotation) []Diagnos
 
 // Analyzers returns the full chimeravet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetMap, WallClock, CtxFlow, SchemaConst}
+	return []*Analyzer{DetMap, WallClock, CtxFlow, SchemaConst, LockSafe, GoLifecycle, HotAlloc}
 }
 
 // hasPrefixPath reports whether pkgPath equals one of the prefixes or
 // sits beneath one of them ("a/b" matches prefix "a/b" and "a", never
 // "a/bc").
 func hasPrefixPath(pkgPath string, prefixes []string) bool {
+	return longestPrefixPath(pkgPath, prefixes) >= 0
+}
+
+// longestPrefixPath returns the length of the longest prefix (by the
+// hasPrefixPath matching rule) that covers pkgPath, or -1 if none
+// does. Scope lists that overlap — a blanket chimera/cmd exemption and
+// a specific chimera/cmd/idemscan inclusion — resolve by specificity:
+// the longer prefix wins.
+func longestPrefixPath(pkgPath string, prefixes []string) int {
+	best := -1
 	for _, p := range prefixes {
-		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
-			return true
+		if (pkgPath == p || strings.HasPrefix(pkgPath, p+"/")) && len(p) > best {
+			best = len(p)
 		}
 	}
-	return false
+	return best
 }
 
 // namedTypePath returns the package path and type name of t's core

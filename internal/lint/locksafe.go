@@ -1,0 +1,500 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSafe is a per-function lock-flow analyzer for sync.Mutex and
+// sync.RWMutex. It runs over every package (a mutex misused anywhere
+// can stall the fleet's p99) and enforces two properties that PR 3/5/8
+// grew the attack surface for — server admission, cluster membership
+// probing, fault middleware and the singleflight cache all hold locks
+// around increasingly interesting code:
+//
+//  1. no blocking operation while a lock is held: channel send/receive,
+//     range over a channel, select without default, time.Sleep,
+//     network calls (net/http requests and server loops),
+//     sync.WaitGroup.Wait, and the simjob Do/DoContext entry points all
+//     park the goroutine for an unbounded time, turning every other
+//     contender on the mutex into a convoy. sync.Cond.Wait is exempt:
+//     it atomically releases the mutex while parked (the server worker
+//     idiom).
+//  2. every acquisition is released on every path: a return (or the
+//     function end) reached while a lock is held with no deferred
+//     unlock is a missing-unlock finding, and branches of an
+//     if/switch/select that disagree about which locks are held when
+//     they rejoin are a mismatch finding. `defer mu.Unlock()` is
+//     recognized and satisfies every exit.
+//
+// The analysis is intraprocedural and keys locks by the receiver
+// expression (`s.mu`, `c.cache.mu`), so helper functions that are
+// documented to run with a caller-held lock (the *Locked suffix
+// convention) are simply out of view: an Unlock with no matching Lock
+// in the same function is ignored rather than flagged. Function
+// literals are analyzed independently with an empty lock set — a
+// goroutine body does not inherit its creator's locks. A reviewed
+// exception carries //chimera:allow locksafe <reason>.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "no blocking operation (channel ops, select, sleep, network, WaitGroup.Wait, simjob Do) " +
+		"while a sync mutex is held; every Lock is released on every path, with defer recognized",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	w := &lockWalker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.checkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockInfo records one held lock: where it was acquired and whether a
+// deferred unlock already covers every exit.
+type lockInfo struct {
+	pos      token.Pos
+	deferred bool
+}
+
+// lockState maps a lock's receiver expression (e.g. "s.mu") to its
+// acquisition record.
+type lockState map[string]lockInfo
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// keys returns the held lock names sorted, for deterministic messages.
+func (s lockState) keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sameKeys reports whether two states hold exactly the same locks
+// (deferredness is not compared: either way the lock is released).
+func sameKeys(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lockWalker carries the pass and a queue of function literals to
+// analyze independently once the enclosing function is done.
+type lockWalker struct {
+	pass *Pass
+	lits []*ast.FuncLit
+}
+
+// checkFunc analyzes one function body starting with no locks held,
+// then drains the function literals discovered inside it (each also
+// starts empty: a literal runs on its own goroutine or is invoked by a
+// callee, never inheriting the creator's critical section — and if it
+// is invoked inline, flagging the same blocking op twice helps nobody).
+func (w *lockWalker) checkFunc(body *ast.BlockStmt) {
+	st, terminated := w.stmts(body.List, lockState{})
+	if !terminated {
+		w.reportLeaked(st)
+	}
+	for len(w.lits) > 0 {
+		lit := w.lits[0]
+		w.lits = w.lits[1:]
+		st, terminated := w.stmts(lit.Body.List, lockState{})
+		if !terminated {
+			w.reportLeaked(st)
+		}
+	}
+}
+
+// reportLeaked flags every lock still held, without a deferred unlock,
+// at a fall-through exit.
+func (w *lockWalker) reportLeaked(st lockState) {
+	for _, k := range st.keys() {
+		if info := st[k]; !info.deferred {
+			w.pass.Reportf(info.pos, "%s.Lock() is not released on every path: "+
+				"unlock before returning, defer the unlock, or annotate //chimera:allow locksafe <reason>", k)
+		}
+	}
+}
+
+// stmts walks a statement list, threading the lock state through it.
+// It returns the fall-through state and whether every path through the
+// list terminates (return, panic, os.Exit, break/continue/goto).
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = w.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// stmt walks one statement. The returned bool reports that control
+// never falls through to the next statement.
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, isLock, ok := w.lockCallOp(call); ok {
+				if isLock {
+					st[key] = lockInfo{pos: call.Pos()}
+				} else {
+					delete(st, key) // unlock of a caller-held lock: out of view, ignore
+				}
+				return st, false
+			}
+			if isTerminatorCall(w.pass.Info, call) {
+				// panic/os.Exit/log.Fatal: deferred unlocks still run,
+				// and the goroutine is gone either way.
+				w.scanExpr(call, st)
+				return st, true
+			}
+		}
+		w.scanExpr(s.X, st)
+	case *ast.DeferStmt:
+		if key, isLock, ok := w.lockCallOp(s.Call); ok && !isLock {
+			if info, held := st[key]; held {
+				st[key] = lockInfo{pos: info.pos, deferred: true}
+			}
+			return st, false
+		}
+		w.scanExpr(s.Call, st)
+	case *ast.GoStmt:
+		// The go statement itself never blocks; the spawned body is
+		// analyzed independently via the literal queue.
+		w.scanExpr(s.Call, st)
+	case *ast.SendStmt:
+		w.blocked(s.Pos(), "channel send", st)
+		w.scanExpr(s.Chan, st)
+		w.scanExpr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, st)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e, st)
+				return false
+			}
+			return true
+		})
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, st)
+		}
+		for _, k := range st.keys() {
+			if info := st[k]; !info.deferred {
+				w.pass.Reportf(s.Pos(), "return while %s is locked (at %s) with no deferred unlock: "+
+					"unlock on this path, use defer, or annotate //chimera:allow locksafe <reason>",
+					k, w.pass.Fset.Position(info.pos))
+			}
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the list; loop-carried lock bugs
+		// surface as a state mismatch at the loop head instead.
+		return st, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		thenSt, thenTerm := w.stmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			if !sameKeys(thenSt, elseSt) {
+				w.pass.Reportf(s.Pos(), "branches rejoin with different locks held (%s vs %s): "+
+					"unlock consistently across branches, or annotate //chimera:allow locksafe <reason>",
+					describeLocks(thenSt), describeLocks(elseSt))
+			}
+			return thenSt, false
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, st)
+		}
+		return w.clauses(s.Pos(), s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		return w.clauses(s.Pos(), s.Body, st, false)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.blocked(s.Pos(), "select without default", st)
+		}
+		return w.clauses(s.Pos(), s.Body, st, true)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, st)
+		}
+		bodySt, bodyTerm := w.stmts(s.Body.List, st.clone())
+		if !bodyTerm && !sameKeys(bodySt, st) {
+			w.pass.Reportf(s.Pos(), "loop body ends with different locks held than it started (%s vs %s): "+
+				"a second iteration would re-lock or re-unlock; fix the loop, or annotate //chimera:allow locksafe <reason>",
+				describeLocks(bodySt), describeLocks(st))
+		}
+		// The loop may run zero times; an infinite loop with no break
+		// never falls through.
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return st, true
+		}
+		return st, false
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		bodySt, bodyTerm := w.stmts(s.Body.List, st.clone())
+		if !bodyTerm && !sameKeys(bodySt, st) {
+			w.pass.Reportf(s.Pos(), "loop body ends with different locks held than it started (%s vs %s): "+
+				"a second iteration would re-lock or re-unlock; fix the loop, or annotate //chimera:allow locksafe <reason>",
+				describeLocks(bodySt), describeLocks(st))
+		}
+		return st, false
+	}
+	return st, false
+}
+
+// clauses merges the case bodies of a switch or select. Terminated
+// cases drop out of the merge; surviving exits must agree on the held
+// set. isSelect marks select statements, whose comm expressions are
+// part of the select itself and already handled by the caller.
+func (w *lockWalker) clauses(pos token.Pos, body *ast.BlockStmt, st lockState, isSelect bool) (lockState, bool) {
+	var exits []lockState
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scanExpr(e, st)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		caseSt, caseTerm := w.stmts(stmts, st.clone())
+		if !caseTerm {
+			exits = append(exits, caseSt)
+		}
+	}
+	// Without a default a switch can match nothing and fall through in
+	// the entry state; a select always takes some clause.
+	if !hasDefault && !isSelect {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, true
+	}
+	first := exits[0]
+	for _, e := range exits[1:] {
+		if !sameKeys(first, e) {
+			w.pass.Reportf(pos, "cases rejoin with different locks held (%s vs %s): "+
+				"unlock consistently across cases, or annotate //chimera:allow locksafe <reason>",
+				describeLocks(first), describeLocks(e))
+			break
+		}
+	}
+	return first, false
+}
+
+// blocked reports op if any lock is held at pos.
+func (w *lockWalker) blocked(pos token.Pos, op string, st lockState) {
+	if len(st) == 0 {
+		return
+	}
+	k := st.keys()[0]
+	w.pass.Reportf(pos, "%s while holding %s (locked at %s): "+
+		"release the lock around the wait, or annotate //chimera:allow locksafe <reason>",
+		op, k, w.pass.Fset.Position(st[k].pos))
+}
+
+// scanExpr flags blocking operations buried inside an expression —
+// receives, blocking calls — while any lock is held, and queues nested
+// function literals for independent analysis.
+func (w *lockWalker) scanExpr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blocked(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			if op, ok := w.blockingCall(n); ok {
+				w.blocked(n.Pos(), op, st)
+			}
+		}
+		return true
+	})
+}
+
+// lockCallOp classifies call as a sync.Mutex/RWMutex Lock or Unlock
+// (including promoted methods of embedded mutexes), returning the
+// receiver expression as the lock key.
+func (w *lockWalker) lockCallOp(call *ast.CallExpr) (key string, isLock, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", false, false
+	}
+	obj, okF := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !okF || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), name == "Lock" || name == "RLock", true
+}
+
+// blockingCall reports whether call parks the goroutine indefinitely:
+// time.Sleep, a net/http request or serve loop, sync.WaitGroup.Wait,
+// or the simjob Do/DoContext entry points (which run whole simulation
+// jobs). sync.Cond.Wait is deliberately absent — it releases the mutex
+// while parked.
+func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	if pkg, name, ok := pkgFuncCall(w.pass.Info, call); ok {
+		if pkg == "time" && name == "Sleep" {
+			return "time.Sleep", true
+		}
+		if pkg == "net/http" && httpBlockingFuncs[name] {
+			return "http." + name, true
+		}
+		return "", false
+	}
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", false
+	}
+	obj, okF := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !okF || obj.Pkg() == nil {
+		return "", false
+	}
+	sig, okSig := obj.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return "", false
+	}
+	recvPkg, recvName := namedTypePath(sig.Recv().Type())
+	switch {
+	case obj.Pkg().Path() == "sync" && obj.Name() == "Wait" && recvName == "WaitGroup":
+		return "sync.WaitGroup.Wait", true
+	case obj.Pkg().Path() == "net/http" && recvName == "Client" && httpBlockingFuncs[obj.Name()]:
+		return "http.Client." + obj.Name(), true
+	case strings.HasSuffix(recvPkg, "internal/simjob") && (obj.Name() == "Do" || obj.Name() == "DoContext"):
+		return fmt.Sprintf("simjob.%s.%s", recvName, obj.Name()), true
+	}
+	return "", false
+}
+
+// httpBlockingFuncs are the net/http entry points that perform network
+// I/O or run a serve loop (header manipulation and URL helpers do not
+// block and stay admissible under a lock).
+var httpBlockingFuncs = map[string]bool{
+	"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true, "ServeTLS": true,
+}
+
+// isTerminatorCall reports whether call never returns: the panic
+// builtin, os.Exit, runtime.Goexit, or a log.Fatal variant.
+func isTerminatorCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if pkg, name, ok := pkgFuncCall(info, call); ok {
+		switch {
+		case pkg == "os" && name == "Exit":
+			return true
+		case pkg == "runtime" && name == "Goexit":
+			return true
+		case pkg == "log" && strings.HasPrefix(name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+// describeLocks renders a held set for a mismatch message.
+func describeLocks(st lockState) string {
+	if len(st) == 0 {
+		return "none"
+	}
+	return strings.Join(st.keys(), ", ")
+}
+
+// hasBreak reports whether body contains a break statement at any
+// depth (labels are not tracked: a nested loop's break conservatively
+// counts, keeping `for { ... }` fall-through analysis sound).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.BREAK {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

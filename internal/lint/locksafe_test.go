@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+// TestLockSafeSync checks every seeded lock-flow violation — blocking
+// operations under the mutex, the leaking early return, the branch
+// mismatch, the never-released Lock — plus the admitted idioms
+// (cond.Wait, unlock-around-wait, per-case unlocks, *Locked helpers)
+// and the suppression annotation.
+func TestLockSafeSync(t *testing.T) {
+	RunFixture(t, "testdata/locksafe/sync", "chimera/internal/server/lintfixture", LockSafe)
+}

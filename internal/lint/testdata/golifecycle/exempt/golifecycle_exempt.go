@@ -1,0 +1,18 @@
+// Package golifecycleexempt spawns the same fire-and-forget goroutines
+// as the longlived fixture, but is loaded under a short-lived tool
+// import path: golifecycle must stay silent outside the long-lived
+// package set.
+package golifecycleexempt
+
+// work is the stand-in work item.
+func work() {}
+
+// FireAndForget would be a finding in a long-lived package; here the
+// process exit bounds the goroutine's lifetime.
+func FireAndForget() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,103 @@
+// Package golifecyclefix seeds goroutine-lifecycle violations: fire-
+// and-forget spawns in a long-lived package with no context, done
+// channel or WaitGroup join to shut them down. It is loaded under a
+// cluster import path, which golifecycle considers long-lived.
+package golifecyclefix
+
+import (
+	"context"
+	"sync"
+)
+
+// Prober owns the goroutines the fixtures spawn.
+type Prober struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// probe is the stand-in work item.
+func probe() {}
+
+// BadFireAndForget spawns a loop nothing can stop.
+func (p *Prober) BadFireAndForget() {
+	go func() { // want `goroutine has no provable shutdown path`
+		for {
+			probe()
+		}
+	}()
+}
+
+// BadNamedLoop spawns a named method whose body has no shutdown
+// evidence either.
+func (p *Prober) BadNamedLoop() {
+	go p.loop() // want `goroutine has no provable shutdown path`
+}
+
+// loop spins forever with no exit signal.
+func (p *Prober) loop() {
+	for {
+		probe()
+	}
+}
+
+// BadDetached spawns a package function that can never be joined.
+func BadDetached() {
+	go churn(3) // want `goroutine has no provable shutdown path`
+}
+
+// churn does bounded work but offers no join.
+func churn(n int) {
+	for i := 0; i < n; i++ {
+		probe()
+	}
+}
+
+// BadOutOfPackage spawns an out-of-package function without passing a
+// shutdown signal the callee could watch.
+func BadOutOfPackage(mu *sync.Mutex) {
+	go mu.Lock() // want `out-of-package function with no ctx or channel argument`
+}
+
+// GoodCtx passes a context the goroutine selects on.
+func (p *Prober) GoodCtx(ctx context.Context) {
+	go func(ctx context.Context) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				probe()
+			}
+		}
+	}(ctx)
+}
+
+// GoodCapturedDone watches the owner's captured done channel.
+func (p *Prober) GoodCapturedDone() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			default:
+				probe()
+			}
+		}
+	}()
+}
+
+// GoodJoined participates in a WaitGroup a shutdown path waits on.
+func (p *Prober) GoodJoined() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		probe()
+	}()
+}
+
+// AllowedDaemon is the suppression path: a reviewed process-lifetime
+// goroutine.
+func AllowedDaemon() {
+	//chimera:allow golifecycle fixture: reviewed process-lifetime goroutine, dies with the process
+	go churn(10)
+}

@@ -1,0 +1,82 @@
+// Package hotallocfix seeds steady-state allocations inside
+// //chimera:hot functions: the exact constructs PR 7 removed from the
+// engine's cycle loop, plus the admitted amortized idioms.
+package hotallocfix
+
+import "fmt"
+
+// ring is the hot-path victim structure.
+type ring struct {
+	buf     []int
+	scratch []int
+}
+
+// step allocates in five always-heap ways on the hot path.
+//
+//chimera:hot
+func (r *ring) step(n int, evs []int) string {
+	tmp := make([]int, n) // want `make allocates in //chimera:hot step`
+	_ = tmp
+	pairs := map[string]int{"n": n} // want `map literal allocates in //chimera:hot step`
+	_ = pairs
+	var fresh []int
+	for _, e := range evs {
+		fresh = append(fresh, e) // want `append grows a freshly allocated local slice in //chimera:hot step`
+	}
+	cb := func() int { return n } // want `closure captures variables and heap-allocates in //chimera:hot step`
+	_ = cb()
+	return fmt.Sprintf("step-%d", len(fresh)) // want `fmt\.Sprintf allocates in //chimera:hot step`
+}
+
+// box demonstrates the composite-address and boxing findings.
+//
+//chimera:hot
+func box(id int) any {
+	r := &ring{} // want `&composite literal heap-allocates in //chimera:hot box`
+	_ = r
+	return any(id) // want `conversion to interface type boxes \(heap-allocates\) in //chimera:hot box`
+}
+
+// label concatenates strings per call.
+//
+//chimera:hot
+func label(prefix string, id int) string {
+	_ = id
+	return prefix + "-hot" // want `string concatenation allocates in //chimera:hot label`
+}
+
+// grow is the amortized scratch-grow idiom: the make is inside a
+// cap-guard, so it runs O(log n) times per run, not per event.
+//
+//chimera:hot
+func (r *ring) grow(n int) {
+	if cap(r.scratch) < n {
+		r.scratch = make([]int, 0, n)
+	}
+	r.scratch = r.scratch[:0]
+}
+
+// fill appends into the reused scratch buffer: capacity evidence, no
+// finding.
+//
+//chimera:hot
+func (r *ring) fill(evs []int) []int {
+	out := r.scratch[:0]
+	for _, e := range evs {
+		out = append(out, e)
+	}
+	r.scratch = out[:0]
+	return out
+}
+
+// refill is the suppression path: a reviewed amortized arena refill.
+//
+//chimera:hot
+func (r *ring) refill() {
+	r.buf = make([]int, 256) //chimera:allow hotalloc fixture: arena refill, one allocation per 256 events
+}
+
+// cold is unannotated, so hotalloc ignores its allocations entirely.
+func cold(n int) []int {
+	return make([]int, n)
+}

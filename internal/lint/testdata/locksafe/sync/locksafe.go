@@ -1,0 +1,133 @@
+// Package locksafefix seeds lock-flow violations: blocking operations
+// inside critical sections, early returns that leak the mutex, and
+// branches that disagree about the held set. It is loaded under a
+// server import path, though locksafe fires in every package.
+package locksafefix
+
+import (
+	"sync"
+	"time"
+)
+
+// Store guards a counter map with a mutex; its methods seed the
+// violations and the admitted idioms.
+type Store struct {
+	mu   sync.Mutex
+	vals map[string]int
+	ch   chan int
+	wg   sync.WaitGroup
+	cond *sync.Cond
+}
+
+// BadRecvUnderLock blocks on a channel receive inside the critical
+// section: every other contender convoys behind the wait.
+func (s *Store) BadRecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while holding s\.mu`
+}
+
+// BadSleepUnderLock parks the goroutine with the mutex held.
+func (s *Store) BadSleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// BadWaitUnderLock joins a WaitGroup while holding the mutex.
+func (s *Store) BadWaitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync\.WaitGroup\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// BadSelectUnderLock parks in a default-less select under the lock.
+func (s *Store) BadSelectUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s\.mu`
+	case <-done:
+	case v := <-s.ch:
+		s.vals["v"] = v
+	}
+}
+
+// BadEarlyReturn forgets the unlock on the not-found path.
+func (s *Store) BadEarlyReturn(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false // want `return while s\.mu is locked`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// BadBranchMismatch unlocks in one branch only, so the rejoin point's
+// lock state depends on the condition.
+func (s *Store) BadBranchMismatch(flush bool) {
+	s.mu.Lock()
+	if flush { // want `branches rejoin with different locks held`
+		s.mu.Unlock()
+	}
+	s.vals["flushes"]++
+	s.mu.Unlock()
+}
+
+// BadForgottenUnlock never releases the lock at all.
+func (s *Store) BadForgottenUnlock(k string) {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released on every path`
+	s.vals[k]++
+}
+
+// AllowedSendUnderLock is the suppression path: the channel is buffered
+// to the maximum number of senders by construction, so the send cannot
+// block.
+func (s *Store) AllowedSendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v //chimera:allow locksafe fixture: channel buffered to sender count, send cannot block
+}
+
+// GoodCondWait parks on the condition variable, which atomically
+// releases the mutex while waiting — the server worker idiom.
+func (s *Store) GoodCondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.vals) == 0 {
+		s.cond.Wait()
+	}
+}
+
+// GoodUnlockAroundWait releases the lock around the blocking wait and
+// reacquires it after.
+func (s *Store) GoodUnlockAroundWait() int {
+	s.mu.Lock()
+	s.vals["waiters"]++
+	s.mu.Unlock()
+	v := <-s.ch
+	s.mu.Lock()
+	s.vals["waiters"]--
+	s.mu.Unlock()
+	return v
+}
+
+// GoodSwitchUnlocks unlocks on every case before returning — the
+// per-case-release idiom locksafe must not misread as a mismatch.
+func (s *Store) GoodSwitchUnlocks(k string) int {
+	s.mu.Lock()
+	switch v := s.vals[k]; {
+	case v > 0:
+		s.mu.Unlock()
+		return v
+	default:
+		s.mu.Unlock()
+		return 0
+	}
+}
+
+// bumpLocked runs with the caller's lock held (the *Locked suffix
+// convention); its unpaired mutation is out of locksafe's view.
+func (s *Store) bumpLocked(k string) {
+	s.vals[k]++
+}

@@ -33,11 +33,19 @@ var SimClockPackages = []string{
 	// are injected by the daemons (cmd/chimerafront, cmd/chimerad),
 	// which sit under the chimera/cmd injected-clock exemption.
 	"chimera/internal/cluster",
+	// idemscan is pure analysis (kernel catalog in, tables out): a
+	// host-clock read there could only perturb the exhibit. Listing it
+	// here overrides the blanket chimera/cmd exemption below — scope
+	// precedence is longest-prefix-wins.
+	"chimera/cmd/idemscan",
 }
 
 // InjectedClockPackages are exempt from WallClock: they interact with
 // real deadlines and retry timers through injected clocks that their
 // tests replace (see internal/server/client's clock/rand seams).
+// Exemption and inclusion resolve by specificity: a package matched by
+// a longer SimClockPackages prefix (cmd/idemscan) stays in scope even
+// though the blanket chimera/cmd entry here would exempt it.
 var InjectedClockPackages = []string{
 	"chimera/internal/server",
 	"chimera/cmd",
@@ -75,10 +83,14 @@ var WallClock = &Analyzer{
 }
 
 func runWallClock(pass *Pass) error {
-	if !hasPrefixPath(pass.PkgPath, SimClockPackages) {
+	simLen := longestPrefixPath(pass.PkgPath, SimClockPackages)
+	if simLen < 0 {
 		return nil
 	}
-	if hasPrefixPath(pass.PkgPath, InjectedClockPackages) {
+	// The most specific scope entry wins: chimera/cmd/idemscan is a
+	// simulation-scope package even though chimera/cmd as a whole is
+	// injected-clock exempt.
+	if longestPrefixPath(pass.PkgPath, InjectedClockPackages) >= simLen {
 		return nil
 	}
 	for _, f := range pass.Files {

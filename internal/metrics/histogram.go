@@ -79,6 +79,8 @@ func (h *Histogram) Name() string { return h.name }
 func (h *Histogram) Unit() string { return h.unit }
 
 // Observe records one value.
+//
+//chimera:hot
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -91,6 +93,8 @@ func (h *Histogram) Observe(v float64) {
 // (additions happen in the same order) — but amortizes the mutex over
 // the batch. The simulation engine stages observations locally and
 // flushes them through this path to keep locking out of its hot loop.
+//
+//chimera:hot
 func (h *Histogram) ObserveBatch(vs []float64) {
 	if len(vs) == 0 {
 		return
@@ -103,6 +107,8 @@ func (h *Histogram) ObserveBatch(vs []float64) {
 }
 
 // observeLocked is Observe's body; callers hold h.mu.
+//
+//chimera:hot
 func (h *Histogram) observeLocked(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

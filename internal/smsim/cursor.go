@@ -28,6 +28,8 @@ func newCursor(p *kernelir.Program) *cursor {
 // init (re)positions the cursor at the top of the program, reusing the
 // frame stack's capacity. It lets callers embed cursors by value — one
 // warp array instead of a pointer and a frames slice per warp.
+//
+//chimera:hot
 func (c *cursor) init(p *kernelir.Program) {
 	c.frames = append(c.frames[:0], frame{body: p.Body, idx: 0, iter: 1})
 	c.rep = 0
@@ -36,6 +38,8 @@ func (c *cursor) init(p *kernelir.Program) {
 
 // descend moves past exhausted frames and into loops until the cursor
 // rests on an instruction (or the program end).
+//
+//chimera:hot
 func (c *cursor) descend() {
 	for len(c.frames) > 0 {
 		f := &c.frames[len(c.frames)-1]
@@ -72,6 +76,8 @@ func (c *cursor) descend() {
 }
 
 // peek returns the current instruction; ok is false at program end.
+//
+//chimera:hot
 func (c *cursor) peek() (kernelir.Instr, bool) {
 	if len(c.frames) == 0 {
 		return kernelir.Instr{}, false
@@ -81,6 +87,8 @@ func (c *cursor) peek() (kernelir.Instr, bool) {
 }
 
 // advance consumes one dynamic instruction.
+//
+//chimera:hot
 func (c *cursor) advance() {
 	if len(c.frames) == 0 {
 		return

@@ -138,6 +138,8 @@ func Run(p *kernelir.Program, cfg Config) (Result, error) {
 // modelled SM — the occupancy the kernel actually runs at — and reports
 // aggregate timing. Barriers synchronize warps within their own block
 // only. The per-block CPI at occupancy is nBlocks × Cycles / Insts.
+//
+//chimera:hot
 func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -151,7 +153,7 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 	// Warps live in one value array (cursors embedded): the per-cycle
 	// scans below walk contiguous memory, and setup costs one allocation
 	// instead of two per warp.
-	warps := make([]warpState, cfg.Warps*nBlocks)
+	warps := make([]warpState, cfg.Warps*nBlocks) //chimera:allow hotalloc one-time block setup: a single allocation per RunBlocks call, amortized over every simulated cycle
 	for i := range warps {
 		w := &warps[i]
 		w.block = i / cfg.Warps
@@ -162,11 +164,11 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 	var res Result
 	var now int64
 	outstanding := 0
-	barrierParked := make([]int, nBlocks)
+	barrierParked := make([]int, nBlocks) //chimera:allow hotalloc one-time block setup: allocated once per RunBlocks call, reused every cycle
 	// live counts the not-done warps per block, and liveTotal across
 	// blocks, maintained incrementally as warps retire — the inner loop
 	// never recounts (or reallocates) them.
-	live := make([]int, nBlocks)
+	live := make([]int, nBlocks) //chimera:allow hotalloc one-time block setup: allocated once per RunBlocks call, maintained incrementally after
 	for b := range live {
 		live[b] = cfg.Warps
 	}
@@ -314,6 +316,7 @@ func RunBlocks(p *kernelir.Program, cfg Config, nBlocks int) (Result, error) {
 	}
 }
 
+//chimera:hot
 func isGlobalLoad(in kernelir.Instr) bool {
 	return in.Op == kernelir.Load && in.Space == kernelir.Global
 }
