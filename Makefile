@@ -44,7 +44,8 @@ cover:
 # (ns/sim-cycle), Algorithm 1 selection, the idempotence analysis and
 # the spec-addressed job layer in BENCH_core.json; the multitasking
 # hot-loop scenario in BENCH_engine.json; the event-queue
-# microbenchmarks in BENCH_eventq.json. Regenerates the checked-in
+# microbenchmarks in BENCH_eventq.json; the chimerad admission-queue
+# hot loop in BENCH_sched.json. Regenerates the checked-in
 # files so perf PRs have a before/after to diff — `make benchdiff`
 # checks a fresh run against them.
 bench:
@@ -52,6 +53,7 @@ bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineHot$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
 	$(GO) test -run '^$$' -bench '^BenchmarkEventQ' -benchmem -count=1 ./internal/eventq/ | $(GO) run ./cmd/benchjson -out BENCH_eventq.json
 	$(GO) test -run '^$$' -bench '^BenchmarkFleet' -benchmem -count=1 ./internal/cluster/ | $(GO) run ./cmd/benchjson -out BENCH_cluster.json
+	$(GO) test -run '^$$' -bench '^BenchmarkAdmissionQueue$$' -benchmem -count=1 ./internal/sched/ | $(GO) run ./cmd/benchjson -out BENCH_sched.json
 
 # Non-regression gate: rerun the baseline benchmarks into a scratch
 # directory and compare against the checked-in BENCH_*.json with
@@ -66,11 +68,13 @@ benchdiff:
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineHot$$' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/engine.json
 	$(GO) test -run '^$$' -bench '^BenchmarkEventQ' -benchmem -count=1 ./internal/eventq/ | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/eventq.json
 	$(GO) test -run '^$$' -bench '^BenchmarkFleet' -benchmem -count=1 ./internal/cluster/ | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/cluster.json
+	$(GO) test -run '^$$' -bench '^BenchmarkAdmissionQueue$$' -benchmem -count=1 ./internal/sched/ | $(GO) run ./cmd/benchjson -out $(BENCHDIFF_DIR)/sched.json
 	$(GO) run ./cmd/benchdiff \
 		BENCH_core.json $(BENCHDIFF_DIR)/core.json \
 		BENCH_engine.json $(BENCHDIFF_DIR)/engine.json \
 		BENCH_eventq.json $(BENCHDIFF_DIR)/eventq.json \
-		BENCH_cluster.json $(BENCHDIFF_DIR)/cluster.json
+		BENCH_cluster.json $(BENCHDIFF_DIR)/cluster.json \
+		BENCH_sched.json $(BENCHDIFF_DIR)/sched.json
 
 # Metamorphic identity gate: the quick exhibit sweep must be
 # bit-reproducible (two runs byte-identical) and must still match the
@@ -111,7 +115,7 @@ quick-results:
 # cross-linked from README and DESIGN.
 docs-check:
 	$(GO) build ./examples/...
-	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults ./internal/jobspec ./internal/replay ./internal/cluster
+	$(GO) run ./cmd/doccheck ./internal/trace ./internal/metrics ./internal/server ./internal/server/client ./internal/lint ./internal/faults ./internal/jobspec ./internal/replay ./internal/cluster ./internal/sched ./internal/sched/predict
 	@test -f docs/static-analysis.md || { echo "docs/static-analysis.md is missing"; exit 1; }
 	@test -f docs/faults.md || { echo "docs/faults.md is missing"; exit 1; }
 	@test -f docs/jobs.md || { echo "docs/jobs.md is missing"; exit 1; }
@@ -132,6 +136,10 @@ docs-check:
 	@test -f docs/cluster.md || { echo "docs/cluster.md is missing"; exit 1; }
 	@grep -q "cluster.md" docs/server.md || { echo "docs/server.md does not link docs/cluster.md"; exit 1; }
 	@grep -q "docs/cluster.md" README.md || { echo "README.md does not link docs/cluster.md"; exit 1; }
+	@test -f docs/scheduling.md || { echo "docs/scheduling.md is missing"; exit 1; }
+	@grep -q "scheduling.md" docs/server.md || { echo "docs/server.md does not link docs/scheduling.md"; exit 1; }
+	@grep -q "scheduling.md" docs/jobs.md || { echo "docs/jobs.md does not link docs/scheduling.md"; exit 1; }
+	@grep -q "scheduling.md" docs/observability.md || { echo "docs/observability.md does not link docs/scheduling.md"; exit 1; }
 
 # End-to-end service smoke: boot chimerad on a random port, drive the
 # full client path (submit, poll, cancel, scrape /metrics), then SIGTERM
@@ -173,6 +181,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFlushSoundness -fuzztime $(FUZZTIME) ./internal/funcsim/
 	$(GO) test -run '^$$' -fuzz FuzzEventQ -fuzztime $(FUZZTIME) ./internal/eventq/
 	$(GO) test -run '^$$' -fuzz FuzzPlanIO -fuzztime $(FUZZTIME) ./internal/planio/
+	$(GO) test -run '^$$' -fuzz FuzzAdmissionOrder -fuzztime $(FUZZTIME) ./internal/sched/
 
 examples:
 	$(GO) run ./examples/quickstart

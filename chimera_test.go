@@ -129,7 +129,7 @@ func TestPublicSimulation(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := chimera.ExperimentNames()
-	if len(names) != 19 {
+	if len(names) != 20 {
 		t.Fatalf("names = %v", names)
 	}
 	tables, err := chimera.RunExperiment("table1", chimera.QuickScale())

@@ -49,6 +49,15 @@
 //	-bench B         benchmark (default SAD)
 //	-bench-b B       second benchmark for pair jobs (default MUM)
 //	-window-us N     simulated µs per job (default 100)
+//	-policy P        preemption policy for periodic/pair jobs
+//	                 ("" = server default)
+//	-policies P,...  policy shootout: run the identical campaign once per
+//	                 policy (same arrival schedule and seeds) and print a
+//	                 per-policy comparison of p99 latency, shed rate and
+//	                 deadline-miss rate
+//	-deadline-ms N   per-job SLO deadline; the server sheds hopeless jobs
+//	                 with 429 and fails jobs that overrun (default 0 = none)
+//	-estimator E     runtime estimator: oracle or online ("" = oracle)
 //	-distinct        vary each job's seed so every job simulates
 //	                 (default true; -distinct=false measures the cache)
 //
@@ -59,9 +68,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -102,18 +113,22 @@ func baseURL(addr string) string {
 
 // options carries the flag-settable knobs into the run functions.
 type options struct {
-	addrs    addrList
-	n        int
-	conc     int
-	arrival  string
-	rate     float64
-	seed     uint64
-	record   string
-	kind     string
-	bench    string
-	benchB   string
-	windowUs float64
-	distinct bool
+	addrs      addrList
+	n          int
+	conc       int
+	arrival    string
+	rate       float64
+	seed       uint64
+	record     string
+	kind       string
+	bench      string
+	benchB     string
+	windowUs   float64
+	policy     string
+	policies   string
+	deadlineMs int64
+	estimator  string
+	distinct   bool
 }
 
 func main() {
@@ -129,6 +144,10 @@ func main() {
 	flag.StringVar(&o.bench, "bench", "SAD", "benchmark")
 	flag.StringVar(&o.benchB, "bench-b", "MUM", "second benchmark for pair jobs")
 	flag.Float64Var(&o.windowUs, "window-us", 100, "simulated µs per job")
+	flag.StringVar(&o.policy, "policy", "", "preemption policy for periodic/pair jobs (empty = server default)")
+	flag.StringVar(&o.policies, "policies", "", "comma-separated policies: run the campaign once per policy and compare")
+	flag.Int64Var(&o.deadlineMs, "deadline-ms", 0, "per-job SLO deadline in milliseconds (0 = none)")
+	flag.StringVar(&o.estimator, "estimator", "", "runtime estimator: oracle or online (empty = oracle)")
 	flag.BoolVar(&o.distinct, "distinct", true, "vary each job's seed so every job simulates")
 	flag.Parse()
 
@@ -148,14 +167,20 @@ func (o *options) specFor(i int64) jobspec.Spec {
 	var spec jobspec.Spec
 	switch o.kind {
 	case server.KindPeriodic:
-		spec = jobspec.Periodic(o.bench, "")
+		spec = jobspec.Periodic(o.bench, o.policy)
 	case server.KindPair:
-		spec = jobspec.Pair(o.bench, o.benchB, "")
+		spec = jobspec.Pair(o.bench, o.benchB, o.policy)
 	default:
 		spec = jobspec.Solo(o.bench)
 		spec.Kind = o.kind // surface an unknown -kind as a server-side 400
 	}
 	spec = spec.WithWindowUs(o.windowUs).WithSeed(1)
+	if o.deadlineMs > 0 {
+		spec = spec.WithDeadlineMs(o.deadlineMs)
+	}
+	if o.estimator != "" {
+		spec = spec.WithEstimator(o.estimator)
+	}
 	if o.distinct {
 		spec = spec.WithSeed(uint64(i + 1))
 	}
@@ -204,8 +229,14 @@ type loadStats struct {
 	perTarget []*metrics.Histogram
 	deduped   atomic.Int64
 	failed    atomic.Int64
-	errMu     sync.Mutex
-	err       error
+	// shed counts submissions the server refused as hopeless against
+	// their deadline (429 server/shed_hopeless); missed counts admitted
+	// jobs that overran their deadline and failed. Both are expected SLO
+	// outcomes, reported separately and never treated as run errors.
+	shed   atomic.Int64
+	missed atomic.Int64
+	errMu  sync.Mutex
+	err    error
 }
 
 func newLoadStats(targets int) *loadStats {
@@ -226,9 +257,13 @@ func newLoadStats(targets int) *loadStats {
 // the -addr list the job was submitted to.
 func (s *loadStats) note(i int64, target int, st server.JobStatus, lat time.Duration, err error) {
 	switch {
+	case isShed(err):
+		s.shed.Add(1)
 	case err != nil:
 		s.failed.Add(1)
 		s.setErr(fmt.Errorf("job %d: %w", i, err))
+	case st.State == server.StateFailed && strings.Contains(st.Error, "deadline"):
+		s.missed.Add(1)
 	case st.State == server.StateDone:
 		if st.Deduped {
 			s.deduped.Add(1)
@@ -250,7 +285,18 @@ func (s *loadStats) setErr(err error) {
 	s.errMu.Unlock()
 }
 
-// run drives the selected loop and prints the report.
+// isShed recognizes the server's shed-on-hopeless rejection: a 429
+// whose message carries the distinct shed marker (queue-full 429s say
+// "queue full" and are retried by the client instead).
+func isShed(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) &&
+		apiErr.StatusCode == http.StatusTooManyRequests &&
+		strings.Contains(apiErr.Message, "shed")
+}
+
+// run drives the selected loop — once, or once per -policies entry —
+// and prints the report.
 func run(o options) error {
 	if o.conc < 1 {
 		o.conc = 1
@@ -260,9 +306,16 @@ func run(o options) error {
 	}
 	clients := make([]*client.Client, len(o.addrs))
 	for i, a := range o.addrs {
-		clients[i] = client.New(baseURL(a))
+		// With a deadline, submissions are single-attempt: the client's
+		// default 429 retry loop would re-offer a shed job against the
+		// same hopeless deadline (the server deliberately sends no
+		// Retry-After) and mask the shed as a slow success.
+		if o.deadlineMs > 0 {
+			clients[i] = client.New(baseURL(a), client.WithMaxAttempts(1))
+		} else {
+			clients[i] = client.New(baseURL(a))
+		}
 	}
-	stats := newLoadStats(len(clients))
 
 	var rec *jobspec.TraceWriter
 	if o.record != "" {
@@ -274,6 +327,20 @@ func run(o options) error {
 		rec = jobspec.NewTraceWriter(f)
 	}
 
+	if o.policies == "" {
+		stats, elapsed, err := campaign(o, clients, rec)
+		if err != nil {
+			return err
+		}
+		return report(o, stats, elapsed, rec)
+	}
+	return shootout(o, clients, rec)
+}
+
+// campaign runs one full arrival campaign with the current options and
+// returns its aggregated stats.
+func campaign(o options, clients []*client.Client, rec *jobspec.TraceWriter) (*loadStats, time.Duration, error) {
+	stats := newLoadStats(len(clients))
 	start := time.Now()
 	var err error
 	if o.arrival == "closed" {
@@ -282,15 +349,53 @@ func run(o options) error {
 		err = runOpen(o, clients, stats, rec)
 	}
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
-	elapsed := time.Since(start)
+	return stats, time.Since(start), nil
+}
 
+// shootout runs the identical campaign once per -policies entry — same
+// arrival process, seeds and deadlines, so the only variable is the
+// preemption policy — and prints the per-policy comparison of tail
+// latency, shed rate and deadline-miss rate.
+func shootout(o options, clients []*client.Client, rec *jobspec.TraceWriter) error {
+	policies := strings.Split(o.policies, ",")
+	fmt.Printf("chimeraload: policy shootout: %d jobs/policy (%s %s, %gµs window, %s arrivals, deadline %dms)\n",
+		o.n, o.kind, o.bench, o.windowUs, o.arrival, o.deadlineMs)
+	fmt.Println("  policy    done   shed   missed  failed  miss-rate  p50(ms)    p99(ms)")
+	var firstErr error
+	for _, p := range policies {
+		po := o
+		po.policy = strings.TrimSpace(p)
+		stats, _, err := campaign(po, clients, rec)
+		if err != nil {
+			return err
+		}
+		shed, missed := stats.shed.Load(), stats.missed.Load()
+		missRate := float64(shed+missed) / float64(o.n)
+		fmt.Printf("  %-8s %6d %6d %8d %7d %9.1f%% %-10.3f %-10.3f\n",
+			po.policy, stats.hist.Count(), shed, missed, stats.failed.Load(),
+			100*missRate, stats.hist.Quantile(0.50), stats.hist.Quantile(0.99))
+		if firstErr == nil && stats.err != nil {
+			firstErr = fmt.Errorf("policy %s: %w", po.policy, stats.err)
+		}
+	}
+	if rec != nil {
+		fmt.Printf("  recorded %d trace records to %s\n", rec.Count(), o.record)
+	}
+	return firstErr
+}
+
+// report prints the single-campaign summary.
+func report(o options, stats *loadStats, elapsed time.Duration, rec *jobspec.TraceWriter) error {
 	completed := stats.hist.Count()
 	fmt.Printf("chimeraload: %d jobs (%s %s, %gµs window, %s arrivals) in %v\n",
 		o.n, o.kind, o.bench, o.windowUs, o.arrival, elapsed.Round(time.Millisecond))
 	fmt.Printf("  completed: %d   failed: %d   deduped: %d   throughput: %.1f jobs/s\n",
 		completed, stats.failed.Load(), stats.deduped.Load(), float64(completed)/elapsed.Seconds())
+	if o.deadlineMs > 0 {
+		fmt.Printf("  shed: %d   deadline-missed: %d\n", stats.shed.Load(), stats.missed.Load())
+	}
 	if completed > 0 {
 		fmt.Println("  latency(ms)  p50        p95        p99        mean       max")
 		fmt.Printf("               %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
@@ -311,7 +416,7 @@ func run(o options) error {
 	if stats.err != nil {
 		return stats.err
 	}
-	if completed == 0 {
+	if completed == 0 && stats.shed.Load() == 0 && stats.missed.Load() == 0 {
 		return fmt.Errorf("no job completed")
 	}
 	return nil

@@ -1,0 +1,104 @@
+// Fleet regression for the SLO jobspec fields: a spec carrying the new
+// estimator/policy/deadline_ms fields must route through chimerafront
+// and the peer result cache exactly like any other spec — byte-identical
+// results against a single-node run, correct dedup across resubmission,
+// and the documented identity rules (estimator splits the cache key,
+// deadline does not).
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"chimera/internal/jobspec"
+	"chimera/internal/server"
+	"chimera/internal/server/client"
+)
+
+func TestFleetSLOSpecRoundTrip(t *testing.T) {
+	f := bootFleet(t, 3)
+	ctx := context.Background()
+	// An EDF periodic job under the online predictor, with a generous
+	// deadline (never shed, never expired).
+	spec := jobspec.Periodic("SAD", jobspec.PolicyEDF).
+		WithWindowUs(300).WithConstraintUs(15).WithSeed(31).
+		WithEstimator(jobspec.EstimatorOnline).WithDeadlineMs(60_000)
+
+	// Single-node baseline.
+	baseline := server.New(server.Config{Workers: 2})
+	baseTS := httptest.NewServer(baseline.Handler())
+	t.Cleanup(baseTS.Close)
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = baseline.Shutdown(sctx)
+	})
+	want, err := client.New(baseTS.URL).SubmitWait(ctx, spec)
+	if err != nil || want.State != server.StateDone {
+		t.Fatalf("baseline: %v %v", want.State, err)
+	}
+
+	// Through the front: byte-identical result, SLO fields echoed intact.
+	c := client.New(f.frontTS.URL)
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil || st.State != server.StateDone {
+		t.Fatalf("front submit: %v %v", st.State, err)
+	}
+	if !bytes.Equal(st.Result, want.Result) {
+		t.Errorf("fleet result differs from single-node baseline:\nfleet: %s\nsolo:  %s", st.Result, want.Result)
+	}
+	if st.Spec.Estimator != jobspec.EstimatorOnline || st.Spec.Policy != jobspec.PolicyEDF || st.Spec.DeadlineMs != 60_000 {
+		t.Errorf("SLO fields mangled in echo: %+v", st.Spec)
+	}
+
+	ranOnline := f.executed()
+
+	// Resubmission dedups (the hash covers the new fields consistently
+	// on both sides of the wire).
+	again, err := c.SubmitWait(ctx, spec)
+	if err != nil || again.State != server.StateDone {
+		t.Fatalf("resubmit: %v %v", again.State, err)
+	}
+	if !again.Deduped || !bytes.Equal(again.Result, want.Result) {
+		t.Errorf("resubmit not served from cache (deduped=%v)", again.Deduped)
+	}
+
+	// A different deadline is the same work: deadline_ms is scheduling
+	// metadata, excluded from the cache identity.
+	relaxed, err := c.SubmitWait(ctx, spec.WithDeadlineMs(120_000))
+	if err != nil || relaxed.State != server.StateDone {
+		t.Fatalf("relaxed-deadline submit: %v %v", relaxed.State, err)
+	}
+	if !relaxed.Deduped || !bytes.Equal(relaxed.Result, want.Result) {
+		t.Errorf("deadline change broke dedup (deduped=%v)", relaxed.Deduped)
+	}
+
+	// Neither the resubmission nor the deadline change may have
+	// re-executed anything: deadline_ms is scheduling metadata, outside
+	// the cache identity.
+	if got := f.executed(); got != ranOnline {
+		t.Errorf("resubmits re-executed: %d simulations, want %d", got, ranOnline)
+	}
+
+	// A different estimator is different work: oracle and online runs
+	// may schedule differently, so they must not share a cache entry.
+	oracle, err := c.SubmitWait(ctx, spec.WithEstimator(jobspec.EstimatorOracle))
+	if err != nil || oracle.State != server.StateDone {
+		t.Fatalf("oracle submit: %v %v", oracle.State, err)
+	}
+	if oracle.Deduped {
+		t.Error("oracle-estimator spec deduped against the online run — estimator missing from the identity")
+	}
+
+	// The oracle run executed fresh work (its periodic simulation, plus
+	// a solo baseline if it landed on a replica that had not run one —
+	// ring ownership depends on the test listeners' ports, so the exact
+	// count varies between 1 and 2).
+	extra := f.executed() - ranOnline
+	if extra < 1 || extra > 2 {
+		t.Errorf("oracle submission executed %d simulations, want 1 or 2", extra)
+	}
+}

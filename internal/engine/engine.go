@@ -19,6 +19,7 @@ import (
 	"chimera/internal/preempt"
 	"chimera/internal/rng"
 	"chimera/internal/sched"
+	"chimera/internal/sched/predict"
 	"chimera/internal/trace"
 	"chimera/internal/units"
 )
@@ -78,6 +79,14 @@ type Options struct {
 	// forever — a cold-start artifact, not a phenomenon the paper
 	// evaluates. Leave false to study the cold-start behaviour itself.
 	WarmStats bool
+	// Estimator, when set, replaces the built-in measured-statistics
+	// path (the paper's §3.2 estimator over gpu.KernelStats) as the
+	// source of the runtime estimates preemption planning consumes:
+	// the engine feeds it every per-TB completion event and consults
+	// it at every preemption decision. Nil keeps the built-in path —
+	// with WarmStats that is the Table-2 oracle, bit for bit.
+	// Estimators carry per-run state; never share one across runs.
+	Estimator predict.Estimator
 	// Tracer, when set, receives the simulation's observable events
 	// (launches, requests, per-block preemptions, handovers, deadline
 	// outcomes). The event schema is documented in docs/observability.md.
@@ -361,6 +370,9 @@ func (s *Simulation) launchKernel(p *process, l LaunchSpec, priority int, now un
 	s.arrival++
 	if s.opts.WarmStats && k.stats.CompletedTBs == 0 {
 		k.stats.RecordCompletion(l.Params.InstsPerTB, l.Params.TBExecCycles())
+		if e := s.opts.Estimator; e != nil && e.Estimate(l.Params.Label).Observations == 0 {
+			e.Observe(l.Params.Label, l.Params.InstsPerTB, l.Params.TBExecCycles())
+		}
 	}
 	s.active = append(s.active, k)
 	if s.opts.Serial {
@@ -395,6 +407,12 @@ func (s *Simulation) tbComplete(tb *threadBlock, now units.Cycles) {
 	s.q.Cancel(tb.breachEv)
 	tb.breachEv = nil
 	k.stats.RecordCompletion(tb.insts, tb.runCycles)
+	if e := s.opts.Estimator; e != nil {
+		e.Observe(k.params.Label, tb.insts, tb.runCycles)
+		if s.m != nil {
+			s.m.stPredictObs++
+		}
+	}
 	sm.removeResident(tb, now)
 	tb.sm = nil
 	k.outstanding--
@@ -733,7 +751,7 @@ func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, n
 	if len(in.SMs) == 0 {
 		return 0
 	}
-	in.Est = victim.estimate(s.cfg)
+	in.Est = s.kernelEstimate(victim)
 	planningBound := s.opts.Constraint
 	if s.opts.Headroom < planningBound {
 		planningBound -= s.opts.Headroom
@@ -743,6 +761,17 @@ func (s *Simulation) issuePreemption(requester, victim *kernelInstance, n int, n
 		NumPreempts:      n,
 	}
 	sel := s.opts.Policy.Select(req, in)
+	if s.m != nil {
+		// An SM the policy was offered but declined to take (deadline-
+		// aware policies shed demand they cannot serve in time).
+		offered := len(in.SMs)
+		if n < offered {
+			offered = n
+		}
+		if shed := offered - len(sel.Plans); shed > 0 {
+			s.m.stPolicySheds += int64(shed)
+		}
+	}
 	if len(sel.Plans) == 0 {
 		return 0
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"chimera/internal/gpu"
 	"chimera/internal/rng"
+	"chimera/internal/sched/predict"
 	"chimera/internal/units"
 )
 
@@ -155,6 +156,30 @@ func (k *kernelInstance) estimate(cfg gpu.Config) gpu.KernelEstimate {
 		e.AvgCyclesPerTB = float64(k.stats.CyclesFromCompleted) / float64(k.stats.CompletedTBs)
 		e.HasCycles = true
 	}
+	if e.HasCPI && e.AvgCPI > 0 {
+		e.SMIPC = float64(k.params.TBsPerSM) / e.AvgCPI
+		e.HasIPC = true
+	}
+	return e
+}
+
+// kernelEstimate assembles the estimator-visible view of a kernel for
+// preemption planning: the built-in measured-statistics path (§3.2 over
+// gpu.KernelStats — with WarmStats, the Table-2 oracle) when no
+// pluggable estimator is armed, otherwise the Options.Estimator
+// prediction applied over the statically known switch timings. The
+// confidence gate keeps the cost models on their conservative fallbacks
+// until the predictor has seen enough of its observation window.
+func (s *Simulation) kernelEstimate(k *kernelInstance) gpu.KernelEstimate {
+	if s.opts.Estimator == nil {
+		return k.estimate(s.cfg)
+	}
+	e := gpu.KernelEstimate{
+		SMSwitchCycles:   k.params.SwitchCycles(s.cfg),
+		TBSwitchCycles:   k.params.TBSwitchCycles(s.cfg),
+		StrictIdempotent: k.params.StrictIdempotent,
+	}
+	s.opts.Estimator.Estimate(k.params.Label).Apply(&e, predict.DefaultConfidenceGate)
 	if e.HasCPI && e.AvgCPI > 0 {
 		e.SMIPC = float64(k.params.TBsPerSM) / e.AvgCPI
 		e.HasIPC = true

@@ -43,6 +43,12 @@ type simMetrics struct {
 	// the observable signal that a server-side cancel actually stopped
 	// the engine.
 	canceled *metrics.Counter
+	// policySheds counts SMs the policy was offered but declined to
+	// take (deadline-aware policies shed demand they cannot serve
+	// within the constraint); predictObs counts thread-block completion
+	// events fed to a pluggable runtime estimator (Options.Estimator).
+	policySheds *metrics.Counter
+	predictObs  *metrics.Counter
 
 	// Staged shadows: the single-goroutine engine accumulates counter
 	// increments and histogram observations locally and flushes them in
@@ -54,6 +60,7 @@ type simMetrics struct {
 	// floating-point sums bit-identical to unbatched recording.
 	stRequests, stForced, stMisses, stRebalances int64
 	stEscalations, stStallsInjected, stCanceled  int64
+	stPolicySheds, stPredictObs                  int64
 	stLatency, stEstErr, stSlack, stIdleGap      []float64
 	stLatencyBy                                  [preempt.NumTechniques][]float64
 }
@@ -91,6 +98,8 @@ func (m *simMetrics) flush() {
 	drain(m.escalations, &m.stEscalations)
 	drain(m.stallsInjected, &m.stStallsInjected)
 	drain(m.canceled, &m.stCanceled)
+	drain(m.policySheds, &m.stPolicySheds)
+	drain(m.predictObs, &m.stPredictObs)
 
 	hists := func(h *metrics.Histogram, buf *[]float64) {
 		if len(*buf) > 0 {
@@ -136,6 +145,12 @@ const (
 	// MetricStallsInjected counts fault-plane technique stalls applied
 	// to preemption requests (Options.FaultStall).
 	MetricStallsInjected = "preempt/stalls_injected"
+	// MetricPolicySheds counts SMs a deadline-aware policy was offered
+	// but declined to preempt (shed demand).
+	MetricPolicySheds = "sched/policy_sheds"
+	// MetricPredictObservations counts thread-block completions fed to
+	// a pluggable runtime estimator (Options.Estimator).
+	MetricPredictObservations = "predict/observations"
 )
 
 // latencyBuckets spans sub-µs drains to the longest catalog drain times
@@ -160,6 +175,8 @@ func newSimMetrics(reg *metrics.Registry) *simMetrics {
 		canceled:       reg.Counter(MetricCanceledRuns),
 		escalations:    reg.Counter(MetricEscalations),
 		stallsInjected: reg.Counter(MetricStallsInjected),
+		policySheds:    reg.Counter(MetricPolicySheds),
+		predictObs:     reg.Counter(MetricPredictObservations),
 	}
 	for _, t := range preempt.Techniques() {
 		name := MetricPreemptLatency + "/" + strings.ToLower(t.String())

@@ -12,7 +12,7 @@ import (
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds"}
+	want := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds", "shootout"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

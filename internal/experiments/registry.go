@@ -44,6 +44,7 @@ var registry = map[string]Runner{
 	"calibrated": Calibrated,
 	"gpusize":    GPUSize,
 	"seeds":      Seeds,
+	"shootout":   PolicyShootout,
 }
 
 func one(f func(Scale) (*tablefmt.Table, error)) Runner {
@@ -59,7 +60,7 @@ func one(f func(Scale) (*tablefmt.Table, error)) Runner {
 // Names lists the registered experiments in a stable order matching the
 // paper's presentation.
 func Names() []string {
-	preferred := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds"}
+	preferred := []string{"table1", "table2", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "allpairs", "ablation", "contention", "scaling", "estacc", "calibrated", "gpusize", "seeds", "shootout"}
 	seen := make(map[string]bool, len(preferred))
 	var names []string
 	for _, n := range preferred {

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"chimera/internal/jobspec"
+	"chimera/internal/tablefmt"
+	"chimera/internal/units"
+	"chimera/internal/workloads"
+)
+
+// The policy shootout is the evaluation harness behind the SLO work
+// (docs/scheduling.md): every preemption policy — the four §4
+// contenders plus the deadline-aware EDF and SLO policies — over a
+// representative benchmark subset at several latency constraints,
+// reporting each policy's deadline-miss rate and tail latency side by
+// side. It answers the question the per-figure exhibits do not: at a
+// given constraint, which policy keeps the real-time task inside its
+// deadline, and at what cost.
+
+// ShootoutBenchmarks is the representative subset the shootout sweeps:
+// short-kernel (BS, FWT, HS) and long-kernel (LC, MUM, SAD) extremes of
+// the Table 2 suite, in catalog order.
+var ShootoutBenchmarks = []string{"BS", "FWT", "HS", "LC", "MUM", "SAD"}
+
+// ShootoutPolicies is every selectable preemption policy, baselines
+// first, in the order the tables render.
+var ShootoutPolicies = []string{
+	jobspec.PolicySwitch,
+	jobspec.PolicyDrain,
+	jobspec.PolicyFlush,
+	jobspec.PolicyChimera,
+	jobspec.PolicyEDF,
+	jobspec.PolicySLO,
+}
+
+// ShootoutConstraintsUs are the preemption-latency bounds swept (µs):
+// tighter than the paper's headline bound, the headline bound, and the
+// §4.4 relaxed bound.
+var ShootoutConstraintsUs = []float64{10, 15, 30}
+
+// ShootoutSpecs enumerates one constraint's leg of the shootout as
+// canonical job specs: every shootout benchmark against the periodic
+// real-time task under every shootout policy, at the runner's window,
+// constraint and seed. The 15 µs leg derives the same cache identities
+// as the Figure 6/7 sweep for the four standard policies, so those runs
+// are shared rather than repeated.
+func ShootoutSpecs(r *workloads.Runner) []jobspec.Spec {
+	specs := make([]jobspec.Spec, 0, len(ShootoutBenchmarks)*len(ShootoutPolicies))
+	for _, bench := range ShootoutBenchmarks {
+		for _, policy := range ShootoutPolicies {
+			spec := jobspec.Periodic(bench, policy).
+				WithWindowUs(r.Window.Microseconds()).
+				WithConstraintUs(r.Constraint.Microseconds()).
+				WithHeadroomUs(r.Headroom.Microseconds()).
+				WithSeed(r.Seed)
+			spec.Normalize()
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}
+
+// PolicyShootout runs the full shootout: one table per constraint, rows
+// per policy, with per-benchmark deadline-miss rates, the suite-wide
+// miss rate, and the measured preemption-latency tail. The exhibit is
+// deterministic — two same-seed runs render byte-identical tables.
+func PolicyShootout(s Scale) ([]*tablefmt.Table, error) {
+	tables := make([]*tablefmt.Table, 0, len(ShootoutConstraintsUs))
+	for _, cUs := range ShootoutConstraintsUs {
+		r, err := s.periodicRunner(units.FromMicroseconds(cUs))
+		if err != nil {
+			return nil, err
+		}
+		results, err := workloads.NewExecutor(r).RunSpecs(context.Background(), ShootoutSpecs(r))
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, shootoutTable(cUs, results))
+	}
+	return tables, nil
+}
+
+// shootoutTable renders one constraint's leg: results are in
+// ShootoutSpecs enumeration order (benchmark-major, policy-minor).
+func shootoutTable(constraintUs float64, results []workloads.SpecResult) *tablefmt.Table {
+	cols := append([]string{"Policy"}, ShootoutBenchmarks...)
+	cols = append(cols, "Suite", "P99", "Killed")
+	t := tablefmt.New(fmt.Sprintf("Policy shootout: deadline-miss rate @%gµs constraint", constraintUs), cols...)
+	for j, policy := range ShootoutPolicies {
+		row := []string{policy}
+		var periods, violations float64
+		ls := newLatencyStats("shootout/" + policy)
+		for i := range ShootoutBenchmarks {
+			res := results[i*len(ShootoutPolicies)+j].Periodic
+			row = append(row, tablefmt.Pct(res.ViolationRate))
+			periods += float64(res.Periods)
+			violations += res.ViolationRate * float64(res.Periods)
+			for _, o := range res.Outcomes {
+				ls.add(o)
+			}
+		}
+		suite := 0.0
+		if periods > 0 {
+			suite = violations / periods
+		}
+		p99 := "-"
+		if ls.hist.Count() > 0 {
+			p99 = tablefmt.Us(ls.hist.Quantile(0.99))
+		}
+		row = append(row, tablefmt.Pct(suite), p99, tablefmt.Pct(killRate(ls)))
+		t.AddRow(row...)
+	}
+	t.Note = "per-benchmark and suite-wide fraction of real-time periods missing their deadline; P99/Killed over measured handover latencies of the subset"
+	return t
+}

@@ -55,8 +55,14 @@ type Spec struct {
 	// BenchB is the second process of a pair job.
 	BenchB string `json:"bench_b,omitempty"`
 	// Policy executes preemption requests: "chimera" (default),
-	// "switch", "drain", "flush", or "fcfs" (pair jobs only).
+	// "switch", "drain", "flush", the deadline-aware "edf" / "slo"
+	// (docs/scheduling.md), or "fcfs" (pair jobs only).
 	Policy string `json:"policy,omitempty"`
+	// Estimator selects the runtime-estimate source preemption planning
+	// consumes: "oracle" (default — the paper's warm-started measured
+	// statistics, Table 2) or "online" (structural prediction from the
+	// first K completed thread blocks; docs/scheduling.md).
+	Estimator string `json:"estimator,omitempty"`
 	// WindowUs is the simulated duration in microseconds.
 	WindowUs float64 `json:"window_us,omitempty"`
 	// ConstraintUs is the preemption latency bound in microseconds.
@@ -71,6 +77,13 @@ type Spec struct {
 	// the job fails with "deadline exceeded". Zero uses the server
 	// default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// DeadlineMs is the per-request SLO deadline in milliseconds from
+	// submission. The admission queue orders earliest-deadline-first
+	// within a priority level, the server sheds the submission with 429
+	// when its predicted completion already exceeds the deadline
+	// (shed-on-hopeless), and an admitted job is cancelled once the
+	// deadline passes. Zero means no deadline.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	// Trace records the full event stream (periodic jobs only). Traced
 	// jobs always execute — a trace is a side effect the result cache
 	// cannot replay — and serve Perfetto JSON at /jobs/{id}/trace.
@@ -93,6 +106,9 @@ func (s *Spec) Normalize() {
 		s.Policy = PolicyChimera
 	} else if canon, err := CanonicalPolicy(s.Policy); err == nil {
 		s.Policy = canon
+	}
+	if canon, err := CanonicalEstimator(s.Estimator); err == nil {
+		s.Estimator = canon
 	}
 	if s.WindowUs == 0 {
 		s.WindowUs = 1000
@@ -145,6 +161,12 @@ func (s *Spec) Validate(cat *kernels.Catalog) error {
 	if s.TimeoutMs < 0 {
 		return fmt.Errorf("timeout_ms must not be negative")
 	}
+	if s.DeadlineMs < 0 {
+		return fmt.Errorf("deadline_ms must not be negative")
+	}
+	if _, err := CanonicalEstimator(s.Estimator); err != nil {
+		return err
+	}
 	if s.Trace && s.Kind != KindPeriodic {
 		return fmt.Errorf("trace is only supported for periodic jobs")
 	}
@@ -157,10 +179,14 @@ func (s *Spec) Validate(cat *kernels.Catalog) error {
 // use as a cache key, a trace cross-reference, or a dedup check.
 //
 // Scheduling metadata that cannot change the simulation's result —
-// Priority, TimeoutMs and Trace — is deliberately excluded: a
-// re-prioritized replay of the same spec must still dedup against the
-// original run. The schema version is folded in so a future field's
-// semantics can never collide with a v1 digest.
+// Priority, TimeoutMs, DeadlineMs and Trace — is deliberately excluded:
+// a re-prioritized or re-deadlined replay of the same spec must still
+// dedup against the original run. The Estimator is folded in (it
+// changes which runtime estimates preemption planning sees, and thus
+// the simulated schedule); the default empty string hashes as "oracle"
+// so pre-estimator specs keep a stable identity. The schema version is
+// folded in so a future field's semantics can never collide with a v1
+// digest.
 func (s Spec) Hash() string {
 	n := s
 	n.Normalize()
@@ -168,9 +194,13 @@ func (s Spec) Hash() string {
 	if c, err := CanonicalPolicy(n.Policy); err == nil {
 		canon = c
 	}
+	est := n.Estimator
+	if est == "" {
+		est = EstimatorOracle
+	}
 	sum := sha256.Sum256([]byte(fmt.Sprintf(
-		"jobspec/v%d|%s|%s|%s|%s|%g|%g|%g|%d|%s",
-		SchemaVersion, n.Kind, n.Bench, n.BenchB, canon,
+		"jobspec/v%d|%s|%s|%s|%s|%s|%g|%g|%g|%d|%s",
+		SchemaVersion, n.Kind, n.Bench, n.BenchB, canon, est,
 		n.WindowUs, n.ConstraintUs, n.HeadroomUs, n.Seed, n.Variant)))
 	return hex.EncodeToString(sum[:8])
 }
@@ -219,6 +249,12 @@ func (s Spec) WithPriority(p int) Spec { s.Priority = p; return s }
 
 // WithTimeoutMs returns the spec with the service-time SLO set.
 func (s Spec) WithTimeoutMs(ms int64) Spec { s.TimeoutMs = ms; return s }
+
+// WithDeadlineMs returns the spec with the SLO deadline set.
+func (s Spec) WithDeadlineMs(ms int64) Spec { s.DeadlineMs = ms; return s }
+
+// WithEstimator returns the spec with the runtime-estimate source set.
+func (s Spec) WithEstimator(name string) Spec { s.Estimator = name; return s }
 
 // WithTrace returns the spec with event-stream recording enabled.
 func (s Spec) WithTrace() Spec { s.Trace = true; return s }

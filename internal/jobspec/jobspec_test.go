@@ -9,6 +9,7 @@ import (
 	"chimera/internal/engine"
 	"chimera/internal/kernels"
 	"chimera/internal/preempt"
+	"chimera/internal/sched"
 )
 
 // TestPolicyAliasRoundTrip pins the full accepted alias set: every
@@ -31,6 +32,10 @@ func TestPolicyAliasRoundTrip(t *testing.T) {
 		{"Drain", PolicyDrain, engine.FixedPolicy{Technique: preempt.Drain}, false},
 		{"flush", PolicyFlush, engine.FixedPolicy{Technique: preempt.Flush}, false},
 		{"Flush", PolicyFlush, engine.FixedPolicy{Technique: preempt.Flush}, false},
+		{"edf", PolicyEDF, sched.EDF{}, false},
+		{"EDF", PolicyEDF, sched.EDF{}, false},
+		{"slo", PolicySLO, sched.SLO{}, false},
+		{"SLO", PolicySLO, sched.SLO{}, false},
 		{"fcfs", PolicyFCFS, nil, true},
 		{"FCFS", PolicyFCFS, nil, true},
 	}
@@ -62,7 +67,7 @@ func TestPolicyAliasRoundTrip(t *testing.T) {
 		}
 	}
 	// The canonical list and the case set above must agree.
-	if got, want := len(PolicyNames()), 5; got != want {
+	if got, want := len(PolicyNames()), 7; got != want {
 		t.Errorf("PolicyNames() has %d entries, want %d", got, want)
 	}
 	for _, name := range PolicyNames() {
@@ -162,6 +167,9 @@ func TestHashIdentity(t *testing.T) {
 	same := []Spec{
 		base.WithPriority(9),
 		base.WithTimeoutMs(5000),
+		base.WithDeadlineMs(5000),
+		base.WithEstimator("oracle"),
+		base.WithEstimator("ORACLE"),
 		Periodic("SAD", "Chimera").WithWindowUs(2000).WithSeed(7),
 		Periodic("SAD", "").WithWindowUs(2000).WithSeed(7),
 	}
@@ -176,6 +184,8 @@ func TestHashIdentity(t *testing.T) {
 		base.WithConstraintUs(30),
 		base.WithHeadroomUs(2),
 		base.WithVariant("faults:1"),
+		base.WithEstimator("online"),
+		base.WithEstimator("structural"), // alias of online, distinct from oracle
 		Periodic("MUM", "chimera").WithWindowUs(2000).WithSeed(7),
 		Periodic("SAD", "drain").WithWindowUs(2000).WithSeed(7),
 	}
@@ -202,6 +212,18 @@ func TestSpecWireFormat(t *testing.T) {
 	want := `{"kind":"pair","bench":"SAD","bench_b":"MUM","policy":"fcfs","window_us":1000,"constraint_us":15,"seed":1,"priority":2,"timeout_ms":100}`
 	if string(got) != want {
 		t.Errorf("wire format drifted:\n got %s\nwant %s", got, want)
+	}
+	// The SLO fields ride between policy and window_us (estimator) and
+	// after timeout_ms (deadline_ms).
+	slo := Spec{Kind: KindPeriodic, Bench: "SAD", Policy: PolicyEDF, Estimator: EstimatorOnline,
+		WindowUs: 1000, ConstraintUs: 15, Seed: 1, TimeoutMs: 100, DeadlineMs: 250}
+	got, err = json.Marshal(slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"kind":"periodic","bench":"SAD","policy":"edf","estimator":"online","window_us":1000,"constraint_us":15,"seed":1,"timeout_ms":100,"deadline_ms":250}`
+	if string(got) != want {
+		t.Errorf("SLO wire format drifted:\n got %s\nwant %s", got, want)
 	}
 	// New optional fields stay off the wire when zero.
 	minimal, err := json.Marshal(Spec{Kind: KindSolo, Bench: "SAD"})

@@ -6,6 +6,8 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/preempt"
+	"chimera/internal/sched"
+	"chimera/internal/sched/predict"
 )
 
 // Canonical policy names accepted in Spec.Policy. Parsing also accepts
@@ -21,9 +23,60 @@ const (
 	PolicyDrain = "drain"
 	// PolicyFlush flushes idempotent blocks.
 	PolicyFlush = "flush"
+	// PolicyEDF is the deadline-ordered, preemption-cost-aware policy:
+	// mixed-technique plans, but an SM whose cheapest plan exceeds the
+	// requester's slack is never preempted (docs/scheduling.md).
+	PolicyEDF = "edf"
+	// PolicySLO is the Hummingbird-style policy: per SM, the cheapest
+	// uniform technique that still meets the deadline; demand no
+	// technique can serve in time is shed (docs/scheduling.md).
+	PolicySLO = "slo"
 	// PolicyFCFS is the non-preemptive serial baseline (pair jobs only).
 	PolicyFCFS = "fcfs"
 )
+
+// Canonical estimator names accepted in Spec.Estimator, re-exported
+// from internal/sched/predict so spec-building call sites need only
+// this package.
+const (
+	// EstimatorOracle is the default: the paper's warm-started measured
+	// statistics (Table-2 oracle).
+	EstimatorOracle = predict.NameOracle
+	// EstimatorOnline is the structural online predictor (first K
+	// completed thread blocks per kernel).
+	EstimatorOnline = predict.NameOnline
+)
+
+// CanonicalEstimator maps an accepted estimator alias onto its
+// canonical lowercase name, or errors for unknown names. The empty
+// string is preserved (it means the default oracle without forcing the
+// field to serialize).
+func CanonicalEstimator(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return "", nil
+	case EstimatorOracle:
+		return EstimatorOracle, nil
+	case EstimatorOnline, "structural":
+		return EstimatorOnline, nil
+	default:
+		return "", fmt.Errorf("unknown estimator %q", name)
+	}
+}
+
+// ParseEstimator constructs a fresh per-run estimator instance for a
+// spec's Estimator field (nil for the default oracle — the engine's
+// built-in measured-statistics path).
+func ParseEstimator(name string) (predict.Estimator, error) {
+	canon, err := CanonicalEstimator(name)
+	if err != nil {
+		return nil, err
+	}
+	return predict.ForName(canon)
+}
+
+// EstimatorNames lists every accepted canonical estimator name.
+func EstimatorNames() []string { return predict.Names() }
 
 // CanonicalPolicy maps any accepted policy alias onto its canonical
 // lowercase name, or errors for unknown names.
@@ -37,6 +90,10 @@ func CanonicalPolicy(name string) (string, error) {
 		return PolicyDrain, nil
 	case PolicyFlush:
 		return PolicyFlush, nil
+	case PolicyEDF:
+		return PolicyEDF, nil
+	case PolicySLO:
+		return PolicySLO, nil
 	case PolicyFCFS:
 		return PolicyFCFS, nil
 	default:
@@ -62,6 +119,10 @@ func ParsePolicy(name string) (p engine.Policy, serial bool, err error) {
 		return engine.FixedPolicy{Technique: preempt.Drain}, false, nil
 	case PolicyFlush:
 		return engine.FixedPolicy{Technique: preempt.Flush}, false, nil
+	case PolicyEDF:
+		return sched.EDF{}, false, nil
+	case PolicySLO:
+		return sched.SLO{}, false, nil
 	default: // PolicyFCFS
 		return nil, true, nil
 	}
@@ -69,7 +130,7 @@ func ParsePolicy(name string) (p engine.Policy, serial bool, err error) {
 
 // PolicyNames lists every accepted canonical policy name.
 func PolicyNames() []string {
-	return []string{PolicyChimera, PolicySwitch, PolicyDrain, PolicyFlush, PolicyFCFS}
+	return []string{PolicyChimera, PolicySwitch, PolicyDrain, PolicyFlush, PolicyEDF, PolicySLO, PolicyFCFS}
 }
 
 // PolicyName is the display label used in result tables ("Chimera",

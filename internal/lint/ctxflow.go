@@ -24,6 +24,9 @@ var CtxFlowPackages = []string{
 	// or peer fetches past their caller's deadline.
 	"chimera/internal/cluster",
 	"chimera/cmd/chimerafront",
+	// The admission queue sits on chimerad's submit path: a blocking
+	// exported API there without a context would wedge the HTTP layer.
+	"chimera/internal/sched",
 	// kernelir analyses run inside simulation jobs and idemscan drives
 	// them from the CLI; neither may launder a caller's context or grow
 	// an unbounded exported blocking API.

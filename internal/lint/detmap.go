@@ -33,6 +33,12 @@ var DeterminismCriticalPackages = []string{
 	// functions of the member list, never of map iteration order.
 	"chimera/internal/cluster",
 	"chimera/cmd/chimerafront",
+	// The admission queue and the online predictor decide pop order and
+	// runtime estimates that feed schedules and shed decisions; a
+	// map-ordered walk there would make admission or estimates drift
+	// between runs.
+	"chimera/internal/sched",
+	"chimera/internal/sched/predict",
 	// idemscan renders the idempotence-analysis table the paper's §2.3
 	// claims rest on; a map-ordered row or column would make the
 	// printed exhibit differ between runs.

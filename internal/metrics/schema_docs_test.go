@@ -37,6 +37,8 @@ func TestMetricNamesDocumented(t *testing.T) {
 			engine.MetricCanceledRuns,
 			engine.MetricEscalations,
 			engine.MetricStallsInjected,
+			engine.MetricPolicySheds,
+			engine.MetricPredictObservations,
 			simjob.MetricTasksQueued,
 			simjob.MetricTasksRunning,
 			simjob.MetricTasksDone,
@@ -57,6 +59,7 @@ func TestMetricNamesDocumented(t *testing.T) {
 			server.MetricQueueDepth,
 			server.MetricJobLatency,
 			server.MetricJobRetries,
+			server.MetricShedHopeless,
 		}},
 		{"../../docs/faults.md", []string{
 			faults.MetricJobPanics,

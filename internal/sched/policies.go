@@ -1,0 +1,122 @@
+// Deadline-aware preemption policies: the SLO layer on top of the
+// paper's static policy menu. Both policies plug into the engine's
+// Policy slot (they satisfy engine.Policy structurally — this package
+// sits below the engine, so the interface is not named here) and both
+// read the same core.Request / core.Input the Chimera policy consumes:
+// the request's ConstraintCycles is the requester's remaining slack.
+//
+// Where Chimera (Algorithm 1) treats the policy's SM demand as binding
+// and force-fills slots even when no plan meets the latency constraint,
+// these policies treat the constraint as binding and shed demand
+// instead — the difference the policyshootout exhibit measures. See
+// docs/scheduling.md.
+
+package sched
+
+import (
+	"sort"
+
+	"chimera/internal/core"
+	"chimera/internal/preempt"
+)
+
+// EDF is the deadline-ordered, preemption-cost-aware policy (after
+// Wang et al., RT-GPU): per-SM plans are built with Algorithm 1's
+// per-thread-block technique mixing, but an SM whose cheapest plan
+// still exceeds the requester's slack is never taken — preempting it
+// could not help the requester meet its deadline and would only waste
+// the victim's work. Victims are chosen lowest-latency-first (the
+// earliest-finishing handovers), not lowest-overhead-first: under a
+// deadline, finishing the preemption early dominates saving victim
+// throughput.
+type EDF struct{}
+
+// Name is the label used in result tables.
+func (EDF) Name() string { return "EDF" }
+
+// Relaxed reports that flushing may use the §3.4 relaxed idempotence
+// condition.
+func (EDF) Relaxed() bool { return true }
+
+// Select maps a request onto per-SM plans: mixed-technique plans per
+// SM, filtered to those meeting the requester's slack, ordered by
+// latency. Demand that cannot be served within the slack is shed (no
+// best-effort force fill).
+func (p EDF) Select(req core.Request, in core.Input) core.Selection {
+	req.Opts = preempt.Options{Relaxed: true}
+	plans := make([]preempt.SMPlan, 0, len(in.SMs))
+	for _, sm := range in.SMs {
+		plan := core.PlanSM(sm, in.Est, req.ConstraintCycles, req.Opts)
+		if plan.MeetsLatency(req.ConstraintCycles) {
+			plans = append(plans, plan)
+		}
+	}
+	sort.SliceStable(plans, func(i, j int) bool {
+		a, b := plans[i], plans[j]
+		if a.LatencyCycles != b.LatencyCycles {
+			return a.LatencyCycles < b.LatencyCycles
+		}
+		if a.OverheadInsts != b.OverheadInsts {
+			return a.OverheadInsts < b.OverheadInsts
+		}
+		return a.SM < b.SM
+	})
+	want := req.NumPreempts
+	if want > len(plans) {
+		want = len(plans)
+	}
+	return core.Selection{Plans: plans[:want]}
+}
+
+// SLO is the Hummingbird-style policy: per SM, apply the cheapest-
+// overhead *uniform* technique that still meets the deadline — no
+// per-thread-block mixing, matching a runtime that can only pick one
+// preemption mechanism per SM — and shed any SM (and any demand) no
+// technique can serve in time. It is the conservative end of the
+// shootout: it never issues a preemption it already knows will violate
+// the constraint.
+type SLO struct{}
+
+// Name is the label used in result tables.
+func (SLO) Name() string { return "SLO" }
+
+// Relaxed reports that flushing may use the §3.4 relaxed idempotence
+// condition.
+func (SLO) Relaxed() bool { return true }
+
+// Select picks, per SM, the cheapest uniform technique meeting the
+// deadline; SMs with no meeting technique are shed. Selected SMs are
+// taken cheapest-overhead-first, Algorithm-1 style.
+func (p SLO) Select(req core.Request, in core.Input) core.Selection {
+	opts := preempt.Options{Relaxed: true}
+	plans := make([]preempt.SMPlan, 0, len(in.SMs))
+	for _, sm := range in.SMs {
+		best := preempt.SMPlan{SM: sm.SM, LatencyCycles: preempt.Infeasible, OverheadInsts: preempt.Infeasible}
+		found := false
+		for _, tech := range preempt.Techniques() {
+			cand := preempt.Uniform(sm, in.Est, tech, opts)
+			if !cand.MeetsLatency(req.ConstraintCycles) {
+				continue
+			}
+			if !found || cand.OverheadInsts < best.OverheadInsts {
+				best = cand
+				found = true
+			}
+		}
+		if found {
+			plans = append(plans, best)
+		}
+	}
+	sort.SliceStable(plans, func(i, j int) bool {
+		a, b := plans[i], plans[j]
+		if a.OverheadInsts != b.OverheadInsts {
+			return a.OverheadInsts < b.OverheadInsts
+		}
+		return a.SM < b.SM
+	})
+	want := req.NumPreempts
+	if want > len(plans) {
+		want = len(plans)
+	}
+	return core.Selection{Plans: plans[:want]}
+}

@@ -49,8 +49,24 @@ const (
 	PolicyDrain = jobspec.PolicyDrain
 	// PolicyFlush flushes idempotent blocks (see PolicySwitch).
 	PolicyFlush = jobspec.PolicyFlush
+	// PolicyEDF is the deadline-ordered, preemption-cost-aware policy
+	// (docs/scheduling.md).
+	PolicyEDF = jobspec.PolicyEDF
+	// PolicySLO sheds demand no technique can serve within the deadline
+	// (docs/scheduling.md).
+	PolicySLO = jobspec.PolicySLO
 	// PolicyFCFS is the non-preemptive serial baseline (pair jobs only).
 	PolicyFCFS = jobspec.PolicyFCFS
+)
+
+// Estimator names accepted in JobSpec.Estimator (re-exported from
+// jobspec; see docs/scheduling.md).
+const (
+	// EstimatorOracle is the default warm-started measured-statistics
+	// path (Table-2 oracle).
+	EstimatorOracle = jobspec.EstimatorOracle
+	// EstimatorOnline is the structural online runtime predictor.
+	EstimatorOnline = jobspec.EstimatorOnline
 )
 
 // JobState is a job's lifecycle phase.

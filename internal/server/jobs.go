@@ -1,7 +1,6 @@
 package server
 
 import (
-	"container/heap"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +11,7 @@ import (
 
 	"chimera/internal/faults"
 	"chimera/internal/jobspec"
+	"chimera/internal/sched"
 	"chimera/internal/simjob"
 	"chimera/internal/trace"
 	"chimera/internal/units"
@@ -40,10 +40,6 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
-
-	// index is the job's position in the admission heap (-1 once
-	// popped); maintained by jobHeap.
-	index int
 }
 
 // status renders the job's API view. It never includes pool stats;
@@ -73,62 +69,40 @@ func (j *job) status() JobStatus {
 	return st
 }
 
-// jobHeap orders admitted jobs by descending priority, then ascending
-// submission sequence (FIFO within a priority class). It implements
-// container/heap.Interface.
-type jobHeap []*job
-
-// Len reports the number of queued jobs.
-func (h jobHeap) Len() int { return len(h) }
-
-// Less orders by priority (higher first), then submission order.
-func (h jobHeap) Less(a, b int) bool {
-	if h[a].priority != h[b].priority {
-		return h[a].priority > h[b].priority
-	}
-	return h[a].seq < h[b].seq
-}
-
-// Swap exchanges two heap slots and fixes their back-indices.
-func (h jobHeap) Swap(a, b int) {
-	h[a], h[b] = h[b], h[a]
-	h[a].index = a
-	h[b].index = b
-}
-
-// Push appends a job (heap.Interface contract).
-func (h *jobHeap) Push(x any) {
-	j := x.(*job)
-	j.index = len(*h)
-	*h = append(*h, j)
-}
-
-// Pop removes the last slot (heap.Interface contract).
-func (h *jobHeap) Pop() any {
-	old := *h
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	j.index = -1
-	*h = old[:n-1]
-	return j
-}
-
 // Submission errors mapped to HTTP statuses by the handlers.
 var (
 	// errQueueFull rejects a submission when the admission queue is at
 	// capacity (429 + Retry-After).
 	errQueueFull = errors.New("server: admission queue full")
+	// errShedHopeless rejects a deadlined submission whose predicted
+	// completion already exceeds its deadline (429, counted separately
+	// in server/shed_hopeless; see docs/scheduling.md).
+	errShedHopeless = errors.New("server: shed: predicted completion exceeds deadline_ms")
 	// errClosed rejects a submission during shutdown (503).
 	errClosed = errors.New("server: shutting down")
 )
 
+// ewmaAlpha is the smoothing factor of the completed-job service-time
+// estimate feeding the shed-on-hopeless predicate.
+const ewmaAlpha = 0.2
+
 // submit admits one normalized, validated spec: it assigns an ID,
 // starts the job's deadline clock, and queues it for the workers.
+// Admission is deadline-aware (sched.AdmissionQueue): priority first,
+// earliest deadline next, arrival order last — and a deadlined
+// submission that cannot plausibly complete in time is shed up front.
 func (s *Server) submit(spec JobSpec) (*job, error) {
 	timeout := s.cfg.DefaultTimeout
 	if spec.TimeoutMs > 0 {
 		timeout = time.Duration(spec.TimeoutMs) * time.Millisecond
+	}
+	if spec.DeadlineMs > 0 {
+		// The deadline is a service-level bound: once it passes, the
+		// job's context expires and queued or running work is abandoned
+		// with "deadline exceeded".
+		if d := time.Duration(spec.DeadlineMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
 	}
 
 	s.mu.Lock()
@@ -140,7 +114,12 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		s.cRejected.Add(1)
 		return nil, errQueueFull
 	}
+	if spec.DeadlineMs > 0 && sched.Hopeless(float64(spec.DeadlineMs), s.queue.Len(), s.cfg.Workers, s.ewmaServiceMs) {
+		s.cShedHopeless.Add(1)
+		return nil, errShedHopeless
+	}
 	s.seq++
+	now := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	j := &job{
 		id:        fmt.Sprintf("j%d", s.seq),
@@ -151,11 +130,15 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: now,
+	}
+	var deadline int64
+	if spec.DeadlineMs > 0 {
+		deadline = now.UnixMilli() + spec.DeadlineMs
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	heap.Push(&s.queue, j)
+	s.queue.Push(sched.Item{ID: j.id, Priority: j.priority, Deadline: deadline, Payload: j})
 	s.cSubmitted.Add(1)
 	s.gQueueDepth.Set(int64(s.queue.Len()))
 	s.trimHistoryLocked()
@@ -253,7 +236,8 @@ func (s *Server) worker() {
 			s.mu.Unlock()
 			return
 		}
-		j := heap.Pop(&s.queue).(*job)
+		it, _ := s.queue.Pop()
+		j := it.Payload.(*job)
 		s.gQueueDepth.Set(int64(s.queue.Len()))
 		s.mu.Unlock()
 
@@ -320,6 +304,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (res *JobResult, raw
 			Constraint: units.FromMicroseconds(spec.ConstraintUs),
 			Seed:       spec.Seed,
 			Policy:     policy,
+			Estimator:  spec.Estimator,
 			Metrics:    s.reg,
 		})
 		if err != nil {
@@ -420,7 +405,19 @@ func (s *Server) finish(j *job, res *JobResult, raw []byte, executed bool, event
 	default:
 		s.cFailed.Add(1)
 	}
-	s.hLatency.Observe(float64(latency) / float64(time.Millisecond))
+	latencyMs := float64(latency) / float64(time.Millisecond)
+	if state == StateDone {
+		// Fold the completed job's service time into the EWMA the
+		// shed-on-hopeless predicate consults at admission.
+		s.mu.Lock()
+		if s.ewmaServiceMs == 0 {
+			s.ewmaServiceMs = latencyMs
+		} else {
+			s.ewmaServiceMs += ewmaAlpha * (latencyMs - s.ewmaServiceMs)
+		}
+		s.mu.Unlock()
+	}
+	s.hLatency.Observe(latencyMs)
 	s.record(j)
 	j.cancel()
 	close(j.done)

@@ -25,6 +25,7 @@ import (
 	"chimera/internal/jobspec"
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
+	"chimera/internal/sched"
 	"chimera/internal/simjob"
 	"chimera/internal/trace"
 )
@@ -100,12 +101,16 @@ type Server struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  jobHeap
+	queue  sched.AdmissionQueue
 	jobs   map[string]*job
 	order  []string
 	seq    int64
 	closed bool
 	wg     sync.WaitGroup
+	// ewmaServiceMs estimates one job's submit-to-done service time
+	// (guarded by mu); the shed-on-hopeless predicate consults it at
+	// admission.
+	ewmaServiceMs float64
 
 	// The finished-result index behind GET /internal/cache/{hash}:
 	// spec hash → terminal JobResult payload, FIFO-bounded by
@@ -115,20 +120,21 @@ type Server struct {
 	resIdx   map[string][]byte
 	resOrder []string
 
-	cSubmitted  *metrics.Counter
-	cCompleted  *metrics.Counter
-	cFailed     *metrics.Counter
-	cCanceled   *metrics.Counter
-	cRejected   *metrics.Counter
-	cDeduped    *metrics.Counter
-	cRetries    *metrics.Counter
-	cRecordErrs *metrics.Counter
-	gQueueDepth *metrics.Counter
-	hLatency    *metrics.Histogram
-	cPeerHits   *metrics.Counter
-	cPeerMisses *metrics.Counter
-	cPeerErrors *metrics.Counter
-	cPeerServed *metrics.Counter
+	cSubmitted    *metrics.Counter
+	cCompleted    *metrics.Counter
+	cFailed       *metrics.Counter
+	cCanceled     *metrics.Counter
+	cRejected     *metrics.Counter
+	cShedHopeless *metrics.Counter
+	cDeduped      *metrics.Counter
+	cRetries      *metrics.Counter
+	cRecordErrs   *metrics.Counter
+	gQueueDepth   *metrics.Counter
+	hLatency      *metrics.Histogram
+	cPeerHits     *metrics.Counter
+	cPeerMisses   *metrics.Counter
+	cPeerErrors   *metrics.Counter
+	cPeerServed   *metrics.Counter
 }
 
 // Metric names exposed on /metrics, as package-level constants
@@ -145,6 +151,9 @@ const (
 	MetricJobsCanceled = "server/jobs_canceled"
 	// MetricJobsRejected counts submissions refused by admission control.
 	MetricJobsRejected = "server/jobs_rejected"
+	// MetricShedHopeless counts deadlined submissions shed because
+	// their predicted completion already exceeded deadline_ms.
+	MetricShedHopeless = "server/shed_hopeless"
 	// MetricJobsDeduped counts jobs served from the simjob cache.
 	MetricJobsDeduped = "server/jobs_deduped"
 	// MetricQueueDepth gauges the current admission-queue length.
@@ -216,20 +225,21 @@ func New(cfg Config) *Server {
 		jobs:   make(map[string]*job),
 		resIdx: make(map[string][]byte),
 
-		cSubmitted:  cfg.Registry.Counter(MetricJobsSubmitted),
-		cCompleted:  cfg.Registry.Counter(MetricJobsCompleted),
-		cFailed:     cfg.Registry.Counter(MetricJobsFailed),
-		cCanceled:   cfg.Registry.Counter(MetricJobsCanceled),
-		cRejected:   cfg.Registry.Counter(MetricJobsRejected),
-		cDeduped:    cfg.Registry.Counter(MetricJobsDeduped),
-		cRetries:    cfg.Registry.Counter(MetricJobRetries),
-		cRecordErrs: cfg.Registry.Counter(MetricRecordErrors),
-		gQueueDepth: cfg.Registry.Counter(MetricQueueDepth),
-		hLatency:    cfg.Registry.Histogram(MetricJobLatency, "ms", latencyBoundsMs),
-		cPeerHits:   cfg.Registry.Counter(MetricPeerHits),
-		cPeerMisses: cfg.Registry.Counter(MetricPeerMisses),
-		cPeerErrors: cfg.Registry.Counter(MetricPeerErrors),
-		cPeerServed: cfg.Registry.Counter(MetricPeerServed),
+		cSubmitted:    cfg.Registry.Counter(MetricJobsSubmitted),
+		cCompleted:    cfg.Registry.Counter(MetricJobsCompleted),
+		cFailed:       cfg.Registry.Counter(MetricJobsFailed),
+		cCanceled:     cfg.Registry.Counter(MetricJobsCanceled),
+		cRejected:     cfg.Registry.Counter(MetricJobsRejected),
+		cShedHopeless: cfg.Registry.Counter(MetricShedHopeless),
+		cDeduped:      cfg.Registry.Counter(MetricJobsDeduped),
+		cRetries:      cfg.Registry.Counter(MetricJobRetries),
+		cRecordErrs:   cfg.Registry.Counter(MetricRecordErrors),
+		gQueueDepth:   cfg.Registry.Counter(MetricQueueDepth),
+		hLatency:      cfg.Registry.Histogram(MetricJobLatency, "ms", latencyBoundsMs),
+		cPeerHits:     cfg.Registry.Counter(MetricPeerHits),
+		cPeerMisses:   cfg.Registry.Counter(MetricPeerMisses),
+		cPeerErrors:   cfg.Registry.Counter(MetricPeerErrors),
+		cPeerServed:   cfg.Registry.Counter(MetricPeerServed),
 
 		start: time.Now(),
 	}
@@ -395,6 +405,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, errShedHopeless):
+		// No Retry-After: the deadline is the client's — retrying the
+		// same deadline against the same backlog stays hopeless.
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, errClosed):

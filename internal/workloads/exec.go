@@ -66,6 +66,7 @@ func (e *Executor) runnerFor(spec jobspec.Spec) *Runner {
 	r.Constraint = units.FromMicroseconds(spec.ConstraintUs)
 	r.Headroom = units.FromMicroseconds(spec.HeadroomUs)
 	r.Seed = spec.Seed
+	r.Estimator = spec.Estimator
 	if spec.Variant != "" {
 		r.Variant = spec.Variant
 	}

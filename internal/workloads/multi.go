@@ -54,12 +54,17 @@ func (r *Runner) runMulti(benches []string, policy engine.Policy, serial bool) (
 		}
 		singles[i] = rate
 	}
+	est, err := r.estimator()
+	if err != nil {
+		return MultiResult{}, err
+	}
 	sim := engine.New(engine.Options{
 		Config:         r.Config,
 		Policy:         policy,
 		Constraint:     r.Constraint,
 		Seed:           r.Seed,
 		WarmStats:      r.Warm,
+		Estimator:      est,
 		Serial:         serial,
 		ContentionBeta: r.Contention,
 	})

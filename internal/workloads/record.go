@@ -8,6 +8,7 @@ import (
 	"chimera/internal/gpu"
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
+	"chimera/internal/sched/predict"
 	"chimera/internal/trace"
 	"chimera/internal/units"
 )
@@ -33,6 +34,10 @@ type RecordOptions struct {
 	// Metrics, when set, additionally collects the engine's histograms
 	// and counters into the given registry.
 	Metrics *metrics.Registry
+	// Estimator selects the runtime-estimate source ("" or "oracle" =
+	// the built-in warm-started measured statistics; "online" = the
+	// structural predictor).
+	Estimator string
 	// Extra, when set, receives every event alongside the Recording's
 	// own collector (e.g. a trace.WriterSink streaming to disk).
 	Extra trace.Recorder
@@ -98,12 +103,17 @@ func RecordContext(ctx context.Context, opts RecordOptions) (*Recording, error) 
 	if opts.Extra != nil {
 		rec = trace.Multi{col, opts.Extra}
 	}
+	est, err := predict.ForName(opts.Estimator)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %w", err)
+	}
 	sim := engine.New(engine.Options{
 		Config:     opts.Config,
 		Policy:     opts.Policy,
 		Constraint: opts.Constraint,
 		Seed:       opts.Seed,
 		WarmStats:  true,
+		Estimator:  est,
 		Tracer:     rec,
 		Metrics:    opts.Metrics,
 	})

@@ -25,9 +25,20 @@ import (
 	"chimera/internal/kernels"
 	"chimera/internal/metrics"
 	"chimera/internal/preempt"
+	"chimera/internal/sched/predict"
 	"chimera/internal/simjob"
 	"chimera/internal/units"
 )
+
+// estimator constructs a fresh per-run estimator instance from the
+// Runner's Estimator name (nil for the default oracle path).
+func (r *Runner) estimator() (predict.Estimator, error) {
+	est, err := predict.ForName(r.Estimator)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %w", err)
+	}
+	return est, nil
+}
 
 // Launches converts a catalog benchmark into engine launch specs.
 func Launches(cat *kernels.Catalog, b *kernels.Benchmark) ([]engine.LaunchSpec, error) {
@@ -84,6 +95,13 @@ type Runner struct {
 	// anything beyond the simulation parameters — typically an active
 	// fault plan's fingerprint. Empty for clean runs.
 	Variant string
+	// Estimator selects the runtime-estimate source preemption planning
+	// consumes ("" or jobspec's "oracle" = the engine's built-in
+	// warm-started measured statistics; "online" = the structural
+	// predictor, engine.Options.Estimator). A fresh estimator instance
+	// is constructed per engine run; non-default estimators fold into
+	// the cache identity of preemption-bearing scenarios.
+	Estimator string
 
 	cat  *kernels.Catalog
 	pool *simjob.Pool
@@ -144,6 +162,15 @@ func (r *Runner) job(kind simjob.Kind, benches, policy string, serial bool, head
 	variant := r.Variant
 	if r.Watchdog != 0 || r.Stall != nil {
 		variant = fmt.Sprintf("%s|wd=%g|stall=%t", variant, r.Watchdog, r.Stall != nil)
+	}
+	// A non-default estimator changes which runtime estimates preemption
+	// planning sees, so it discriminates every preemption-bearing
+	// scenario's identity. Solo runs never preempt; keeping their key
+	// estimator-free maximizes sharing (mirroring jobspec.Hash, which
+	// folds the estimator in for all kinds — specs split keys slightly
+	// more eagerly than direct Runner calls, never less).
+	if kind != simjob.KindSolo && r.Estimator != "" && r.Estimator != predict.NameOracle {
+		variant = fmt.Sprintf("%s|est=%s", variant, r.Estimator)
 	}
 	return simjob.Job{
 		Variant:    variant,
@@ -308,12 +335,17 @@ func (r *Runner) runPeriodic(ctx context.Context, bench string, policy engine.Po
 	if err != nil {
 		return PeriodicResult{}, err
 	}
+	est, err := r.estimator()
+	if err != nil {
+		return PeriodicResult{}, err
+	}
 	sim := engine.New(engine.Options{
 		Config:         r.Config,
 		Policy:         policy,
 		Constraint:     r.Constraint,
 		Seed:           r.Seed,
 		WarmStats:      r.Warm,
+		Estimator:      est,
 		ContentionBeta: r.Contention,
 		Headroom:       r.Headroom,
 		Metrics:        r.Metrics,
@@ -426,12 +458,17 @@ func (r *Runner) runPair(ctx context.Context, a, b string, policy engine.Policy,
 	if err != nil {
 		return PairResult{}, err
 	}
+	est, err := r.estimator()
+	if err != nil {
+		return PairResult{}, err
+	}
 	sim := engine.New(engine.Options{
 		Config:         r.Config,
 		Policy:         policy,
 		Constraint:     r.Constraint,
 		Seed:           r.Seed,
 		WarmStats:      r.Warm,
+		Estimator:      est,
 		Serial:         serial,
 		ContentionBeta: r.Contention,
 		Metrics:        r.Metrics,
